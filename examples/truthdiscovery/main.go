@@ -1,0 +1,58 @@
+// Truth discovery case study (tutorial §3d): synthesize websites that
+// assert conflicting facts, run TruthFinder, and show how link analysis
+// separates trustworthy providers from unreliable ones — including the
+// copycat scenario where majority voting is fooled.
+package main
+
+import (
+	"fmt"
+	"sort"
+
+	"hinet/internal/stats"
+	"hinet/internal/truth"
+)
+
+func main() {
+	// Scenario 1: independent providers with mixed reliability.
+	s := truth.Synthesize(stats.NewRNG(31), truth.SynthConfig{
+		Objects: 120, Websites: 30, ClaimsPerSite: 50,
+		GoodSites: 0.6, GoodErr: 0.08, BadErr: 0.6,
+	})
+	r := truth.Run(s.Net, truth.Options{})
+	fmt.Printf("independent providers: TruthFinder=%.3f majority=%.3f (converged in %d iters)\n",
+		s.Accuracy(truth.PredictTruth(s.Net, r.Confidence)),
+		s.Accuracy(truth.MajorityVote(s.Net)), r.Iterations)
+
+	// Trust separation.
+	type site struct {
+		id    int
+		trust float64
+		good  bool
+	}
+	var sites []site
+	for w, t := range r.Trust {
+		sites = append(sites, site{w, t, s.SiteGood[w]})
+	}
+	sort.Slice(sites, func(i, j int) bool { return sites[i].trust > sites[j].trust })
+	fmt.Println("most trusted sites (reliability in parentheses):")
+	for _, st := range sites[:5] {
+		fmt.Printf("  site %2d trust=%.3f (good=%v)\n", st.id, st.trust, st.good)
+	}
+	fmt.Println("least trusted sites:")
+	for _, st := range sites[len(sites)-5:] {
+		fmt.Printf("  site %2d trust=%.3f (good=%v)\n", st.id, st.trust, st.good)
+	}
+
+	// Scenario 2: copycat mirrors amplify one bad site.
+	s2 := truth.Synthesize(stats.NewRNG(32), truth.SynthConfig{
+		Objects: 80, Websites: 20, ClaimsPerSite: 40,
+		GoodSites: 0.5, GoodErr: 0.05, BadErr: 0.65, Copycats: 6,
+	})
+	plain := truth.Run(s2.Net, truth.Options{})
+	fmt.Printf("\nwith 6 copycat mirrors:\n")
+	fmt.Printf("  plain TruthFinder   %.3f\n", s2.Accuracy(truth.PredictTruth(s2.Net, plain.Confidence)))
+	fmt.Printf("  majority voting     %.3f\n", s2.Accuracy(truth.MajorityVote(s2.Net)))
+	s2.Net.SiteWeight = truth.DetectCopycats(s2.Net, 0.9)
+	guarded := truth.Run(s2.Net, truth.Options{})
+	fmt.Printf("  TF + copy detection %.3f\n", s2.Accuracy(truth.PredictTruth(s2.Net, guarded.Confidence)))
+}

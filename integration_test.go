@@ -1,0 +1,148 @@
+package hinet_test
+
+import (
+	"math"
+	"testing"
+
+	"hinet/internal/classify"
+	"hinet/internal/core"
+	"hinet/internal/dblp"
+	"hinet/internal/eval"
+	"hinet/internal/hin"
+	"hinet/internal/netclus"
+	"hinet/internal/pathsim"
+	"hinet/internal/rank"
+	"hinet/internal/relational"
+	"hinet/internal/stats"
+)
+
+// Integration tests: cross-module pipelines the paper's narrative walks
+// through — database → network → mining — asserting that independent
+// systems agree with each other, not only with the planted ground truth.
+
+func smallCorpus(seed int64) *dblp.Corpus {
+	return dblp.Generate(stats.NewRNG(seed), dblp.Config{
+		VenuesPerArea:  3,
+		AuthorsPerArea: 60,
+		TermsPerArea:   40,
+		SharedTerms:    20,
+		Papers:         600,
+	})
+}
+
+// RankClus on the bipartite view and NetClus on the star view should
+// discover essentially the same venue communities.
+func TestRankClusAndNetClusAgreeOnVenues(t *testing.T) {
+	c := smallCorpus(1)
+	rc := core.Run(stats.NewRNG(2), c.VenueAuthorBipartite(), core.Options{K: c.Areas(), Restarts: 3})
+	nc := netclus.Run(stats.NewRNG(3), c.Star(), netclus.Options{K: c.Areas(), Restarts: 3})
+	agreement := eval.NMI(rc.Assign, nc.AssignAttr(1))
+	if agreement < 0.6 {
+		t.Errorf("RankClus and NetClus venue partitions disagree: NMI = %.3f", agreement)
+	}
+}
+
+// Label propagation seeded with NetClus's own output should reproduce
+// NetClus's paper labels — the two mechanisms see the same structure.
+func TestNetClusLabelsSurvivePropagation(t *testing.T) {
+	c := smallCorpus(4)
+	nc := netclus.Run(stats.NewRNG(5), c.Star(), netclus.Options{K: c.Areas(), Restarts: 2})
+	rng := stats.NewRNG(6)
+	seeds := classify.SampleSeeds(rng, dblp.TypePaper, nc.AssignCenter, c.Areas(), 10)
+	scores := classify.Propagate(c.Net, c.Areas(), seeds, classify.Options{})
+	pred := classify.Labels(scores[dblp.TypePaper])
+	if agree := eval.NMI(nc.AssignCenter, pred); agree < 0.6 {
+		t.Errorf("propagation from NetClus seeds diverged: NMI = %.3f", agree)
+	}
+}
+
+// PathSim peers of an author should predominantly share the author's
+// RankClus-assigned community (venue cluster of their home venues).
+func TestPathSimPeersShareArea(t *testing.T) {
+	c := smallCorpus(7)
+	ix := pathsim.NewIndex(c.Net, hin.MetaPath{
+		dblp.TypeAuthor, dblp.TypePaper, dblp.TypeVenue, dblp.TypePaper, dblp.TypeAuthor,
+	})
+	pa := c.Net.Relation(dblp.TypePaper, dblp.TypeAuthor)
+	deg := make([]float64, c.Net.Count(dblp.TypeAuthor))
+	for p := 0; p < pa.Rows(); p++ {
+		pa.Row(p, func(a int, v float64) { deg[a] += v })
+	}
+	hits, total := 0, 0
+	for _, q := range stats.TopK(deg, 8) {
+		for _, peer := range ix.TopK(q, 5) {
+			total++
+			if c.AuthorArea[peer.ID] == c.AuthorArea[q] {
+				hits++
+			}
+		}
+	}
+	if frac := float64(hits) / float64(total); frac < 0.7 {
+		t.Errorf("PathSim peer area coherence = %.3f", frac)
+	}
+}
+
+// The relational-to-network conversion must preserve join structure:
+// PageRank over the converted network should rank branch hubs (many
+// customers) above leaf transactions.
+func TestDBNetworkPageRankFindsHubs(t *testing.T) {
+	s := relational.SyntheticCustomers(stats.NewRNG(8), relational.SynthConfig{Customers: 200})
+	net := s.DB.Network(relational.NetworkOptions{})
+	g, offset := net.Homogeneous()
+	pr := rank.PageRank(g.Adjacency(), rank.Options{})
+	// Mean branch rank must exceed mean transaction rank: branches
+	// aggregate many customers, transactions are degree-1 leaves.
+	branchBase := offset[hin.Type("branch")]
+	transBase := offset[hin.Type("transaction")]
+	nBranch := net.Count(hin.Type("branch"))
+	nTrans := net.Count(hin.Type("transaction"))
+	var mb, mt float64
+	for i := 0; i < nBranch; i++ {
+		mb += pr.Scores[branchBase+i]
+	}
+	for i := 0; i < nTrans; i++ {
+		mt += pr.Scores[transBase+i]
+	}
+	mb /= float64(nBranch)
+	mt /= float64(nTrans)
+	if mb <= mt {
+		t.Errorf("branch mean rank %.5f should exceed transaction mean %.5f", mb, mt)
+	}
+}
+
+// RankClus posteriors are a valid soft refinement of its hard labels:
+// argmax of the posterior should usually match the hard assignment.
+func TestRankClusPosteriorConsistency(t *testing.T) {
+	c := smallCorpus(9)
+	m := core.Run(stats.NewRNG(10), c.VenueAuthorBipartite(), core.Options{K: c.Areas(), Restarts: 3})
+	agree := 0
+	for x, p := range m.Posterior {
+		if stats.ArgMax(p) == m.Assign[x] {
+			agree++
+		}
+	}
+	if frac := float64(agree) / float64(len(m.Assign)); frac < 0.7 {
+		t.Errorf("posterior argmax matches hard assignment only %.2f of the time", frac)
+	}
+}
+
+// Full-pipeline determinism: the same seeds must reproduce the same
+// models end to end.
+func TestEndToEndDeterminism(t *testing.T) {
+	run := func() ([]int, float64) {
+		c := smallCorpus(11)
+		m := core.Run(stats.NewRNG(12), c.VenueAuthorBipartite(), core.Options{K: c.Areas(), Restarts: 2})
+		nc := netclus.Run(stats.NewRNG(13), c.Star(), netclus.Options{K: c.Areas()})
+		return m.Assign, nc.LogLikelihood
+	}
+	a1, ll1 := run()
+	a2, ll2 := run()
+	for i := range a1 {
+		if a1[i] != a2[i] {
+			t.Fatal("RankClus assignment not reproducible")
+		}
+	}
+	if math.Abs(ll1-ll2) > 1e-9 {
+		t.Fatal("NetClus likelihood not reproducible")
+	}
+}

@@ -1,0 +1,195 @@
+package classify
+
+import (
+	"testing"
+
+	"hinet/internal/dblp"
+	"hinet/internal/eval"
+	"hinet/internal/flickr"
+	"hinet/internal/hin"
+	"hinet/internal/stats"
+)
+
+func dblpCorpus(seed int64) *dblp.Corpus {
+	return dblp.Generate(stats.NewRNG(seed), dblp.Config{
+		VenuesPerArea:  3,
+		AuthorsPerArea: 60,
+		TermsPerArea:   40,
+		SharedTerms:    20,
+		Papers:         600,
+	})
+}
+
+func labeledAccuracy(truth, pred []int, skip map[int]bool) float64 {
+	hit, total := 0, 0
+	for i := range truth {
+		if skip[i] {
+			continue
+		}
+		total++
+		if truth[i] == pred[i] {
+			hit++
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(hit) / float64(total)
+}
+
+func TestPropagateClassifiesUnlabeledPapers(t *testing.T) {
+	c := dblpCorpus(1)
+	rng := stats.NewRNG(2)
+	seeds := SampleSeeds(rng, dblp.TypePaper, c.PaperArea, 4, 10)
+	scores := Propagate(c.Net, 4, seeds, Options{})
+	pred := Labels(scores[dblp.TypePaper])
+	seeded := map[int]bool{}
+	for _, s := range seeds {
+		seeded[s.ID] = true
+	}
+	if acc := labeledAccuracy(c.PaperArea, pred, seeded); acc < 0.75 {
+		t.Errorf("unlabeled paper accuracy = %.3f", acc)
+	}
+}
+
+func TestPropagationReachesOtherTypes(t *testing.T) {
+	c := dblpCorpus(3)
+	rng := stats.NewRNG(4)
+	seeds := SampleSeeds(rng, dblp.TypePaper, c.PaperArea, 4, 10)
+	scores := Propagate(c.Net, 4, seeds, Options{})
+	// Venues get labels purely through links.
+	venuePred := Labels(scores[dblp.TypeVenue])
+	if acc := eval.Accuracy(c.VenueArea, venuePred); acc < 0.8 {
+		t.Errorf("venue accuracy through propagation = %.3f", acc)
+	}
+	authorPred := Labels(scores[dblp.TypeAuthor])
+	if acc := labeledAccuracy(c.AuthorArea, authorPred, nil); acc < 0.6 {
+		t.Errorf("author accuracy = %.3f", acc)
+	}
+}
+
+func TestSeedsKeepTheirLabels(t *testing.T) {
+	c := dblpCorpus(5)
+	rng := stats.NewRNG(6)
+	seeds := SampleSeeds(rng, dblp.TypePaper, c.PaperArea, 4, 5)
+	scores := Propagate(c.Net, 4, seeds, Options{})
+	pred := Labels(scores[dblp.TypePaper])
+	wrong := 0
+	for _, s := range seeds {
+		if pred[s.ID] != s.Label {
+			wrong++
+		}
+	}
+	if wrong > len(seeds)/5 {
+		t.Errorf("%d/%d seeds drifted from their label", wrong, len(seeds))
+	}
+}
+
+func TestTypedAtLeastMatchesHomogeneous(t *testing.T) {
+	var typed, homog float64
+	for seed := int64(0); seed < 3; seed++ {
+		c := dblpCorpus(10 + seed)
+		rng := stats.NewRNG(20 + seed)
+		seeds := SampleSeeds(rng, dblp.TypePaper, c.PaperArea, 4, 8)
+		seeded := map[int]bool{}
+		for _, s := range seeds {
+			seeded[s.ID] = true
+		}
+		ts := Propagate(c.Net, 4, seeds, Options{})
+		hs := PropagateHomogeneous(c.Net, 4, seeds, Options{})
+		typed += labeledAccuracy(c.PaperArea, Labels(ts[dblp.TypePaper]), seeded)
+		homog += labeledAccuracy(c.PaperArea, Labels(hs[dblp.TypePaper]), seeded)
+	}
+	if typed < homog-0.15 {
+		t.Errorf("typed propagation total %.3f clearly below homogeneous %.3f", typed, homog)
+	}
+	if typed/3 < 0.7 {
+		t.Errorf("typed propagation weak: %.3f", typed/3)
+	}
+}
+
+func TestPropagateBeatsMajority(t *testing.T) {
+	c := dblpCorpus(7)
+	rng := stats.NewRNG(8)
+	seeds := SampleSeeds(rng, dblp.TypePaper, c.PaperArea, 4, 10)
+	scores := Propagate(c.Net, 4, seeds, Options{})
+	pred := Labels(scores[dblp.TypePaper])
+	maj := MajorityBaseline(4, seeds, c.Net.Count(dblp.TypePaper))
+	pAcc := labeledAccuracy(c.PaperArea, pred, nil)
+	mAcc := labeledAccuracy(c.PaperArea, maj, nil)
+	if pAcc <= mAcc {
+		t.Errorf("propagation %.3f should beat majority %.3f", pAcc, mAcc)
+	}
+}
+
+func TestFlickrTaggingGraphClassification(t *testing.T) {
+	c := flickr.Generate(stats.NewRNG(9), flickr.Config{Photos: 600})
+	rng := stats.NewRNG(10)
+	seeds := SampleSeeds(rng, flickr.TypePhoto, c.PhotoCat, 4, 12)
+	scores := Propagate(c.Net, 4, seeds, Options{})
+	seeded := map[int]bool{}
+	for _, s := range seeds {
+		seeded[s.ID] = true
+	}
+	if acc := labeledAccuracy(c.PhotoCat, Labels(scores[flickr.TypePhoto]), seeded); acc < 0.7 {
+		t.Errorf("photo accuracy = %.3f", acc)
+	}
+	// Tags inherit categories; generic tags (truth −1) are excluded.
+	tagPred := Labels(scores[flickr.TypeTag])
+	hit, total := 0, 0
+	for tag, cat := range c.TagCat {
+		if cat < 0 {
+			continue
+		}
+		total++
+		if tagPred[tag] == cat {
+			hit++
+		}
+	}
+	if frac := float64(hit) / float64(total); frac < 0.7 {
+		t.Errorf("tag accuracy = %.3f", frac)
+	}
+}
+
+func TestSeedLabelValidation(t *testing.T) {
+	c := dblpCorpus(11)
+	defer func() {
+		if recover() == nil {
+			t.Error("out-of-range label should panic")
+		}
+	}()
+	Propagate(c.Net, 2, []Seed{{Type: dblp.TypePaper, ID: 0, Label: 7}}, Options{})
+}
+
+func TestLabelsUnreachedIsMinusOne(t *testing.T) {
+	n := hin.NewNetwork()
+	n.AddObject("a", "x")
+	n.AddObject("a", "y")
+	n.AddObject("b", "z")
+	n.AddLink("a", 0, "b", 0, 1)
+	// Object a/1 is isolated: no label mass.
+	scores := Propagate(n, 2, []Seed{{Type: "a", ID: 0, Label: 1}}, Options{})
+	pred := Labels(scores["a"])
+	if pred[0] != 1 {
+		t.Error("seed should keep label")
+	}
+	if pred[1] != -1 {
+		t.Errorf("isolated object label = %d, want -1", pred[1])
+	}
+}
+
+func TestSampleSeedsShape(t *testing.T) {
+	rng := stats.NewRNG(12)
+	truth := []int{0, 0, 0, 1, 1, 1, 2}
+	seeds := SampleSeeds(rng, "x", truth, 3, 2)
+	perClass := map[int]int{}
+	for _, s := range seeds {
+		perClass[s.Label]++
+		if truth[s.ID] != s.Label {
+			t.Fatal("seed label must match truth")
+		}
+	}
+	if perClass[0] != 2 || perClass[1] != 2 || perClass[2] != 1 {
+		t.Errorf("per-class seed counts = %v", perClass)
+	}
+}

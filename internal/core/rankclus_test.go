@@ -1,0 +1,212 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"hinet/internal/eval"
+	"hinet/internal/hin"
+	"hinet/internal/netgen"
+	"hinet/internal/sparse"
+	"hinet/internal/stats"
+)
+
+func planted(seed int64, cross float64) (*hin.Bipartite, []int) {
+	cfg := netgen.MediumBiTyped()
+	cfg.Cross = cross
+	res := netgen.BiTyped(stats.NewRNG(seed), cfg)
+	return res.Net.Bipartite(res.X, res.Y), res.TruthX
+}
+
+func TestRankClusRecoversPlantedClusters(t *testing.T) {
+	b, truth := planted(1, 0.15)
+	m := Run(stats.NewRNG(2), b, Options{K: 3, Method: AuthorityRanking, Restarts: 3})
+	if nmi := eval.NMI(truth, m.Assign); nmi < 0.7 {
+		t.Errorf("NMI = %v, want ≥ 0.7 on medium separation", nmi)
+	}
+}
+
+func TestRankClusSimpleRankingAlsoWorks(t *testing.T) {
+	b, truth := planted(3, 0.10)
+	m := Run(stats.NewRNG(4), b, Options{K: 3, Method: SimpleRanking, Restarts: 3})
+	if nmi := eval.NMI(truth, m.Assign); nmi < 0.6 {
+		t.Errorf("simple-ranking NMI = %v", nmi)
+	}
+}
+
+func TestPosteriorRowsSumToOne(t *testing.T) {
+	b, _ := planted(5, 0.2)
+	m := Run(stats.NewRNG(6), b, Options{K: 3})
+	for x, p := range m.Posterior {
+		s := 0.0
+		for _, v := range p {
+			if v < -1e-12 {
+				t.Fatalf("negative posterior at %d: %v", x, p)
+			}
+			s += v
+		}
+		if math.Abs(s-1) > 1e-9 {
+			t.Fatalf("posterior %d sums to %v", x, s)
+		}
+	}
+}
+
+func TestConditionalRankDistributions(t *testing.T) {
+	b, _ := planted(7, 0.2)
+	m := Run(stats.NewRNG(8), b, Options{K: 3})
+	for c := 0; c < m.K; c++ {
+		sx, sy := 0.0, 0.0
+		for _, v := range m.RankX[c] {
+			if v < 0 {
+				t.Fatal("negative X rank")
+			}
+			sx += v
+		}
+		for _, v := range m.RankY[c] {
+			if v < 0 {
+				t.Fatal("negative Y rank")
+			}
+			sy += v
+		}
+		if math.Abs(sx-1) > 1e-9 || math.Abs(sy-1) > 1e-9 {
+			t.Fatalf("cluster %d rank sums: X=%v Y=%v", c, sx, sy)
+		}
+	}
+}
+
+func TestNonMembersHaveZeroConditionalRank(t *testing.T) {
+	b, _ := planted(9, 0.2)
+	m := Run(stats.NewRNG(10), b, Options{K: 3})
+	for c := 0; c < m.K; c++ {
+		for x, a := range m.Assign {
+			if a != c && m.RankX[c][x] != 0 {
+				t.Fatalf("non-member %d has rank %v in cluster %d", x, m.RankX[c][x], c)
+			}
+		}
+	}
+}
+
+func TestAllClustersNonEmpty(t *testing.T) {
+	b, _ := planted(11, 0.3)
+	m := Run(stats.NewRNG(12), b, Options{K: 3})
+	counts := make([]int, m.K)
+	for _, c := range m.Assign {
+		counts[c]++
+	}
+	for c, n := range counts {
+		if n == 0 {
+			t.Errorf("cluster %d empty", c)
+		}
+	}
+}
+
+func TestTopYAreClusterLocalAuthors(t *testing.T) {
+	cfg := netgen.MediumBiTyped()
+	cfg.Cross = 0.10
+	res := netgen.BiTyped(stats.NewRNG(13), cfg)
+	b := res.Net.Bipartite(res.X, res.Y)
+	m := Run(stats.NewRNG(14), b, Options{K: 3, Restarts: 3})
+	// Map each model cluster to its dominant true cluster via members.
+	for c := 0; c < 3; c++ {
+		votes := map[int]int{}
+		for x, a := range m.Assign {
+			if a == c {
+				votes[res.TruthX[x]]++
+			}
+		}
+		domTrue, best := -1, 0
+		for k, v := range votes {
+			if v > best {
+				best, domTrue = v, k
+			}
+		}
+		// Top-10 ranked authors of the cluster should mostly come from
+		// the dominant true cluster.
+		hits := 0
+		for _, y := range m.TopY(c, 10) {
+			if res.TruthY[y] == domTrue {
+				hits++
+			}
+		}
+		if hits < 6 {
+			t.Errorf("cluster %d: only %d/10 top authors from dominant community", c, hits)
+		}
+	}
+}
+
+func TestAuthorityBeatsOrMatchesSimpleOnHardSetting(t *testing.T) {
+	// With heavier cross noise authority ranking should not lose badly.
+	sumAuth, sumSimple := 0.0, 0.0
+	for seed := int64(0); seed < 3; seed++ {
+		b, truth := planted(20+seed, 0.25)
+		ma := Run(stats.NewRNG(30+seed), b, Options{K: 3, Method: AuthorityRanking, Restarts: 2})
+		ms := Run(stats.NewRNG(30+seed), b, Options{K: 3, Method: SimpleRanking, Restarts: 2})
+		sumAuth += eval.NMI(truth, ma.Assign)
+		sumSimple += eval.NMI(truth, ms.Assign)
+	}
+	if sumAuth < sumSimple-0.45 {
+		t.Errorf("authority NMI total %v much worse than simple %v", sumAuth, sumSimple)
+	}
+}
+
+func TestKValidation(t *testing.T) {
+	b, _ := planted(15, 0.2)
+	defer func() {
+		if recover() == nil {
+			t.Error("K < 2 should panic")
+		}
+	}()
+	Run(stats.NewRNG(16), b, Options{K: 1})
+}
+
+func TestEmptyNetwork(t *testing.T) {
+	b := &hin.Bipartite{W: sparse.NewFromCoords(0, 0, nil)}
+	m := Run(stats.NewRNG(17), b, Options{K: 2})
+	if !m.Converged || len(m.Assign) != 0 {
+		t.Error("empty network should trivially converge")
+	}
+}
+
+func TestDeterministicWithSeed(t *testing.T) {
+	b, _ := planted(18, 0.2)
+	a := Run(stats.NewRNG(19), b, Options{K: 3})
+	c := Run(stats.NewRNG(19), b, Options{K: 3})
+	for i := range a.Assign {
+		if a.Assign[i] != c.Assign[i] {
+			t.Fatal("same-seed RankClus differs")
+		}
+	}
+}
+
+func TestWithHomogeneousLinks(t *testing.T) {
+	// Attach weak X–X links and ensure the algorithm still runs and
+	// produces valid output with Alpha mixing.
+	res := netgen.BiTyped(stats.NewRNG(21), netgen.MediumBiTyped())
+	rng := stats.NewRNG(22)
+	for i := 0; i < 30; i++ {
+		a := rng.Intn(res.Net.Count(res.X))
+		b := rng.Intn(res.Net.Count(res.X))
+		if a != b {
+			res.Net.AddLink(res.X, a, res.X, b, 1)
+		}
+	}
+	bip := res.Net.Bipartite(res.X, res.Y)
+	if bip.WXX == nil {
+		t.Fatal("WXX should be present")
+	}
+	m := Run(stats.NewRNG(23), bip, Options{K: 3, Alpha: 0.9, Restarts: 2})
+	if nmi := eval.NMI(res.TruthX, m.Assign); nmi < 0.5 {
+		t.Errorf("NMI with WXX = %v", nmi)
+	}
+}
+
+func TestRestartsImproveOrEqual(t *testing.T) {
+	b, truth := planted(24, 0.3)
+	single := Run(stats.NewRNG(25), b, Options{K: 3, Restarts: 1})
+	multi := Run(stats.NewRNG(25), b, Options{K: 3, Restarts: 5})
+	nmiS := eval.NMI(truth, single.Assign)
+	nmiM := eval.NMI(truth, multi.Assign)
+	if nmiM < nmiS-0.3 {
+		t.Errorf("restarts hurt badly: %v vs %v", nmiM, nmiS)
+	}
+}

@@ -1,0 +1,129 @@
+package crossclus
+
+import (
+	"strings"
+	"testing"
+
+	"hinet/internal/eval"
+	"hinet/internal/relational"
+	"hinet/internal/stats"
+)
+
+func TestGuidedRecoversLatentGroups(t *testing.T) {
+	s := relational.SyntheticCustomers(stats.NewRNG(1), relational.SynthConfig{Customers: 300})
+	r := Run(stats.NewRNG(2), s.DB, "customer", "profile", Options{K: 3})
+	if nmi := eval.NMI(s.Group, r.Assign); nmi < 0.5 {
+		t.Errorf("guided NMI = %v, want ≥ 0.5", nmi)
+	}
+}
+
+func TestGuidedBeatsGuidanceAlone(t *testing.T) {
+	// The guidance column is a noisy group label; adding pertinent
+	// cross-table features (branch region, transaction kinds) must beat
+	// clustering on the guidance column alone.
+	var guided, alone float64
+	for seed := int64(0); seed < 3; seed++ {
+		s := relational.SyntheticCustomers(stats.NewRNG(10+seed), relational.SynthConfig{Customers: 300, ProfileNoise: 0.35})
+		r := Run(stats.NewRNG(20+seed), s.DB, "customer", "profile", Options{K: 3})
+		guided += eval.NMI(s.Group, r.Assign)
+
+		// guidance-only clustering: the profile value itself as label
+		cust := s.DB.Table("customer")
+		labels := make([]int, len(cust.Rows))
+		for i, row := range cust.Rows {
+			labels[i] = int(row[1].(string)[1] - '0')
+		}
+		alone += eval.NMI(s.Group, labels)
+	}
+	if guided <= alone {
+		t.Errorf("guided total NMI %.3f should beat guidance-only %.3f", guided, alone)
+	}
+}
+
+func TestPertinentFeaturesSelected(t *testing.T) {
+	s := relational.SyntheticCustomers(stats.NewRNG(3), relational.SynthConfig{Customers: 300})
+	r := Run(stats.NewRNG(4), s.DB, "customer", "profile", Options{K: 3})
+	// transaction.kind and branch.region are group-driven: at least one
+	// must be selected with non-trivial weight.
+	foundPertinent := false
+	for _, f := range r.Features {
+		if strings.HasPrefix(f.Desc, "transaction.kind") || strings.HasPrefix(f.Desc, "branch.region") {
+			if f.Weight > 0.15 {
+				foundPertinent = true
+			}
+		}
+	}
+	if !foundPertinent {
+		descs := []string{}
+		for _, f := range r.Features {
+			descs = append(descs, f.Desc)
+		}
+		t.Errorf("no pertinent cross-table feature selected: %v", descs)
+	}
+}
+
+func TestNoiseFeatureDownWeighted(t *testing.T) {
+	s := relational.SyntheticCustomers(stats.NewRNG(5), relational.SynthConfig{Customers: 300})
+	r := Run(stats.NewRNG(6), s.DB, "customer", "profile", Options{K: 3, MinWeight: 1e-9, MaxFeatures: 100})
+	var segW, kindW float64
+	for _, f := range r.Features {
+		if f.Desc == "customer.segment" {
+			segW = f.Weight
+		}
+		if f.Desc == "transaction.kind via 1 hops" {
+			kindW = f.Weight
+		}
+	}
+	if kindW <= segW {
+		t.Errorf("kind weight %.3f should exceed noise segment weight %.3f", kindW, segW)
+	}
+}
+
+func TestGuidedAtLeastMatchesUnguided(t *testing.T) {
+	var guided, unguided float64
+	for seed := int64(0); seed < 3; seed++ {
+		s := relational.SyntheticCustomers(stats.NewRNG(30+seed), relational.SynthConfig{Customers: 250})
+		r := Run(stats.NewRNG(40+seed), s.DB, "customer", "profile", Options{K: 3})
+		guided += eval.NMI(s.Group, r.Assign)
+		u := UnguidedBaseline(stats.NewRNG(40+seed), s.DB, "customer", 3, 2, Options{}.KMeans)
+		unguided += eval.NMI(s.Group, u)
+	}
+	if guided < unguided-0.15 {
+		t.Errorf("guided total %.3f clearly below unguided %.3f", guided, unguided)
+	}
+}
+
+func TestKValidation(t *testing.T) {
+	s := relational.SyntheticCustomers(stats.NewRNG(7), relational.SynthConfig{Customers: 50})
+	defer func() {
+		if recover() == nil {
+			t.Error("K=1 should panic")
+		}
+	}()
+	Run(stats.NewRNG(8), s.DB, "customer", "profile", Options{K: 1})
+}
+
+func TestResultShape(t *testing.T) {
+	s := relational.SyntheticCustomers(stats.NewRNG(9), relational.SynthConfig{Customers: 120})
+	r := Run(stats.NewRNG(10), s.DB, "customer", "profile", Options{K: 3})
+	if len(r.Assign) != 120 {
+		t.Fatal("assignment length wrong")
+	}
+	for _, a := range r.Assign {
+		if a < 0 || a >= 3 {
+			t.Fatal("cluster id out of range")
+		}
+	}
+	if len(r.Features) == 0 {
+		t.Fatal("no features reported")
+	}
+	// Weights sorted descending and within [0, 1].
+	for i, f := range r.Features {
+		if f.Weight < 0 || f.Weight > 1+1e-9 {
+			t.Errorf("feature %d weight %v out of range", i, f.Weight)
+		}
+		if i > 0 && f.Weight > r.Features[i-1].Weight+1e-12 {
+			t.Error("features not sorted by weight")
+		}
+	}
+}

@@ -1,0 +1,570 @@
+// Package crossmine implements CrossMine (Yin, Han, Yang, Yu —
+// TKDE'06), the cross-relational classifier of tutorial §5a. Instead of
+// flattening a multi-relational database into one table (losing the
+// semantics of one-to-many joins), CrossMine learns a decision list of
+// conjunctive rules whose literals live in *different tables*, reached
+// from the target table along foreign-key join paths, and evaluates
+// them with tuple-ID propagation (internal/relational.IDSet) rather
+// than materialized joins.
+//
+// A literal is "∃ a tuple t joined to the target along path P with
+// t.column op value". Rules grow greedily by FOIL gain; sequential
+// covering removes captured positives until none remain. Prediction
+// fires the first matching rule, else the default class.
+package crossmine
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"hinet/internal/relational"
+)
+
+// Step is one foreign-key hop in a join path. Forward means the current
+// frontier table owns the FK column (frontier → referenced table);
+// backward means the edge's table references the frontier (frontier ←
+// FK-owning table).
+type Step struct {
+	Edge    relational.JoinEdge
+	Forward bool
+}
+
+// Op is a literal comparison operator.
+type Op int
+
+// Operators.
+const (
+	Eq Op = iota // string equality
+	Le           // numeric ≤
+	Gt           // numeric >
+)
+
+// Literal is one condition: follow Path from the target table, test the
+// final table's column against Value.
+type Literal struct {
+	Path   []Step
+	Table  string // final table
+	Column string
+	Op     Op
+	Value  any
+}
+
+// String renders the literal for rule inspection.
+func (l Literal) String() string {
+	ops := map[Op]string{Eq: "=", Le: "<=", Gt: ">"}
+	return fmt.Sprintf("%s.%s %s %v (hops=%d)", l.Table, l.Column, ops[l.Op], l.Value, len(l.Path))
+}
+
+// Rule is a conjunction of literals predicting class 1.
+type Rule struct {
+	Literals  []Literal
+	Precision float64 // training precision
+	Coverage  int     // training positives covered
+}
+
+// Model is a fitted decision list.
+type Model struct {
+	Target  string
+	Rules   []Rule
+	Default int
+
+	matched []map[int]bool // per rule, target ids matched (whole DB)
+}
+
+// Options tunes training.
+type Options struct {
+	MaxRules     int     // sequential covering cap, default 8
+	MaxLiterals  int     // literals per rule, default 3
+	MaxDepth     int     // join path hops, default 2
+	MinCoverage  int     // minimum positives a rule must cover, default 3
+	MaxCatValues int     // distinct categorical values considered per column, default 8
+	MinPrecision float64 // stop growing a rule at this precision, default 0.85
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxRules == 0 {
+		o.MaxRules = 8
+	}
+	if o.MaxLiterals == 0 {
+		o.MaxLiterals = 3
+	}
+	if o.MaxDepth == 0 {
+		o.MaxDepth = 2
+	}
+	if o.MinCoverage == 0 {
+		o.MinCoverage = 3
+	}
+	if o.MaxCatValues == 0 {
+		o.MaxCatValues = 8
+	}
+	if o.MinPrecision == 0 {
+		o.MinPrecision = 0.85
+	}
+	return o
+}
+
+// EvalLiteral returns the set of target-tuple ids satisfying the
+// literal over the whole database.
+func EvalLiteral(db *relational.DB, target string, l Literal) map[int]bool {
+	ids := relational.InitIDs(db.Table(target))
+	for _, s := range l.Path {
+		if s.Forward {
+			ids = db.PropagateForward(s.Edge, ids)
+		} else {
+			ids = db.PropagateBackward(s.Edge, ids)
+		}
+	}
+	t := db.Table(l.Table)
+	ci := t.Schema.ColIndex(l.Column)
+	out := make(map[int]bool)
+	for rowID, targets := range ids {
+		if !testValue(t.Rows[rowID][ci], l.Op, l.Value) {
+			continue
+		}
+		for id := range targets {
+			out[id] = true
+		}
+	}
+	return out
+}
+
+func testValue(v any, op Op, want any) bool {
+	switch op {
+	case Eq:
+		return v == want
+	case Le:
+		return v.(float64) <= want.(float64)
+	case Gt:
+		return v.(float64) > want.(float64)
+	}
+	return false
+}
+
+// Train learns a decision list for binary labels (0/1) on the target
+// table, using only tuples in trainIdx.
+func Train(db *relational.DB, target string, labels []int, trainIdx []int, opt Options) *Model {
+	opt = opt.withDefaults()
+	m := &Model{Target: target}
+
+	cands := candidates(db, target, opt)
+	// Evaluate every candidate literal once over the whole DB.
+	sat := make([]map[int]bool, len(cands))
+	for i, l := range cands {
+		sat[i] = EvalLiteral(db, target, l)
+	}
+
+	inTrain := make(map[int]bool, len(trainIdx))
+	for _, i := range trainIdx {
+		inTrain[i] = true
+	}
+	remaining := make(map[int]bool) // uncovered train positives
+	negatives := make(map[int]bool)
+	for _, i := range trainIdx {
+		if labels[i] == 1 {
+			remaining[i] = true
+		} else {
+			negatives[i] = true
+		}
+	}
+
+	for len(m.Rules) < opt.MaxRules && len(remaining) >= opt.MinCoverage {
+		rule, matchedAll := growRule(cands, sat, inTrain, labels, remaining, opt)
+		if rule == nil {
+			break
+		}
+		covered := 0
+		for id := range matchedAll {
+			if remaining[id] {
+				covered++
+			}
+		}
+		if covered < opt.MinCoverage {
+			break
+		}
+		rule.Coverage = covered
+		m.Rules = append(m.Rules, *rule)
+		m.matched = append(m.matched, matchedAll)
+		for id := range matchedAll {
+			delete(remaining, id)
+		}
+	}
+
+	// Default class: majority among train tuples not matched by any rule.
+	def0, def1 := 0, 0
+	for _, i := range trainIdx {
+		hit := false
+		for _, set := range m.matched {
+			if set[i] {
+				hit = true
+				break
+			}
+		}
+		if !hit {
+			if labels[i] == 1 {
+				def1++
+			} else {
+				def0++
+			}
+		}
+	}
+	if def1 > def0 {
+		m.Default = 1
+	}
+	return m
+}
+
+// growRule greedily extends a rule by FOIL gain against the remaining
+// positives. Returns the rule and its full-DB match set.
+func growRule(cands []Literal, sat []map[int]bool, inTrain map[int]bool, labels []int,
+	positives map[int]bool, opt Options) (*Rule, map[int]bool) {
+
+	current := make(map[int]bool) // matched target ids (whole DB); nil-stage = all
+	first := true
+	var rule Rule
+	used := make(map[int]bool)
+
+	countPN := func(set map[int]bool) (p, n int) {
+		for id := range set {
+			if !inTrain[id] {
+				continue
+			}
+			if positives[id] {
+				p++
+			} else if labels[id] == 0 {
+				n++
+			}
+		}
+		return
+	}
+	// Base counts for the empty rule: all train tuples.
+	p0, n0 := 0, 0
+	for id := range inTrain {
+		if positives[id] {
+			p0++
+		} else if labels[id] == 0 {
+			n0++
+		}
+	}
+
+	for len(rule.Literals) < opt.MaxLiterals {
+		bestGain, bestIdx := 1e-9, -1
+		var bestSet map[int]bool
+		var bestP, bestN int
+		for i := range cands {
+			if used[i] {
+				continue
+			}
+			var next map[int]bool
+			if first {
+				next = sat[i]
+			} else {
+				next = intersect(current, sat[i])
+			}
+			p1, n1 := countPN(next)
+			if p1 < opt.MinCoverage {
+				continue
+			}
+			gain := foilGain(p0, n0, p1, n1)
+			if gain > bestGain {
+				bestGain, bestIdx, bestSet = gain, i, next
+				bestP, bestN = p1, n1
+			}
+		}
+		if bestIdx < 0 {
+			break
+		}
+		rule.Literals = append(rule.Literals, cands[bestIdx])
+		used[bestIdx] = true
+		current = bestSet
+		first = false
+		p0, n0 = bestP, bestN
+		rule.Precision = float64(bestP) / float64(bestP+bestN)
+		if rule.Precision >= opt.MinPrecision {
+			break
+		}
+	}
+	if len(rule.Literals) == 0 {
+		return nil, nil
+	}
+	return &rule, current
+}
+
+func foilGain(p0, n0, p1, n1 int) float64 {
+	if p1 == 0 {
+		return 0
+	}
+	f := func(p, n int) float64 {
+		if p == 0 {
+			return math.Inf(-1)
+		}
+		return math.Log2(float64(p) / float64(p+n))
+	}
+	return float64(p1) * (f(p1, n1) - f(p0, n0))
+}
+
+func intersect(a, b map[int]bool) map[int]bool {
+	if len(b) < len(a) {
+		a, b = b, a
+	}
+	out := make(map[int]bool)
+	for id := range a {
+		if b[id] {
+			out[id] = true
+		}
+	}
+	return out
+}
+
+// Predict classifies target tuple idx: the first matching rule fires.
+func (m *Model) Predict(idx int) int {
+	for _, set := range m.matched {
+		if set[idx] {
+			return 1
+		}
+	}
+	return m.Default
+}
+
+// Accuracy scores the model on the given tuple ids.
+func (m *Model) Accuracy(labels []int, idx []int) float64 {
+	if len(idx) == 0 {
+		return 0
+	}
+	hit := 0
+	for _, i := range idx {
+		if m.Predict(i) == labels[i] {
+			hit++
+		}
+	}
+	return float64(hit) / float64(len(idx))
+}
+
+// candidates enumerates literals: join paths up to MaxDepth hops from
+// the target (BFS over the schema's FK edges, both directions), then
+// per reachable table every categorical value (top MaxCatValues by
+// frequency) and numeric quartile thresholds.
+func candidates(db *relational.DB, target string, opt Options) []Literal {
+	type pathState struct {
+		table string
+		path  []Step
+	}
+	var fks []struct {
+		owner, column, ref string
+	}
+	for _, name := range db.Tables() {
+		t := db.Table(name)
+		for _, c := range t.Schema.Columns {
+			if c.FK != "" {
+				fks = append(fks, struct{ owner, column, ref string }{name, c.Name, c.FK})
+			}
+		}
+	}
+	var states []pathState
+	frontier := []pathState{{table: target}}
+	states = append(states, frontier...)
+	for d := 0; d < opt.MaxDepth; d++ {
+		var next []pathState
+		for _, st := range frontier {
+			for _, fk := range fks {
+				if fk.owner == st.table {
+					next = append(next, pathState{
+						table: fk.ref,
+						path:  appendStep(st.path, Step{Edge: relational.JoinEdge{Table: fk.owner, Column: fk.column}, Forward: true}),
+					})
+				}
+				if fk.ref == st.table && fk.owner != st.table {
+					next = append(next, pathState{
+						table: fk.owner,
+						path:  appendStep(st.path, Step{Edge: relational.JoinEdge{Table: fk.owner, Column: fk.column}, Forward: false}),
+					})
+				}
+			}
+		}
+		states = append(states, next...)
+		frontier = next
+	}
+
+	var out []Literal
+	seen := make(map[string]bool)
+	for _, st := range states {
+		t := db.Table(st.table)
+		for ci, c := range t.Schema.Columns {
+			if c.FK != "" {
+				continue
+			}
+			switch c.Type {
+			case StringColAlias:
+				counts := make(map[string]int)
+				for _, row := range t.Rows {
+					counts[row[ci].(string)]++
+				}
+				vals := make([]string, 0, len(counts))
+				for v := range counts {
+					vals = append(vals, v)
+				}
+				sort.Slice(vals, func(a, b int) bool {
+					if counts[vals[a]] != counts[vals[b]] {
+						return counts[vals[a]] > counts[vals[b]]
+					}
+					return vals[a] < vals[b]
+				})
+				if len(vals) > opt.MaxCatValues {
+					vals = vals[:opt.MaxCatValues]
+				}
+				for _, v := range vals {
+					l := Literal{Path: st.path, Table: st.table, Column: c.Name, Op: Eq, Value: v}
+					if key := l.String(); !seen[key] {
+						seen[key] = true
+						out = append(out, l)
+					}
+				}
+			case FloatColAlias:
+				var xs []float64
+				for _, row := range t.Rows {
+					xs = append(xs, row[ci].(float64))
+				}
+				if len(xs) == 0 {
+					continue
+				}
+				sort.Float64s(xs)
+				for _, q := range []float64{0.25, 0.5, 0.75} {
+					th := xs[int(q*float64(len(xs)-1))]
+					for _, op := range []Op{Le, Gt} {
+						l := Literal{Path: st.path, Table: st.table, Column: c.Name, Op: op, Value: th}
+						if key := l.String(); !seen[key] {
+							seen[key] = true
+							out = append(out, l)
+						}
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Aliases keep the switch readable without importing the enum names
+// into this package's namespace.
+const (
+	StringColAlias = relational.StringCol
+	FloatColAlias  = relational.FloatCol
+)
+
+func appendStep(path []Step, s Step) []Step {
+	out := make([]Step, len(path)+1)
+	copy(out, path)
+	out[len(path)] = s
+	return out
+}
+
+// SingleTableBaseline is the flattened comparator: a 1R classifier that
+// picks the single best (target-table column, value) split on the
+// training data and predicts with it. Cross-table signal is invisible
+// to it, which is exactly the gap the CrossMine evaluation reports.
+type SingleTableBaseline struct {
+	Column  int
+	Value   any
+	Match   int // class when the value matches
+	NoMatch int
+}
+
+// TrainSingleTable fits the 1R baseline.
+func TrainSingleTable(db *relational.DB, target string, labels []int, trainIdx []int) *SingleTableBaseline {
+	t := db.Table(target)
+	best := &SingleTableBaseline{Column: -1}
+	bestAcc := -1.0
+	// Also consider the constant classifier.
+	zeros, ones := 0, 0
+	for _, i := range trainIdx {
+		if labels[i] == 1 {
+			ones++
+		} else {
+			zeros++
+		}
+	}
+	constClass := 0
+	if ones > zeros {
+		constClass = 1
+	}
+	best.Match = constClass
+	best.NoMatch = constClass
+	bestAcc = float64(maxInt(zeros, ones)) / float64(len(trainIdx))
+
+	for ci, c := range t.Schema.Columns {
+		if c.FK != "" || c.Type != relational.StringCol {
+			continue
+		}
+		values := make(map[string]bool)
+		for _, i := range trainIdx {
+			values[t.Rows[i][ci].(string)] = true
+		}
+		for v := range values {
+			// Majority class inside and outside the value.
+			var in1, in0, out1, out0 int
+			for _, i := range trainIdx {
+				if t.Rows[i][ci].(string) == v {
+					if labels[i] == 1 {
+						in1++
+					} else {
+						in0++
+					}
+				} else {
+					if labels[i] == 1 {
+						out1++
+					} else {
+						out0++
+					}
+				}
+			}
+			acc := float64(maxInt(in0, in1)+maxInt(out0, out1)) / float64(len(trainIdx))
+			if acc > bestAcc {
+				bestAcc = acc
+				best.Column = ci
+				best.Value = v
+				best.Match = boolToClass(in1 > in0)
+				best.NoMatch = boolToClass(out1 > out0)
+			}
+		}
+	}
+	return best
+}
+
+// Predict classifies one target tuple.
+func (b *SingleTableBaseline) Predict(db *relational.DB, target string, idx int) int {
+	if b.Column < 0 {
+		return b.Match
+	}
+	if db.Table(target).Rows[idx][b.Column] == b.Value {
+		return b.Match
+	}
+	return b.NoMatch
+}
+
+// Accuracy scores the baseline.
+func (b *SingleTableBaseline) Accuracy(db *relational.DB, target string, labels []int, idx []int) float64 {
+	if len(idx) == 0 {
+		return 0
+	}
+	hit := 0
+	for _, i := range idx {
+		if b.Predict(db, target, i) == labels[i] {
+			hit++
+		}
+	}
+	return float64(hit) / float64(len(idx))
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func boolToClass(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}

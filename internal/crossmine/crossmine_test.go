@@ -1,0 +1,173 @@
+package crossmine
+
+import (
+	"testing"
+
+	"hinet/internal/relational"
+	"hinet/internal/stats"
+)
+
+func split(n int, frac float64) (train, test []int) {
+	cut := int(float64(n) * frac)
+	for i := 0; i < n; i++ {
+		if i < cut {
+			train = append(train, i)
+		} else {
+			test = append(test, i)
+		}
+	}
+	return
+}
+
+func TestEvalLiteralTargetColumn(t *testing.T) {
+	s := relational.SyntheticCustomers(stats.NewRNG(1), relational.SynthConfig{Customers: 50})
+	lit := Literal{Table: "customer", Column: "profile", Op: Eq, Value: "p0"}
+	set := EvalLiteral(s.DB, "customer", lit)
+	cust := s.DB.Table("customer")
+	for i, row := range cust.Rows {
+		want := row[1].(string) == "p0"
+		if set[i] != want {
+			t.Fatalf("literal eval wrong at %d", i)
+		}
+	}
+}
+
+func TestEvalLiteralForwardJoin(t *testing.T) {
+	s := relational.SyntheticCustomers(stats.NewRNG(2), relational.SynthConfig{Customers: 50})
+	lit := Literal{
+		Path:  []Step{{Edge: relational.JoinEdge{Table: "customer", Column: "branch_id"}, Forward: true}},
+		Table: "branch", Column: "quality", Op: Eq, Value: "premium",
+	}
+	set := EvalLiteral(s.DB, "customer", lit)
+	cust := s.DB.Table("customer")
+	branch := s.DB.Table("branch")
+	for i, row := range cust.Rows {
+		want := branch.Rows[row[0].(int)][1].(string) == "premium"
+		if set[i] != want {
+			t.Fatalf("forward-join literal wrong at customer %d", i)
+		}
+	}
+}
+
+func TestEvalLiteralBackwardJoinExistential(t *testing.T) {
+	s := relational.SyntheticCustomers(stats.NewRNG(3), relational.SynthConfig{Customers: 40, TransPerCus: 3})
+	lit := Literal{
+		Path:  []Step{{Edge: relational.JoinEdge{Table: "transaction", Column: "customer_id"}, Forward: false}},
+		Table: "transaction", Column: "kind", Op: Eq, Value: "credit",
+	}
+	set := EvalLiteral(s.DB, "customer", lit)
+	// verify existential semantics directly
+	trans := s.DB.Table("transaction")
+	want := make(map[int]bool)
+	for _, row := range trans.Rows {
+		if row[1].(string) == "credit" {
+			want[row[0].(int)] = true
+		}
+	}
+	if len(set) != len(want) {
+		t.Fatalf("existential set size %d, want %d", len(set), len(want))
+	}
+	for id := range want {
+		if !set[id] {
+			t.Fatal("missing customer with credit transaction")
+		}
+	}
+}
+
+func TestCrossMineLearnsCrossTableRule(t *testing.T) {
+	s := relational.SyntheticCustomers(stats.NewRNG(4), relational.SynthConfig{Customers: 500})
+	train, test := split(500, 0.6)
+	m := Train(s.DB, "customer", s.Class, train, Options{})
+	if len(m.Rules) == 0 {
+		t.Fatal("no rules learned")
+	}
+	acc := m.Accuracy(s.Class, test)
+	if acc < 0.75 {
+		t.Errorf("CrossMine test accuracy = %.3f, want ≥ 0.75", acc)
+	}
+	// At least one rule must use a join path (cross-table literal).
+	crossTable := false
+	for _, r := range m.Rules {
+		for _, l := range r.Literals {
+			if len(l.Path) > 0 {
+				crossTable = true
+			}
+		}
+	}
+	if !crossTable {
+		t.Error("no cross-table literal in any rule")
+	}
+}
+
+func TestCrossMineBeatsSingleTable(t *testing.T) {
+	var cmSum, stSum float64
+	for seed := int64(0); seed < 3; seed++ {
+		s := relational.SyntheticCustomers(stats.NewRNG(10+seed), relational.SynthConfig{Customers: 500})
+		train, test := split(500, 0.6)
+		cm := Train(s.DB, "customer", s.Class, train, Options{})
+		st := TrainSingleTable(s.DB, "customer", s.Class, train)
+		cmSum += cm.Accuracy(s.Class, test)
+		stSum += st.Accuracy(s.DB, "customer", s.Class, test)
+	}
+	if cmSum <= stSum {
+		t.Errorf("CrossMine total %.3f should beat single-table %.3f", cmSum/3, stSum/3)
+	}
+	if stSum/3 > 0.7 {
+		t.Errorf("single-table baseline suspiciously strong: %.3f (class should live in joins)", stSum/3)
+	}
+}
+
+func TestRulesHaveReportedPrecisionAndCoverage(t *testing.T) {
+	s := relational.SyntheticCustomers(stats.NewRNG(5), relational.SynthConfig{Customers: 300})
+	train, _ := split(300, 0.7)
+	m := Train(s.DB, "customer", s.Class, train, Options{})
+	for i, r := range m.Rules {
+		if r.Precision < 0 || r.Precision > 1 {
+			t.Errorf("rule %d precision %v", i, r.Precision)
+		}
+		if r.Coverage < 3 {
+			t.Errorf("rule %d coverage %d below MinCoverage", i, r.Coverage)
+		}
+		if len(r.Literals) == 0 || len(r.Literals) > 3 {
+			t.Errorf("rule %d has %d literals", i, len(r.Literals))
+		}
+	}
+}
+
+func TestPredictDeterministic(t *testing.T) {
+	s := relational.SyntheticCustomers(stats.NewRNG(6), relational.SynthConfig{Customers: 200})
+	train, test := split(200, 0.5)
+	m := Train(s.DB, "customer", s.Class, train, Options{})
+	for _, i := range test {
+		if m.Predict(i) != m.Predict(i) {
+			t.Fatal("prediction not deterministic")
+		}
+	}
+}
+
+func TestSingleTableBaselineSane(t *testing.T) {
+	s := relational.SyntheticCustomers(stats.NewRNG(7), relational.SynthConfig{Customers: 300})
+	train, test := split(300, 0.6)
+	b := TrainSingleTable(s.DB, "customer", s.Class, train)
+	acc := b.Accuracy(s.DB, "customer", s.Class, test)
+	// Should be at least as good as random coin but not great.
+	if acc < 0.35 {
+		t.Errorf("baseline accuracy %.3f below chance band", acc)
+	}
+}
+
+func TestTrainOnAllLabelsOneClass(t *testing.T) {
+	s := relational.SyntheticCustomers(stats.NewRNG(8), relational.SynthConfig{Customers: 60})
+	labels := make([]int, 60) // all class 0
+	train, _ := split(60, 1.0)
+	m := Train(s.DB, "customer", labels, train, Options{})
+	if len(m.Rules) != 0 {
+		t.Error("no class-1 rules should be learned without positives")
+	}
+	if m.Default != 0 {
+		t.Error("default should be 0")
+	}
+	if m.Accuracy(labels, train) != 1 {
+		t.Error("constant problem should be perfectly classified")
+	}
+}

@@ -1,0 +1,245 @@
+// Package dblp generates the synthetic four-area bibliographic network
+// used as the stand-in for the real DBLP database in the tutorial's case
+// studies (§6): papers as the star center linked to authors, venues,
+// terms and publication years.
+//
+// The generator reproduces the statistical structure the RankClus and
+// NetClus experiments rely on — a handful of research communities
+// (database, data mining, information retrieval, artificial
+// intelligence), Zipf-skewed author productivity and term frequency,
+// venues almost fully committed to one area, and a controllable rate of
+// cross-area publication — while providing exact ground-truth labels
+// that real DBLP lacks.
+package dblp
+
+import (
+	"fmt"
+
+	"hinet/internal/hin"
+	"hinet/internal/stats"
+)
+
+// Type names of the DBLP star schema.
+const (
+	TypePaper  = hin.Type("paper")
+	TypeAuthor = hin.Type("author")
+	TypeVenue  = hin.Type("venue")
+	TypeTerm   = hin.Type("term")
+	TypeYear   = hin.Type("year")
+)
+
+// DefaultAreas are the four research communities of the NetClus study.
+var DefaultAreas = []string{"database", "datamining", "inforetrieval", "ai"}
+
+// Config controls corpus size and separability.
+type Config struct {
+	Areas            []string // community names (default DefaultAreas)
+	VenuesPerArea    int      // default 5
+	AuthorsPerArea   int      // default 200
+	TermsPerArea     int      // default 150
+	SharedTerms      int      // area-neutral vocabulary, default 100
+	Papers           int      // total papers, default 2000
+	Years            int      // distinct publication years, default 5
+	MinAuthors       int      // authors per paper lower bound, default 1
+	MaxAuthors       int      // upper bound, default 4
+	MinTerms         int      // terms per paper lower bound, default 4
+	MaxTerms         int      // upper bound, default 8
+	CrossAreaAuthor  float64  // P(author drawn from a foreign area), default 0.10
+	CrossAreaVenue   float64  // P(paper published in a foreign-area venue), default 0.05
+	SharedTermRate   float64  // P(term drawn from shared vocabulary), default 0.25
+	ProductivitySkew float64  // Zipf exponent for author pick, default 1.1
+	TermSkew         float64  // Zipf exponent for term pick, default 1.05
+}
+
+func (c Config) withDefaults() Config {
+	if len(c.Areas) == 0 {
+		c.Areas = DefaultAreas
+	}
+	def := func(v *int, d int) {
+		if *v == 0 {
+			*v = d
+		}
+	}
+	def(&c.VenuesPerArea, 5)
+	def(&c.AuthorsPerArea, 200)
+	def(&c.TermsPerArea, 150)
+	def(&c.SharedTerms, 100)
+	def(&c.Papers, 2000)
+	def(&c.Years, 5)
+	def(&c.MinAuthors, 1)
+	def(&c.MaxAuthors, 4)
+	def(&c.MinTerms, 4)
+	def(&c.MaxTerms, 8)
+	deff := func(v *float64, d float64) {
+		if *v == 0 {
+			*v = d
+		}
+	}
+	deff(&c.CrossAreaAuthor, 0.10)
+	deff(&c.CrossAreaVenue, 0.05)
+	deff(&c.SharedTermRate, 0.25)
+	deff(&c.ProductivitySkew, 1.1)
+	deff(&c.TermSkew, 1.05)
+	return c
+}
+
+// Corpus is a generated bibliographic network with ground truth.
+type Corpus struct {
+	Net    *hin.Network
+	Config Config
+
+	// Ground-truth area per object (index = dense object id). Terms in
+	// the shared vocabulary and nothing else carry area −1.
+	PaperArea  []int
+	AuthorArea []int
+	VenueArea  []int
+	TermArea   []int
+
+	PaperYear []int // year index (0-based) per paper
+}
+
+// Areas returns the number of communities.
+func (c *Corpus) Areas() int { return len(c.Config.Areas) }
+
+// Generate builds a corpus. Identical (seed, cfg) pairs produce
+// identical corpora.
+func Generate(rng *stats.RNG, cfg Config) *Corpus {
+	cfg = cfg.withDefaults()
+	k := len(cfg.Areas)
+	n := hin.NewNetwork()
+	c := &Corpus{Net: n, Config: cfg}
+
+	// Objects. Venue/author/term ids are grouped by area so base offsets
+	// are area*count.
+	for a, area := range cfg.Areas {
+		for v := 0; v < cfg.VenuesPerArea; v++ {
+			n.AddObject(TypeVenue, fmt.Sprintf("%s-venue-%d", area, v))
+			c.VenueArea = append(c.VenueArea, a)
+		}
+	}
+	for a, area := range cfg.Areas {
+		for w := 0; w < cfg.AuthorsPerArea; w++ {
+			n.AddObject(TypeAuthor, fmt.Sprintf("%s-author-%d", area, w))
+			c.AuthorArea = append(c.AuthorArea, a)
+		}
+	}
+	for a, area := range cfg.Areas {
+		for t := 0; t < cfg.TermsPerArea; t++ {
+			n.AddObject(TypeTerm, fmt.Sprintf("%s-term-%d", area, t))
+			c.TermArea = append(c.TermArea, a)
+		}
+	}
+	for t := 0; t < cfg.SharedTerms; t++ {
+		n.AddObject(TypeTerm, fmt.Sprintf("shared-term-%d", t))
+		c.TermArea = append(c.TermArea, -1)
+	}
+	for y := 0; y < cfg.Years; y++ {
+		n.AddObject(TypeYear, fmt.Sprintf("%d", 2000+y))
+	}
+
+	authorZipf := stats.NewZipf(rng, cfg.AuthorsPerArea, cfg.ProductivitySkew)
+	termZipf := stats.NewZipf(rng, cfg.TermsPerArea, cfg.TermSkew)
+	sharedBase := k * cfg.TermsPerArea
+
+	for p := 0; p < cfg.Papers; p++ {
+		area := rng.Intn(k)
+		pid := n.AddObject(TypePaper, fmt.Sprintf("paper-%d", p))
+		c.PaperArea = append(c.PaperArea, area)
+
+		// Venue: home area unless a cross-area publication.
+		vArea := area
+		if k > 1 && rng.Float64() < cfg.CrossAreaVenue {
+			vArea = otherArea(rng, k, area)
+		}
+		venue := vArea*cfg.VenuesPerArea + rng.Intn(cfg.VenuesPerArea)
+		n.AddLink(TypePaper, pid, TypeVenue, venue, 1)
+
+		// Authors: Zipf-productive within area, occasional outsider.
+		nAuthors := cfg.MinAuthors + rng.Intn(cfg.MaxAuthors-cfg.MinAuthors+1)
+		used := make(map[int]bool, nAuthors)
+		for len(used) < nAuthors {
+			aArea := area
+			if k > 1 && rng.Float64() < cfg.CrossAreaAuthor {
+				aArea = otherArea(rng, k, area)
+			}
+			author := aArea*cfg.AuthorsPerArea + authorZipf.Draw()
+			if used[author] {
+				continue
+			}
+			used[author] = true
+			n.AddLink(TypePaper, pid, TypeAuthor, author, 1)
+		}
+
+		// Terms: area vocabulary mixed with shared words.
+		nTerms := cfg.MinTerms + rng.Intn(cfg.MaxTerms-cfg.MinTerms+1)
+		usedT := make(map[int]bool, nTerms)
+		for len(usedT) < nTerms {
+			var term int
+			if cfg.SharedTerms > 0 && rng.Float64() < cfg.SharedTermRate {
+				term = sharedBase + rng.Intn(cfg.SharedTerms)
+			} else {
+				term = area*cfg.TermsPerArea + termZipf.Draw()
+			}
+			if usedT[term] {
+				continue
+			}
+			usedT[term] = true
+			n.AddLink(TypePaper, pid, TypeTerm, term, 1)
+		}
+
+		// Year.
+		year := rng.Intn(cfg.Years)
+		c.PaperYear = append(c.PaperYear, year)
+		n.AddLink(TypePaper, pid, TypeYear, year, 1)
+	}
+	return c
+}
+
+func otherArea(rng *stats.RNG, k, area int) int {
+	a := rng.Intn(k - 1)
+	if a >= area {
+		a++
+	}
+	return a
+}
+
+// Star returns the NetClus star-schema view (paper center; author,
+// venue, term attributes — year excluded, matching the NetClus setup).
+func (c *Corpus) Star() *hin.Star {
+	return c.Net.Star(TypePaper, TypeAuthor, TypeVenue, TypeTerm)
+}
+
+// VenueAuthorBipartite returns the RankClus view: the venue×author
+// weight matrix counting papers, as extracted by the conference–author
+// bi-typed network of the EDBT'09 study.
+func (c *Corpus) VenueAuthorBipartite() *hin.Bipartite {
+	m := c.Net.CommutingMatrix(hin.MetaPath{TypeVenue, TypePaper, TypeAuthor})
+	return &hin.Bipartite{X: TypeVenue, Y: TypeAuthor, W: m}
+}
+
+// AmbiguousReference is one paper occurrence of an ambiguous author
+// name: the paper id plus the hidden true author. DISTINCT must split
+// references of one name back into the underlying authors.
+type AmbiguousReference struct {
+	Paper      int
+	TrueAuthor int
+}
+
+// AmbiguousName merges the identities of the given authors under one
+// shared name and returns the reference list (every paper any of them
+// wrote). This overlays the object-distinction workload of the DISTINCT
+// experiments onto the corpus.
+func (c *Corpus) AmbiguousName(authors []int) []AmbiguousReference {
+	pa := c.Net.Relation(TypePaper, TypeAuthor)
+	var refs []AmbiguousReference
+	for p := 0; p < pa.Rows(); p++ {
+		pa.Row(p, func(a int, v float64) {
+			for _, target := range authors {
+				if a == target {
+					refs = append(refs, AmbiguousReference{Paper: p, TrueAuthor: a})
+				}
+			}
+		})
+	}
+	return refs
+}

@@ -1,0 +1,171 @@
+package distinct
+
+import (
+	"math"
+	"testing"
+
+	"hinet/internal/dblp"
+	"hinet/internal/eval"
+	"hinet/internal/stats"
+)
+
+func ref(id int, feats ...int) Reference {
+	f := make(map[int]float64, len(feats))
+	for _, x := range feats {
+		f[x]++
+	}
+	return Reference{ID: id, Features: f}
+}
+
+func TestResemblance(t *testing.T) {
+	a := map[int]float64{1: 1, 2: 1}
+	b := map[int]float64{2: 1, 3: 1}
+	if r := Resemblance(a, b); math.Abs(r-1.0/3) > 1e-12 {
+		t.Errorf("resemblance = %v, want 1/3", r)
+	}
+	if r := Resemblance(a, a); math.Abs(r-1) > 1e-12 {
+		t.Errorf("self resemblance = %v", r)
+	}
+	if Resemblance(a, map[int]float64{}) != 0 {
+		t.Error("empty resemblance should be 0")
+	}
+}
+
+func TestConnectionStrength(t *testing.T) {
+	a := map[int]float64{1: 1}
+	b := map[int]float64{1: 2}
+	if c := ConnectionStrength(a, b); math.Abs(c-1) > 1e-12 {
+		t.Errorf("parallel cosine = %v", c)
+	}
+	if c := ConnectionStrength(a, map[int]float64{2: 1}); c != 0 {
+		t.Errorf("disjoint cosine = %v", c)
+	}
+}
+
+func TestClusterTwoIdentities(t *testing.T) {
+	// Identity A: refs 0,1,2 share co-authors 10,11.
+	// Identity B: refs 3,4 share co-authors 20,21.
+	refs := []Reference{
+		ref(0, 10, 11, 12),
+		ref(1, 10, 11, 13),
+		ref(2, 10, 11),
+		ref(3, 20, 21, 22),
+		ref(4, 20, 21),
+	}
+	labels := Cluster(refs, Options{Threshold: 0.2})
+	truth := []int{0, 0, 0, 1, 1}
+	if s := eval.PairwisePRF(truth, labels); s.F1 < 0.99 {
+		t.Errorf("F1 = %v on trivially separable identities (labels %v)", s.F1, labels)
+	}
+}
+
+func TestClusterNoFalseMerge(t *testing.T) {
+	refs := []Reference{
+		ref(0, 1, 2),
+		ref(1, 3, 4),
+		ref(2, 5, 6),
+	}
+	labels := Cluster(refs, Options{Threshold: 0.2})
+	if labels[0] == labels[1] || labels[1] == labels[2] || labels[0] == labels[2] {
+		t.Errorf("disjoint references merged: %v", labels)
+	}
+}
+
+func TestClusterEmpty(t *testing.T) {
+	if Cluster(nil, Options{}) != nil {
+		t.Error("empty input should return nil")
+	}
+}
+
+func TestBaselines(t *testing.T) {
+	if l := MergeAllBaseline(3); l[0] != l[1] || l[1] != l[2] {
+		t.Error("merge-all should be constant")
+	}
+	if l := SplitAllBaseline(3); l[0] == l[1] {
+		t.Error("split-all should be distinct")
+	}
+	refs := []Reference{ref(0, 1), ref(1, 1), ref(2, 9)}
+	l := ExactLinkBaseline(refs)
+	if l[0] != l[1] || l[0] == l[2] {
+		t.Errorf("exact-link labels = %v", l)
+	}
+}
+
+func TestDistinctBeatsBaselinesOnDBLPOverlay(t *testing.T) {
+	c := dblp.Generate(stats.NewRNG(1), dblp.Config{
+		VenuesPerArea:  3,
+		AuthorsPerArea: 60,
+		TermsPerArea:   40,
+		SharedTerms:    15,
+		Papers:         900,
+		MinAuthors:     2,
+		MaxAuthors:     4,
+	})
+	// Merge three authors from different areas under one name.
+	pa := c.Net.Relation(dblp.TypePaper, dblp.TypeAuthor)
+	deg := make([]int, c.Net.Count(dblp.TypeAuthor))
+	for p := 0; p < pa.Rows(); p++ {
+		pa.Row(p, func(a int, v float64) { deg[a]++ })
+	}
+	// Moderate-degree authors keep the reference set small enough for
+	// the O(n³) agglomeration and the truth clusters balanced.
+	pick := func(area int) int {
+		for a, d := range deg {
+			if c.AuthorArea[a] == area && d >= 10 && d <= 25 {
+				return a
+			}
+		}
+		return -1
+	}
+	merged := []int{pick(0), pick(1), pick(2)}
+	occurrences := c.AmbiguousName(merged)
+	if len(occurrences) < 12 {
+		t.Skip("not enough references in small corpus")
+	}
+	// Build references: features = co-authors (offset 0), venue
+	// (offset 100000) and terms (offset 200000) of the paper.
+	pv := c.Net.Relation(dblp.TypePaper, dblp.TypeVenue)
+	pt := c.Net.Relation(dblp.TypePaper, dblp.TypeTerm)
+	var refs []Reference
+	var truth []int
+	for i, occ := range occurrences {
+		f := make(map[int]float64)
+		pa.Row(occ.Paper, func(a int, v float64) {
+			if a != occ.TrueAuthor {
+				f[a] = v
+			}
+		})
+		pv.Row(occ.Paper, func(v int, w float64) {
+			f[100000+v] = w
+		})
+		pt.Row(occ.Paper, func(v int, w float64) {
+			f[200000+v] = w
+		})
+		refs = append(refs, Reference{ID: i, Features: f})
+		truth = append(truth, occ.TrueAuthor)
+	}
+	pred := Cluster(refs, Options{Threshold: 0.15})
+	f1 := eval.PairwisePRF(truth, pred).F1
+	mergeF1 := eval.PairwisePRF(truth, MergeAllBaseline(len(refs))).F1
+	splitF1 := eval.PairwisePRF(truth, SplitAllBaseline(len(refs))).F1
+	if f1 <= mergeF1 || f1 <= splitF1 {
+		t.Errorf("DISTINCT F1 %.3f not above merge %.3f / split %.3f", f1, mergeF1, splitF1)
+	}
+	if f1 < 0.6 {
+		t.Errorf("DISTINCT F1 too low: %.3f", f1)
+	}
+}
+
+func TestSimilarityCombination(t *testing.T) {
+	a := ref(0, 1, 2, 3)
+	b := ref(1, 1, 2, 4)
+	full := Similarity(a, b, Options{ResemblanceWeight: 1})
+	if math.Abs(full-Resemblance(a.Features, b.Features)) > 1e-12 {
+		t.Error("weight 1 should be pure resemblance")
+	}
+	// Default mixes both.
+	mix := Similarity(a, b, Options{})
+	if mix <= 0 {
+		t.Error("mixed similarity should be positive for overlapping refs")
+	}
+}

@@ -1,0 +1,326 @@
+// Package eval implements the evaluation metrics the reproduced
+// experiments report: normalized mutual information (NMI), clustering
+// accuracy under best label matching, adjusted Rand index, pairwise
+// precision/recall/F1, and Kendall tau rank correlation.
+//
+// These are the scores in RankClus Table 4, NetClus Table 3, SCAN's
+// community-recovery study, and DISTINCT's pairwise F1 table.
+package eval
+
+import (
+	"math"
+	"sort"
+)
+
+// contingency builds the k1×k2 joint count table of two labelings over
+// the same n items, relabeling arbitrary ints to dense indices.
+func contingency(a, b []int) (table [][]int, n int) {
+	if len(a) != len(b) {
+		panic("eval: labeling length mismatch")
+	}
+	ai := denseIndex(a)
+	bi := denseIndex(b)
+	table = make([][]int, len(ai))
+	for i := range table {
+		table[i] = make([]int, len(bi))
+	}
+	for i := range a {
+		table[ai[a[i]]][bi[b[i]]]++
+	}
+	return table, len(a)
+}
+
+func denseIndex(xs []int) map[int]int {
+	m := make(map[int]int)
+	keys := make([]int, 0)
+	for _, x := range xs {
+		if _, ok := m[x]; !ok {
+			m[x] = 0
+			keys = append(keys, x)
+		}
+	}
+	sort.Ints(keys)
+	for i, k := range keys {
+		m[k] = i
+	}
+	return m
+}
+
+// NMI returns the normalized mutual information of two labelings in
+// [0, 1] (1 = identical partitions up to renaming). Normalization is by
+// the arithmetic mean of the entropies, the convention in the RankClus
+// evaluation. Degenerate single-cluster cases return 1 when the
+// partitions are identical as partitions and 0 otherwise.
+func NMI(a, b []int) float64 {
+	table, n := contingency(a, b)
+	if n == 0 {
+		return 0
+	}
+	ra := make([]float64, len(table))
+	rb := make([]float64, len(table[0]))
+	for i := range table {
+		for j := range table[i] {
+			ra[i] += float64(table[i][j])
+			rb[j] += float64(table[i][j])
+		}
+	}
+	mi := 0.0
+	for i := range table {
+		for j := range table[i] {
+			c := float64(table[i][j])
+			if c == 0 {
+				continue
+			}
+			mi += c / float64(n) * math.Log(c*float64(n)/(ra[i]*rb[j]))
+		}
+	}
+	ha, hb := 0.0, 0.0
+	for _, v := range ra {
+		if v > 0 {
+			p := v / float64(n)
+			ha -= p * math.Log(p)
+		}
+	}
+	for _, v := range rb {
+		if v > 0 {
+			p := v / float64(n)
+			hb -= p * math.Log(p)
+		}
+	}
+	if ha == 0 && hb == 0 {
+		return 1 // both single-cluster: identical partitions
+	}
+	if ha == 0 || hb == 0 {
+		return 0
+	}
+	return mi / ((ha + hb) / 2)
+}
+
+// Accuracy returns clustering accuracy: the fraction of items whose
+// predicted cluster maps to their true class under the best one-to-one
+// cluster→class assignment (computed exactly by Hungarian-style
+// enumeration for small k via permutation, greedy for large k).
+func Accuracy(truth, pred []int) float64 {
+	table, n := contingency(truth, pred)
+	if n == 0 {
+		return 0
+	}
+	k1, k2 := len(table), len(table[0])
+	// cost[i][j] = count of items with true class i assigned to cluster j.
+	if k2 <= 8 {
+		// exact: permute clusters over classes
+		best := 0
+		idx := make([]int, k2)
+		for i := range idx {
+			idx[i] = i
+		}
+		permute(idx, 0, func(p []int) {
+			s := 0
+			for j, class := range p {
+				if class < k1 {
+					s += table[class][j]
+				}
+			}
+			if s > best {
+				best = s
+			}
+		})
+		return float64(best) / float64(n)
+	}
+	// greedy fallback
+	usedClass := make([]bool, k1)
+	usedClus := make([]bool, k2)
+	total := 0
+	for {
+		bi, bj, bv := -1, -1, -1
+		for i := 0; i < k1; i++ {
+			if usedClass[i] {
+				continue
+			}
+			for j := 0; j < k2; j++ {
+				if usedClus[j] {
+					continue
+				}
+				if table[i][j] > bv {
+					bi, bj, bv = i, j, table[i][j]
+				}
+			}
+		}
+		if bi < 0 {
+			break
+		}
+		usedClass[bi] = true
+		usedClus[bj] = true
+		total += bv
+	}
+	return float64(total) / float64(n)
+}
+
+func permute(xs []int, i int, visit func([]int)) {
+	if i == len(xs) {
+		visit(xs)
+		return
+	}
+	for j := i; j < len(xs); j++ {
+		xs[i], xs[j] = xs[j], xs[i]
+		permute(xs, i+1, visit)
+		xs[i], xs[j] = xs[j], xs[i]
+	}
+}
+
+// ARI returns the adjusted Rand index in [-1, 1]; 1 means identical
+// partitions, ~0 means chance agreement.
+func ARI(a, b []int) float64 {
+	table, n := contingency(a, b)
+	if n < 2 {
+		return 1
+	}
+	choose2 := func(x float64) float64 { return x * (x - 1) / 2 }
+	sumIJ := 0.0
+	ra := make([]float64, len(table))
+	rb := make([]float64, len(table[0]))
+	for i := range table {
+		for j := range table[i] {
+			c := float64(table[i][j])
+			sumIJ += choose2(c)
+			ra[i] += c
+			rb[j] += c
+		}
+	}
+	sumA, sumB := 0.0, 0.0
+	for _, v := range ra {
+		sumA += choose2(v)
+	}
+	for _, v := range rb {
+		sumB += choose2(v)
+	}
+	expected := sumA * sumB / choose2(float64(n))
+	maxIdx := (sumA + sumB) / 2
+	if maxIdx == expected {
+		return 1
+	}
+	return (sumIJ - expected) / (maxIdx - expected)
+}
+
+// PairwiseScores holds pairwise precision/recall/F1, the metric used in
+// the DISTINCT object-distinction experiments: a pair of items is a true
+// positive when both labelings place the two items together.
+type PairwiseScores struct {
+	Precision, Recall, F1 float64
+}
+
+// PairwisePRF computes pairwise precision/recall/F1 of pred against truth.
+func PairwisePRF(truth, pred []int) PairwiseScores {
+	if len(truth) != len(pred) {
+		panic("eval: labeling length mismatch")
+	}
+	var tp, fp, fn float64
+	for i := 0; i < len(truth); i++ {
+		for j := i + 1; j < len(truth); j++ {
+			sameT := truth[i] == truth[j]
+			sameP := pred[i] == pred[j]
+			switch {
+			case sameT && sameP:
+				tp++
+			case !sameT && sameP:
+				fp++
+			case sameT && !sameP:
+				fn++
+			}
+		}
+	}
+	var s PairwiseScores
+	if tp+fp > 0 {
+		s.Precision = tp / (tp + fp)
+	}
+	if tp+fn > 0 {
+		s.Recall = tp / (tp + fn)
+	}
+	if s.Precision+s.Recall > 0 {
+		s.F1 = 2 * s.Precision * s.Recall / (s.Precision + s.Recall)
+	}
+	return s
+}
+
+// KendallTau returns the Kendall rank correlation between two score
+// vectors over the same items, in [-1, 1]. O(n²); fine for the ranking
+// lists (tens to thousands of items) compared in the experiments.
+func KendallTau(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic("eval: score length mismatch")
+	}
+	n := len(a)
+	if n < 2 {
+		return 1
+	}
+	var concordant, discordant, tiesA, tiesB float64
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			da := a[i] - a[j]
+			db := b[i] - b[j]
+			switch {
+			case da == 0 && db == 0:
+				tiesA++
+				tiesB++
+			case da == 0:
+				tiesA++
+			case db == 0:
+				tiesB++
+			case da*db > 0:
+				concordant++
+			default:
+				discordant++
+			}
+		}
+	}
+	total := float64(n*(n-1)) / 2
+	den := math.Sqrt((total - tiesA) * (total - tiesB))
+	if den == 0 {
+		return 0
+	}
+	return (concordant - discordant) / den
+}
+
+// PrecisionAtK returns |topK(pred) ∩ relevant| / k, the top-k retrieval
+// precision used in the PathSim peer-search comparison. pred maps item →
+// score; relevant is the ground-truth set.
+func PrecisionAtK(scores []float64, relevant map[int]bool, k int) float64 {
+	if k <= 0 {
+		return 0
+	}
+	idx := make([]int, len(scores))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(x, y int) bool { return scores[idx[x]] > scores[idx[y]] })
+	if k > len(idx) {
+		k = len(idx)
+	}
+	hit := 0
+	for _, i := range idx[:k] {
+		if relevant[i] {
+			hit++
+		}
+	}
+	return float64(hit) / float64(k)
+}
+
+// MeanAveragePrecision returns MAP of a ranking against a relevant set.
+func MeanAveragePrecision(scores []float64, relevant map[int]bool) float64 {
+	idx := make([]int, len(scores))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(x, y int) bool { return scores[idx[x]] > scores[idx[y]] })
+	hits, sum := 0, 0.0
+	for rank, i := range idx {
+		if relevant[i] {
+			hits++
+			sum += float64(hits) / float64(rank+1)
+		}
+	}
+	if hits == 0 {
+		return 0
+	}
+	return sum / float64(len(relevant))
+}

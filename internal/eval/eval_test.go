@@ -1,0 +1,196 @@
+package eval
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNMIIdenticalPartitions(t *testing.T) {
+	a := []int{0, 0, 1, 1, 2, 2}
+	if nmi := NMI(a, a); math.Abs(nmi-1) > 1e-12 {
+		t.Errorf("NMI(a,a) = %v, want 1", nmi)
+	}
+	// Renamed clusters still identical as a partition.
+	b := []int{7, 7, 3, 3, 9, 9}
+	if nmi := NMI(a, b); math.Abs(nmi-1) > 1e-12 {
+		t.Errorf("NMI under renaming = %v, want 1", nmi)
+	}
+}
+
+func TestNMIIndependentPartitions(t *testing.T) {
+	// a splits by half, b alternates: perfectly balanced independence.
+	a := []int{0, 0, 1, 1}
+	b := []int{0, 1, 0, 1}
+	if nmi := NMI(a, b); math.Abs(nmi) > 1e-12 {
+		t.Errorf("NMI of independent = %v, want 0", nmi)
+	}
+}
+
+func TestNMIDegenerate(t *testing.T) {
+	one := []int{5, 5, 5}
+	if nmi := NMI(one, one); nmi != 1 {
+		t.Errorf("NMI single-cluster identical = %v", nmi)
+	}
+	split := []int{0, 1, 2}
+	if nmi := NMI(one, split); nmi != 0 {
+		t.Errorf("NMI single vs split = %v", nmi)
+	}
+}
+
+func TestNMISymmetryProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 5 + rng.Intn(30)
+		a := make([]int, n)
+		b := make([]int, n)
+		for i := range a {
+			a[i] = rng.Intn(4)
+			b[i] = rng.Intn(3)
+		}
+		x, y := NMI(a, b), NMI(b, a)
+		return math.Abs(x-y) < 1e-9 && x >= -1e-9 && x <= 1+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAccuracyExactMatching(t *testing.T) {
+	truth := []int{0, 0, 1, 1, 2, 2}
+	pred := []int{2, 2, 0, 0, 1, 1} // perfect up to renaming
+	if acc := Accuracy(truth, pred); acc != 1 {
+		t.Errorf("Accuracy = %v, want 1", acc)
+	}
+	pred2 := []int{2, 2, 0, 1, 1, 1}
+	if acc := Accuracy(truth, pred2); math.Abs(acc-5.0/6) > 1e-12 {
+		t.Errorf("Accuracy = %v, want 5/6", acc)
+	}
+}
+
+func TestAccuracyGreedyLargeK(t *testing.T) {
+	// 10 clusters forces the greedy path; identity mapping is recoverable.
+	n := 10
+	truth := make([]int, 5*n)
+	pred := make([]int, 5*n)
+	for i := range truth {
+		truth[i] = i % n
+		pred[i] = (i%n + 3) % n
+	}
+	if acc := Accuracy(truth, pred); acc != 1 {
+		t.Errorf("greedy Accuracy = %v, want 1", acc)
+	}
+}
+
+func TestARI(t *testing.T) {
+	a := []int{0, 0, 1, 1}
+	if v := ARI(a, a); math.Abs(v-1) > 1e-12 {
+		t.Errorf("ARI identical = %v", v)
+	}
+	b := []int{0, 1, 0, 1}
+	if v := ARI(a, b); v > 0.01 {
+		t.Errorf("ARI independent = %v, want ≈<=0", v)
+	}
+}
+
+func TestPairwisePRF(t *testing.T) {
+	truth := []int{0, 0, 0, 1, 1}
+	// pred merges everything: recall 1, precision = 4/10.
+	allOne := []int{9, 9, 9, 9, 9}
+	s := PairwisePRF(truth, allOne)
+	if s.Recall != 1 {
+		t.Errorf("recall = %v", s.Recall)
+	}
+	if math.Abs(s.Precision-0.4) > 1e-12 {
+		t.Errorf("precision = %v, want 0.4", s.Precision)
+	}
+	// pred splits everything: precision trivially 0 matches (tp+fp=0 → P=0 by convention, recall 0)
+	allDiff := []int{0, 1, 2, 3, 4}
+	s = PairwisePRF(truth, allDiff)
+	if s.Precision != 0 || s.Recall != 0 || s.F1 != 0 {
+		t.Errorf("split scores = %+v", s)
+	}
+	// perfect
+	s = PairwisePRF(truth, []int{5, 5, 5, 7, 7})
+	if s.F1 != 1 {
+		t.Errorf("perfect F1 = %v", s.F1)
+	}
+}
+
+func TestKendallTau(t *testing.T) {
+	a := []float64{1, 2, 3, 4}
+	if v := KendallTau(a, a); math.Abs(v-1) > 1e-12 {
+		t.Errorf("tau same = %v", v)
+	}
+	rev := []float64{4, 3, 2, 1}
+	if v := KendallTau(a, rev); math.Abs(v+1) > 1e-12 {
+		t.Errorf("tau reversed = %v", v)
+	}
+	ties := []float64{1, 1, 1, 1}
+	if v := KendallTau(a, ties); v != 0 {
+		t.Errorf("tau vs constant = %v", v)
+	}
+}
+
+func TestKendallTauBoundsProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(20)
+		a := make([]float64, n)
+		b := make([]float64, n)
+		for i := range a {
+			a[i] = float64(rng.Intn(8))
+			b[i] = float64(rng.Intn(8))
+		}
+		v := KendallTau(a, b)
+		return v >= -1-1e-9 && v <= 1+1e-9 && math.Abs(v-KendallTau(b, a)) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPrecisionAtK(t *testing.T) {
+	scores := []float64{0.9, 0.1, 0.8, 0.2}
+	rel := map[int]bool{0: true, 2: true}
+	if p := PrecisionAtK(scores, rel, 2); p != 1 {
+		t.Errorf("P@2 = %v", p)
+	}
+	if p := PrecisionAtK(scores, rel, 4); p != 0.5 {
+		t.Errorf("P@4 = %v", p)
+	}
+	if p := PrecisionAtK(scores, rel, 0); p != 0 {
+		t.Errorf("P@0 = %v", p)
+	}
+}
+
+func TestMeanAveragePrecision(t *testing.T) {
+	scores := []float64{0.9, 0.8, 0.7}
+	rel := map[int]bool{0: true, 2: true}
+	// hits at rank 1 (P=1) and rank 3 (P=2/3): MAP = (1 + 2/3)/2.
+	want := (1.0 + 2.0/3.0) / 2
+	if m := MeanAveragePrecision(scores, rel); math.Abs(m-want) > 1e-12 {
+		t.Errorf("MAP = %v, want %v", m, want)
+	}
+	if m := MeanAveragePrecision(scores, map[int]bool{}); m != 0 {
+		t.Errorf("MAP empty = %v", m)
+	}
+}
+
+func TestLengthMismatchPanics(t *testing.T) {
+	for name, f := range map[string]func(){
+		"NMI":      func() { NMI([]int{1}, []int{1, 2}) },
+		"Pairwise": func() { PairwisePRF([]int{1}, []int{1, 2}) },
+		"Kendall":  func() { KendallTau([]float64{1}, []float64{1, 2}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s should panic on mismatch", name)
+				}
+			}()
+			f()
+		}()
+	}
+}

@@ -1,0 +1,184 @@
+// Package flickr generates the synthetic photo-sharing network that
+// substitutes for the real Flickr case study of tutorial §6: photos
+// linked to tags, owners (users) and groups, with latent photo
+// categories driving tag vocabulary, user interests and group themes.
+//
+// The tagging-graph web-object classification study (Yin, Li, Mei, Han
+// — KDD'09) needs exactly this structure: photo labels correlate with
+// tags, tags are shared across photos, users and groups bridge photos
+// of the same interest, and a fraction of tags is generic noise.
+package flickr
+
+import (
+	"fmt"
+
+	"hinet/internal/hin"
+	"hinet/internal/stats"
+)
+
+// Type names of the Flickr schema.
+const (
+	TypePhoto = hin.Type("photo")
+	TypeTag   = hin.Type("tag")
+	TypeUser  = hin.Type("user")
+	TypeGroup = hin.Type("group")
+)
+
+// Config controls corpus size and noise.
+type Config struct {
+	Categories    int     // latent photo categories, default 4
+	Photos        int     // default 1000
+	TagsPerCat    int     // category vocabulary size, default 60
+	SharedTags    int     // generic vocabulary, default 40
+	Users         int     // default 150
+	Groups        int     // default 24
+	MinTags       int     // tags per photo lower bound, default 3
+	MaxTags       int     // upper bound, default 7
+	SharedTagRate float64 // P(tag drawn from generic vocab), default 0.3
+	UserFocus     float64 // P(user uploads within home category), default 0.75
+	GroupRate     float64 // P(photo posted to a group), default 0.7
+	TagSkew       float64 // Zipf exponent, default 1.05
+}
+
+func (c Config) withDefaults() Config {
+	def := func(v *int, d int) {
+		if *v == 0 {
+			*v = d
+		}
+	}
+	def(&c.Categories, 4)
+	def(&c.Photos, 1000)
+	def(&c.TagsPerCat, 60)
+	def(&c.SharedTags, 40)
+	def(&c.Users, 150)
+	def(&c.Groups, 24)
+	def(&c.MinTags, 3)
+	def(&c.MaxTags, 7)
+	if c.SharedTagRate == 0 {
+		c.SharedTagRate = 0.3
+	}
+	if c.UserFocus == 0 {
+		c.UserFocus = 0.75
+	}
+	if c.GroupRate == 0 {
+		c.GroupRate = 0.7
+	}
+	if c.TagSkew == 0 {
+		c.TagSkew = 1.05
+	}
+	return c
+}
+
+// Corpus is a generated tagging graph with ground truth.
+type Corpus struct {
+	Net    *hin.Network
+	Config Config
+
+	PhotoCat []int // category per photo
+	TagCat   []int // category per tag (−1 for generic)
+	UserCat  []int // home category per user
+	GroupCat []int // theme per group
+}
+
+// Generate builds the corpus deterministically from the seed.
+func Generate(rng *stats.RNG, cfg Config) *Corpus {
+	cfg = cfg.withDefaults()
+	k := cfg.Categories
+	n := hin.NewNetwork()
+	c := &Corpus{Net: n, Config: cfg}
+
+	for cat := 0; cat < k; cat++ {
+		for t := 0; t < cfg.TagsPerCat; t++ {
+			n.AddObject(TypeTag, fmt.Sprintf("cat%d-tag%d", cat, t))
+			c.TagCat = append(c.TagCat, cat)
+		}
+	}
+	for t := 0; t < cfg.SharedTags; t++ {
+		n.AddObject(TypeTag, fmt.Sprintf("generic-tag%d", t))
+		c.TagCat = append(c.TagCat, -1)
+	}
+	for u := 0; u < cfg.Users; u++ {
+		n.AddObject(TypeUser, fmt.Sprintf("user%d", u))
+		c.UserCat = append(c.UserCat, rng.Intn(k))
+	}
+	for g := 0; g < cfg.Groups; g++ {
+		n.AddObject(TypeGroup, fmt.Sprintf("group%d", g))
+		c.GroupCat = append(c.GroupCat, g%k)
+	}
+	// Users join a few groups, biased to their home category.
+	groupsByCat := make([][]int, k)
+	for g, cat := range c.GroupCat {
+		groupsByCat[cat] = append(groupsByCat[cat], g)
+	}
+	for u := 0; u < cfg.Users; u++ {
+		joined := map[int]bool{}
+		for len(joined) < 2 {
+			var g int
+			if rng.Float64() < cfg.UserFocus && len(groupsByCat[c.UserCat[u]]) > 0 {
+				gs := groupsByCat[c.UserCat[u]]
+				g = gs[rng.Intn(len(gs))]
+			} else {
+				g = rng.Intn(cfg.Groups)
+			}
+			if !joined[g] {
+				joined[g] = true
+				n.AddLink(TypeUser, u, TypeGroup, g, 1)
+			}
+		}
+	}
+
+	tagZipf := stats.NewZipf(rng, cfg.TagsPerCat, cfg.TagSkew)
+	sharedBase := k * cfg.TagsPerCat
+	usersByCat := make([][]int, k)
+	for u, cat := range c.UserCat {
+		usersByCat[cat] = append(usersByCat[cat], u)
+	}
+
+	for p := 0; p < cfg.Photos; p++ {
+		cat := rng.Intn(k)
+		pid := n.AddObject(TypePhoto, fmt.Sprintf("photo%d", p))
+		c.PhotoCat = append(c.PhotoCat, cat)
+
+		// Owner: usually someone whose home category matches.
+		var owner int
+		if rng.Float64() < cfg.UserFocus && len(usersByCat[cat]) > 0 {
+			us := usersByCat[cat]
+			owner = us[rng.Intn(len(us))]
+		} else {
+			owner = rng.Intn(cfg.Users)
+		}
+		n.AddLink(TypePhoto, pid, TypeUser, owner, 1)
+
+		// Tags: category vocabulary mixed with generic ones.
+		nt := cfg.MinTags + rng.Intn(cfg.MaxTags-cfg.MinTags+1)
+		used := map[int]bool{}
+		for len(used) < nt {
+			var tag int
+			if cfg.SharedTags > 0 && rng.Float64() < cfg.SharedTagRate {
+				tag = sharedBase + rng.Intn(cfg.SharedTags)
+			} else {
+				tag = cat*cfg.TagsPerCat + tagZipf.Draw()
+			}
+			if !used[tag] {
+				used[tag] = true
+				n.AddLink(TypePhoto, pid, TypeTag, tag, 1)
+			}
+		}
+
+		// Groups: themed posting.
+		if rng.Float64() < cfg.GroupRate {
+			var g int
+			if len(groupsByCat[cat]) > 0 && rng.Float64() < cfg.UserFocus {
+				gs := groupsByCat[cat]
+				g = gs[rng.Intn(len(gs))]
+			} else {
+				g = rng.Intn(cfg.Groups)
+			}
+			n.AddLink(TypePhoto, pid, TypeGroup, g, 1)
+		}
+	}
+	return c
+}
+
+// Categories returns the number of latent categories.
+func (c *Corpus) Categories() int { return c.Config.Categories }

@@ -1,0 +1,225 @@
+// Package graph provides the homogeneous weighted graph used by the
+// tutorial's "elementary information network analysis" layer: PageRank,
+// HITS, SCAN, spectral clustering and the statistics in internal/netstat
+// all consume this representation.
+//
+// Nodes are dense integers 0..N-1; an optional string label can be
+// attached for presentation. The structure is adjacency-list based and
+// append-only; algorithms treat it as immutable after construction.
+package graph
+
+import (
+	"fmt"
+	"sort"
+
+	"hinet/internal/sparse"
+)
+
+// Edge is one endpoint record in an adjacency list.
+type Edge struct {
+	To     int
+	Weight float64
+}
+
+// Graph is a weighted graph. When Directed is false every AddEdge call
+// stores both orientations, and Degree counts each neighbor once.
+type Graph struct {
+	Directed bool
+	adj      [][]Edge
+	labels   []string
+	numEdges int
+}
+
+// New creates a graph with n nodes and no edges.
+func New(n int, directed bool) *Graph {
+	return &Graph{Directed: directed, adj: make([][]Edge, n), labels: make([]string, n)}
+}
+
+// N returns the number of nodes.
+func (g *Graph) N() int { return len(g.adj) }
+
+// M returns the number of logical edges (an undirected edge counts once).
+func (g *Graph) M() int { return g.numEdges }
+
+// AddNode appends a node with the given label and returns its id.
+func (g *Graph) AddNode(label string) int {
+	g.adj = append(g.adj, nil)
+	g.labels = append(g.labels, label)
+	return len(g.adj) - 1
+}
+
+// SetLabel assigns a presentation label to node v.
+func (g *Graph) SetLabel(v int, label string) { g.labels[v] = label }
+
+// Label returns node v's label (may be empty).
+func (g *Graph) Label(v int) string { return g.labels[v] }
+
+// AddEdge inserts an edge u→v with weight w (and v→u when undirected).
+// Self loops are allowed for directed graphs and ignored for undirected
+// ones. Parallel edges accumulate as separate adjacency entries.
+func (g *Graph) AddEdge(u, v int, w float64) {
+	if u < 0 || u >= len(g.adj) || v < 0 || v >= len(g.adj) {
+		panic(fmt.Sprintf("graph: edge (%d,%d) out of range n=%d", u, v, len(g.adj)))
+	}
+	if !g.Directed && u == v {
+		return
+	}
+	g.adj[u] = append(g.adj[u], Edge{To: v, Weight: w})
+	if !g.Directed {
+		g.adj[v] = append(g.adj[v], Edge{To: u, Weight: w})
+	}
+	g.numEdges++
+}
+
+// Neighbors returns the adjacency list of u. The slice is shared; callers
+// must not mutate it.
+func (g *Graph) Neighbors(u int) []Edge { return g.adj[u] }
+
+// Degree returns the out-degree of u (undirected: neighbor count).
+func (g *Graph) Degree(u int) int { return len(g.adj[u]) }
+
+// WeightedDegree returns the sum of edge weights incident from u.
+func (g *Graph) WeightedDegree(u int) float64 {
+	s := 0.0
+	for _, e := range g.adj[u] {
+		s += e.Weight
+	}
+	return s
+}
+
+// HasEdge reports whether an edge u→v exists.
+func (g *Graph) HasEdge(u, v int) bool {
+	for _, e := range g.adj[u] {
+		if e.To == v {
+			return true
+		}
+	}
+	return false
+}
+
+// NeighborSet returns the sorted distinct neighbor ids of u, including u
+// itself when closed is true (the closed neighborhood Γ[u] used by SCAN).
+func (g *Graph) NeighborSet(u int, closed bool) []int {
+	seen := make(map[int]bool, len(g.adj[u])+1)
+	for _, e := range g.adj[u] {
+		seen[e.To] = true
+	}
+	if closed {
+		seen[u] = true
+	}
+	out := make([]int, 0, len(seen))
+	for v := range seen {
+		out = append(out, v)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Adjacency returns the graph's (weighted) adjacency matrix in CSR form.
+// For undirected graphs the matrix is symmetric.
+func (g *Graph) Adjacency() *sparse.Matrix {
+	var entries []sparse.Coord
+	for u := range g.adj {
+		for _, e := range g.adj[u] {
+			entries = append(entries, sparse.Coord{Row: u, Col: e.To, Val: e.Weight})
+		}
+	}
+	return sparse.NewFromCoords(len(g.adj), len(g.adj), entries)
+}
+
+// InDegrees returns the in-degree of every node (equal to Degree for
+// undirected graphs).
+func (g *Graph) InDegrees() []int {
+	in := make([]int, len(g.adj))
+	for u := range g.adj {
+		for _, e := range g.adj[u] {
+			in[e.To]++
+		}
+	}
+	return in
+}
+
+// Reverse returns the transpose graph (directed); undirected graphs are
+// returned as a structural copy.
+func (g *Graph) Reverse() *Graph {
+	r := New(g.N(), g.Directed)
+	copy(r.labels, g.labels)
+	for u := range g.adj {
+		for _, e := range g.adj[u] {
+			if g.Directed {
+				r.adj[e.To] = append(r.adj[e.To], Edge{To: u, Weight: e.Weight})
+				r.numEdges++
+			}
+		}
+	}
+	if !g.Directed {
+		for u := range g.adj {
+			r.adj[u] = append([]Edge(nil), g.adj[u]...)
+		}
+		r.numEdges = g.numEdges
+	}
+	return r
+}
+
+// BFS runs a breadth-first traversal from src and returns hop distances
+// (-1 for unreachable nodes).
+func (g *Graph) BFS(src int) []int {
+	dist := make([]int, g.N())
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[src] = 0
+	queue := []int{src}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, e := range g.adj[u] {
+			if dist[e.To] < 0 {
+				dist[e.To] = dist[u] + 1
+				queue = append(queue, e.To)
+			}
+		}
+	}
+	return dist
+}
+
+// ConnectedComponents labels each node with a component id (undirected
+// semantics: edges are followed in both directions even when directed)
+// and returns the labels plus the component count.
+func (g *Graph) ConnectedComponents() ([]int, int) {
+	und := g
+	if g.Directed {
+		und = New(g.N(), false)
+		for u := range g.adj {
+			for _, e := range g.adj[u] {
+				if u != e.To {
+					und.AddEdge(u, e.To, e.Weight)
+				}
+			}
+		}
+	}
+	comp := make([]int, und.N())
+	for i := range comp {
+		comp[i] = -1
+	}
+	c := 0
+	for s := range comp {
+		if comp[s] >= 0 {
+			continue
+		}
+		comp[s] = c
+		stack := []int{s}
+		for len(stack) > 0 {
+			u := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, e := range und.adj[u] {
+				if comp[e.To] < 0 {
+					comp[e.To] = c
+					stack = append(stack, e.To)
+				}
+			}
+		}
+		c++
+	}
+	return comp, c
+}

@@ -1,0 +1,156 @@
+package graph
+
+import (
+	"testing"
+)
+
+func path(n int) *Graph {
+	g := New(n, false)
+	for i := 0; i+1 < n; i++ {
+		g.AddEdge(i, i+1, 1)
+	}
+	return g
+}
+
+func TestBasicConstruction(t *testing.T) {
+	g := New(3, false)
+	g.AddEdge(0, 1, 2)
+	g.AddEdge(1, 2, 1)
+	if g.N() != 3 || g.M() != 2 {
+		t.Fatalf("N=%d M=%d", g.N(), g.M())
+	}
+	if g.Degree(1) != 2 {
+		t.Errorf("Degree(1) = %d, want 2 (undirected)", g.Degree(1))
+	}
+	if g.WeightedDegree(1) != 3 {
+		t.Errorf("WeightedDegree(1) = %v", g.WeightedDegree(1))
+	}
+	if !g.HasEdge(1, 0) {
+		t.Error("undirected edge should be visible both ways")
+	}
+}
+
+func TestDirectedEdges(t *testing.T) {
+	g := New(3, true)
+	g.AddEdge(0, 1, 1)
+	if g.HasEdge(1, 0) {
+		t.Error("directed graph must not mirror edges")
+	}
+	in := g.InDegrees()
+	if in[1] != 1 || in[0] != 0 {
+		t.Errorf("InDegrees = %v", in)
+	}
+	r := g.Reverse()
+	if !r.HasEdge(1, 0) || r.HasEdge(0, 1) {
+		t.Error("Reverse wrong")
+	}
+}
+
+func TestSelfLoopIgnoredUndirected(t *testing.T) {
+	g := New(2, false)
+	g.AddEdge(0, 0, 1)
+	if g.M() != 0 || g.Degree(0) != 0 {
+		t.Error("undirected self loop should be dropped")
+	}
+	d := New(2, true)
+	d.AddEdge(0, 0, 1)
+	if d.M() != 1 {
+		t.Error("directed self loop should be kept")
+	}
+}
+
+func TestAddNodeAndLabels(t *testing.T) {
+	g := New(1, false)
+	id := g.AddNode("v1")
+	if id != 1 || g.N() != 2 {
+		t.Fatalf("AddNode id=%d n=%d", id, g.N())
+	}
+	if g.Label(1) != "v1" {
+		t.Errorf("Label = %q", g.Label(1))
+	}
+	g.SetLabel(0, "root")
+	if g.Label(0) != "root" {
+		t.Error("SetLabel failed")
+	}
+}
+
+func TestNeighborSet(t *testing.T) {
+	g := New(4, false)
+	g.AddEdge(0, 1, 1)
+	g.AddEdge(0, 2, 1)
+	g.AddEdge(0, 1, 1) // parallel edge
+	open := g.NeighborSet(0, false)
+	if len(open) != 2 || open[0] != 1 || open[1] != 2 {
+		t.Errorf("open neighborhood = %v", open)
+	}
+	closed := g.NeighborSet(0, true)
+	if len(closed) != 3 || closed[0] != 0 {
+		t.Errorf("closed neighborhood = %v", closed)
+	}
+}
+
+func TestBFSDistances(t *testing.T) {
+	g := path(5)
+	g.AddNode("isolated")
+	d := g.BFS(0)
+	want := []int{0, 1, 2, 3, 4, -1}
+	for i := range want {
+		if d[i] != want[i] {
+			t.Fatalf("BFS = %v, want %v", d, want)
+		}
+	}
+}
+
+func TestConnectedComponents(t *testing.T) {
+	g := New(6, false)
+	g.AddEdge(0, 1, 1)
+	g.AddEdge(1, 2, 1)
+	g.AddEdge(3, 4, 1)
+	comp, k := g.ConnectedComponents()
+	if k != 3 {
+		t.Fatalf("components = %d, want 3", k)
+	}
+	if comp[0] != comp[2] || comp[3] != comp[4] || comp[0] == comp[3] || comp[5] == comp[0] {
+		t.Errorf("component labels = %v", comp)
+	}
+}
+
+func TestConnectedComponentsDirectedUsesWeakConnectivity(t *testing.T) {
+	g := New(3, true)
+	g.AddEdge(0, 1, 1)
+	g.AddEdge(2, 1, 1)
+	_, k := g.ConnectedComponents()
+	if k != 1 {
+		t.Errorf("weak components = %d, want 1", k)
+	}
+}
+
+func TestAdjacencyMatrix(t *testing.T) {
+	g := New(3, false)
+	g.AddEdge(0, 1, 2)
+	g.AddEdge(1, 2, 5)
+	a := g.Adjacency()
+	if a.At(0, 1) != 2 || a.At(1, 0) != 2 || a.At(1, 2) != 5 {
+		t.Error("adjacency values wrong")
+	}
+	if a.At(0, 2) != 0 {
+		t.Error("absent edge nonzero")
+	}
+	// Symmetry for undirected graphs.
+	for r := 0; r < 3; r++ {
+		for c := 0; c < 3; c++ {
+			if a.At(r, c) != a.At(c, r) {
+				t.Fatal("undirected adjacency not symmetric")
+			}
+		}
+	}
+}
+
+func TestEdgeRangePanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("out-of-range edge should panic")
+		}
+	}()
+	New(2, false).AddEdge(0, 5, 1)
+}

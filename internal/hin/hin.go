@@ -1,0 +1,318 @@
+// Package hin implements the heterogeneous information network (HIN)
+// abstraction at the center of the paper: a multi-typed graph whose
+// objects are partitioned into types (author, paper, venue, term, ...)
+// and whose links connect objects of specific type pairs.
+//
+// The tutorial's thesis is that a database *is* such a network; the
+// RankClus (bi-typed), NetClus (star-schema) and PathSim (meta-path)
+// algorithms all consume views exported from this package:
+//
+//   - Relation(src, dst): the weighted src×dst adjacency matrix,
+//   - Bipartite(x, y): the bi-typed sub-network RankClus works on,
+//   - Projection(path): the homogeneous graph induced by a meta-path
+//     (e.g. co-authorship = A–P–A), and
+//   - Star(center): the star-schema view NetClus works on.
+package hin
+
+import (
+	"fmt"
+	"sort"
+
+	"hinet/internal/graph"
+	"hinet/internal/sparse"
+)
+
+// Type names an object type in the network schema (e.g. "author").
+type Type string
+
+// ObjectRef identifies one object: its type plus the dense index of the
+// object within that type.
+type ObjectRef struct {
+	Type Type
+	ID   int
+}
+
+type link struct {
+	src, dst int
+	w        float64
+}
+
+type relationKey struct {
+	src, dst Type
+}
+
+// Network is a heterogeneous information network. Objects of each type
+// are dense integers 0..Count(t)-1 with optional names; links are typed
+// and weighted. Link insertion order is preserved per relation.
+type Network struct {
+	types    []Type
+	names    map[Type][]string
+	index    map[Type]map[string]int
+	relation map[relationKey][]link
+}
+
+// NewNetwork returns an empty network.
+func NewNetwork() *Network {
+	return &Network{
+		names:    make(map[Type][]string),
+		index:    make(map[Type]map[string]int),
+		relation: make(map[relationKey][]link),
+	}
+}
+
+// AddType registers a type; registering an existing type is a no-op.
+func (n *Network) AddType(t Type) {
+	if _, ok := n.names[t]; ok {
+		return
+	}
+	n.types = append(n.types, t)
+	n.names[t] = nil
+	n.index[t] = make(map[string]int)
+}
+
+// Types returns the registered types in insertion order.
+func (n *Network) Types() []Type { return append([]Type(nil), n.types...) }
+
+// AddObject inserts an object of type t with the given name and returns
+// its dense id. Duplicate names within a type return the existing id.
+func (n *Network) AddObject(t Type, name string) int {
+	n.AddType(t)
+	if id, ok := n.index[t][name]; ok {
+		return id
+	}
+	id := len(n.names[t])
+	n.names[t] = append(n.names[t], name)
+	n.index[t][name] = id
+	return id
+}
+
+// AddAnonymous inserts count unnamed objects of type t and returns the id
+// of the first one; ids are contiguous.
+func (n *Network) AddAnonymous(t Type, count int) int {
+	n.AddType(t)
+	first := len(n.names[t])
+	for i := 0; i < count; i++ {
+		name := fmt.Sprintf("%s#%d", t, first+i)
+		n.names[t] = append(n.names[t], name)
+		n.index[t][name] = first + i
+	}
+	return first
+}
+
+// Count returns the number of objects of type t.
+func (n *Network) Count(t Type) int { return len(n.names[t]) }
+
+// Name returns the name of object (t, id).
+func (n *Network) Name(t Type, id int) string { return n.names[t][id] }
+
+// Lookup returns the id of the named object of type t, or -1.
+func (n *Network) Lookup(t Type, name string) int {
+	if m, ok := n.index[t]; ok {
+		if id, ok := m[name]; ok {
+			return id
+		}
+	}
+	return -1
+}
+
+// AddLink records a weighted link between (src type, srcID) and
+// (dst type, dstID). Links are conceptually undirected between the two
+// types; they are stored under the (src, dst) orientation and exposed
+// symmetrically by Relation.
+func (n *Network) AddLink(src Type, srcID int, dst Type, dstID int, w float64) {
+	if srcID < 0 || srcID >= n.Count(src) || dstID < 0 || dstID >= n.Count(dst) {
+		panic(fmt.Sprintf("hin: link (%s,%d)-(%s,%d) out of range", src, srcID, dst, dstID))
+	}
+	n.relation[relationKey{src, dst}] = append(n.relation[relationKey{src, dst}], link{srcID, dstID, w})
+}
+
+// LinkCount returns the number of stored links in the (src, dst)
+// orientation (reverse-orientation links are counted by their own key).
+func (n *Network) LinkCount(src, dst Type) int {
+	return len(n.relation[relationKey{src, dst}])
+}
+
+// HasRelation reports whether any links exist between the two types in
+// either orientation.
+func (n *Network) HasRelation(a, b Type) bool {
+	return len(n.relation[relationKey{a, b}]) > 0 || len(n.relation[relationKey{b, a}]) > 0
+}
+
+// Relation returns the weighted adjacency matrix W with W[i][j] = total
+// link weight between object i of type src and object j of type dst,
+// merging links stored in either orientation.
+func (n *Network) Relation(src, dst Type) *sparse.Matrix {
+	var entries []sparse.Coord
+	for _, l := range n.relation[relationKey{src, dst}] {
+		entries = append(entries, sparse.Coord{Row: l.src, Col: l.dst, Val: l.w})
+	}
+	if src != dst {
+		for _, l := range n.relation[relationKey{dst, src}] {
+			entries = append(entries, sparse.Coord{Row: l.dst, Col: l.src, Val: l.w})
+		}
+	}
+	return sparse.NewFromCoords(n.Count(src), n.Count(dst), entries)
+}
+
+// SchemaEdges lists the type pairs that have at least one link, each pair
+// once in a canonical order (useful to print the network schema).
+func (n *Network) SchemaEdges() [][2]Type {
+	seen := make(map[[2]Type]bool)
+	for k, ls := range n.relation {
+		if len(ls) == 0 {
+			continue
+		}
+		a, b := k.src, k.dst
+		if b < a {
+			a, b = b, a
+		}
+		seen[[2]Type{a, b}] = true
+	}
+	out := make([][2]Type, 0, len(seen))
+	for p := range seen {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i][0] != out[j][0] {
+			return out[i][0] < out[j][0]
+		}
+		return out[i][1] < out[j][1]
+	})
+	return out
+}
+
+// Bipartite is the bi-typed sub-network view consumed by RankClus:
+// target type X, attribute type Y, and the X×Y link matrix W. WXX is the
+// optional homogeneous X×X matrix (e.g. co-author links); it may be nil.
+type Bipartite struct {
+	X, Y Type
+	W    *sparse.Matrix // |X| × |Y|
+	WXX  *sparse.Matrix // |X| × |X| or nil
+}
+
+// Bipartite extracts the bi-typed view between target x and attribute y.
+// Any homogeneous x–x links present are attached as WXX.
+func (n *Network) Bipartite(x, y Type) *Bipartite {
+	b := &Bipartite{X: x, Y: y, W: n.Relation(x, y)}
+	if n.HasRelation(x, x) {
+		b.WXX = n.Relation(x, x)
+	}
+	return b
+}
+
+// Star is the star-schema view consumed by NetClus: a center type whose
+// objects each link to objects of the attribute types (for DBLP: paper
+// center with author/venue/term attributes).
+type Star struct {
+	Center     Type
+	Attributes []Type
+	// Rel[i] is the Center×Attributes[i] link matrix.
+	Rel []*sparse.Matrix
+}
+
+// Star extracts the star-schema view centered on center; attrs lists the
+// attribute types in presentation order. It panics if a relation is
+// entirely absent, since the star schema requires every attribute type to
+// touch the center.
+func (n *Network) Star(center Type, attrs ...Type) *Star {
+	s := &Star{Center: center, Attributes: append([]Type(nil), attrs...)}
+	for _, a := range attrs {
+		if !n.HasRelation(center, a) {
+			panic(fmt.Sprintf("hin: star schema missing relation %s-%s", center, a))
+		}
+		s.Rel = append(s.Rel, n.Relation(center, a))
+	}
+	return s
+}
+
+// MetaPath is a sequence of types describing a composite relation, e.g.
+// {"author","paper","author"} for co-authorship.
+type MetaPath []Type
+
+// String renders the path as A-P-A style.
+func (p MetaPath) String() string {
+	out := ""
+	for i, t := range p {
+		if i > 0 {
+			out += "-"
+		}
+		out += string(t)
+	}
+	return out
+}
+
+// Symmetric reports whether the path reads the same reversed.
+func (p MetaPath) Symmetric() bool {
+	for i, j := 0, len(p)-1; i < j; i, j = i+1, j-1 {
+		if p[i] != p[j] {
+			return false
+		}
+	}
+	return true
+}
+
+// CommutingMatrix returns the product of relation matrices along the
+// path: M = W(t0,t1) · W(t1,t2) · … . Paths must have length ≥ 2.
+func (n *Network) CommutingMatrix(p MetaPath) *sparse.Matrix {
+	if len(p) < 2 {
+		panic("hin: meta path needs at least two types")
+	}
+	m := n.Relation(p[0], p[1])
+	for i := 1; i < len(p)-1; i++ {
+		m = m.Mul(n.Relation(p[i], p[i+1]))
+	}
+	return m
+}
+
+// Projection builds the homogeneous weighted graph on type p[0] induced
+// by a symmetric meta-path: nodes are the objects of p[0]; edge weights
+// are the off-diagonal entries of the commuting matrix. Labels carry the
+// object names.
+func (n *Network) Projection(p MetaPath) *graph.Graph {
+	if !p.Symmetric() || p[0] != p[len(p)-1] {
+		panic("hin: projection requires a symmetric meta path")
+	}
+	m := n.CommutingMatrix(p)
+	g := graph.New(n.Count(p[0]), false)
+	for id := 0; id < n.Count(p[0]); id++ {
+		g.SetLabel(id, n.Name(p[0], id))
+	}
+	for r := 0; r < m.Rows(); r++ {
+		m.Row(r, func(c int, v float64) {
+			if c > r && v > 0 {
+				g.AddEdge(r, c, v)
+			}
+		})
+	}
+	return g
+}
+
+// Homogeneous converts the whole network into one untyped directed graph
+// whose nodes are all objects of all types (ordered by type registration
+// then id). It returns the graph and the per-type offset map. This is the
+// "database as one gigantic network" view from the tutorial's
+// introduction, and also feeds the homogeneous baselines.
+func (n *Network) Homogeneous() (*graph.Graph, map[Type]int) {
+	offset := make(map[Type]int)
+	total := 0
+	for _, t := range n.types {
+		offset[t] = total
+		total += n.Count(t)
+	}
+	g := graph.New(total, false)
+	for _, t := range n.types {
+		for id := 0; id < n.Count(t); id++ {
+			g.SetLabel(offset[t]+id, string(t)+":"+n.Name(t, id))
+		}
+	}
+	for k, ls := range n.relation {
+		for _, l := range ls {
+			u := offset[k.src] + l.src
+			v := offset[k.dst] + l.dst
+			if u != v {
+				g.AddEdge(u, v, l.w)
+			}
+		}
+	}
+	return g, offset
+}

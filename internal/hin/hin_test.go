@@ -1,0 +1,216 @@
+package hin
+
+import (
+	"testing"
+)
+
+// tinyDBLP builds the toy network used across these tests:
+// 2 authors, 3 papers, 2 venues; a0 writes p0,p1; a1 writes p1,p2;
+// p0,p1 in v0; p2 in v1.
+func tinyDBLP() *Network {
+	n := NewNetwork()
+	a0 := n.AddObject("author", "alice")
+	a1 := n.AddObject("author", "bob")
+	p0 := n.AddObject("paper", "p0")
+	p1 := n.AddObject("paper", "p1")
+	p2 := n.AddObject("paper", "p2")
+	v0 := n.AddObject("venue", "sigmod")
+	v1 := n.AddObject("venue", "kdd")
+	n.AddLink("paper", p0, "author", a0, 1)
+	n.AddLink("paper", p1, "author", a0, 1)
+	n.AddLink("paper", p1, "author", a1, 1)
+	n.AddLink("paper", p2, "author", a1, 1)
+	n.AddLink("paper", p0, "venue", v0, 1)
+	n.AddLink("paper", p1, "venue", v0, 1)
+	n.AddLink("paper", p2, "venue", v1, 1)
+	return n
+}
+
+func TestObjectRegistration(t *testing.T) {
+	n := NewNetwork()
+	id := n.AddObject("author", "alice")
+	again := n.AddObject("author", "alice")
+	if id != again {
+		t.Error("duplicate name should return same id")
+	}
+	if n.Count("author") != 1 {
+		t.Errorf("Count = %d", n.Count("author"))
+	}
+	if n.Lookup("author", "alice") != id || n.Lookup("author", "nobody") != -1 {
+		t.Error("Lookup wrong")
+	}
+	if n.Name("author", id) != "alice" {
+		t.Error("Name wrong")
+	}
+}
+
+func TestAddAnonymous(t *testing.T) {
+	n := NewNetwork()
+	first := n.AddAnonymous("term", 5)
+	if first != 0 || n.Count("term") != 5 {
+		t.Fatalf("AddAnonymous first=%d count=%d", first, n.Count("term"))
+	}
+	second := n.AddAnonymous("term", 3)
+	if second != 5 || n.Count("term") != 8 {
+		t.Errorf("second batch first=%d count=%d", second, n.Count("term"))
+	}
+}
+
+func TestRelationSymmetricAcrossOrientation(t *testing.T) {
+	n := tinyDBLP()
+	pa := n.Relation("paper", "author")
+	ap := n.Relation("author", "paper")
+	if pa.Rows() != 3 || pa.Cols() != 2 || ap.Rows() != 2 || ap.Cols() != 3 {
+		t.Fatal("relation dims wrong")
+	}
+	for p := 0; p < 3; p++ {
+		for a := 0; a < 2; a++ {
+			if pa.At(p, a) != ap.At(a, p) {
+				t.Fatalf("orientation mismatch at paper %d author %d", p, a)
+			}
+		}
+	}
+	if pa.At(1, 0) != 1 || pa.At(1, 1) != 1 || pa.At(0, 1) != 0 {
+		t.Error("relation content wrong")
+	}
+}
+
+func TestSchemaEdges(t *testing.T) {
+	n := tinyDBLP()
+	edges := n.SchemaEdges()
+	if len(edges) != 2 {
+		t.Fatalf("schema edges = %v", edges)
+	}
+	// canonical order: author-paper then paper-venue
+	if edges[0] != [2]Type{"author", "paper"} || edges[1] != [2]Type{"paper", "venue"} {
+		t.Errorf("schema edges = %v", edges)
+	}
+}
+
+func TestBipartiteView(t *testing.T) {
+	n := tinyDBLP()
+	b := n.Bipartite("venue", "author")
+	if b.W.Rows() != 2 || b.W.Cols() != 2 {
+		t.Fatalf("bipartite dims %dx%d", b.W.Rows(), b.W.Cols())
+	}
+	// venue-author has no direct links in this schema
+	if b.W.NNZ() != 0 {
+		t.Error("no direct venue-author links expected")
+	}
+	if b.WXX != nil {
+		t.Error("no homogeneous venue links expected")
+	}
+	// add venue-venue link, check WXX appears
+	n.AddLink("venue", 0, "venue", 1, 2)
+	b = n.Bipartite("venue", "author")
+	if b.WXX == nil || b.WXX.At(0, 1) != 2 {
+		t.Error("WXX missing")
+	}
+}
+
+func TestStarView(t *testing.T) {
+	n := tinyDBLP()
+	s := n.Star("paper", "author", "venue")
+	if s.Center != "paper" || len(s.Rel) != 2 {
+		t.Fatal("star structure wrong")
+	}
+	if s.Rel[0].Rows() != 3 || s.Rel[0].Cols() != 2 {
+		t.Error("star author relation dims wrong")
+	}
+	if s.Rel[1].At(2, 1) != 1 {
+		t.Error("p2 should link kdd")
+	}
+}
+
+func TestStarMissingRelationPanics(t *testing.T) {
+	n := tinyDBLP()
+	defer func() {
+		if recover() == nil {
+			t.Error("missing star relation should panic")
+		}
+	}()
+	n.Star("paper", "author", "term")
+}
+
+func TestMetaPathString(t *testing.T) {
+	p := MetaPath{"author", "paper", "author"}
+	if p.String() != "author-paper-author" {
+		t.Errorf("String = %q", p.String())
+	}
+	if !p.Symmetric() {
+		t.Error("APA should be symmetric")
+	}
+	if (MetaPath{"author", "paper", "venue"}).Symmetric() {
+		t.Error("APV should not be symmetric")
+	}
+}
+
+func TestCommutingMatrixCoauthor(t *testing.T) {
+	n := tinyDBLP()
+	m := n.CommutingMatrix(MetaPath{"author", "paper", "author"})
+	// alice-bob share exactly p1.
+	if m.At(0, 1) != 1 || m.At(1, 0) != 1 {
+		t.Errorf("co-author count = %v", m.At(0, 1))
+	}
+	// diagonal = paper counts.
+	if m.At(0, 0) != 2 || m.At(1, 1) != 2 {
+		t.Errorf("diagonal = %v,%v", m.At(0, 0), m.At(1, 1))
+	}
+}
+
+func TestProjectionGraph(t *testing.T) {
+	n := tinyDBLP()
+	g := n.Projection(MetaPath{"author", "paper", "author"})
+	if g.N() != 2 || g.M() != 1 {
+		t.Fatalf("projection N=%d M=%d", g.N(), g.M())
+	}
+	if !g.HasEdge(0, 1) {
+		t.Error("co-author edge missing")
+	}
+	if g.Label(0) != "alice" {
+		t.Errorf("label = %q", g.Label(0))
+	}
+}
+
+func TestProjectionRequiresSymmetry(t *testing.T) {
+	n := tinyDBLP()
+	defer func() {
+		if recover() == nil {
+			t.Error("asymmetric projection should panic")
+		}
+	}()
+	n.Projection(MetaPath{"author", "paper", "venue"})
+}
+
+func TestHomogeneousView(t *testing.T) {
+	n := tinyDBLP()
+	g, offset := n.Homogeneous()
+	if g.N() != 7 {
+		t.Fatalf("homogeneous N = %d, want 7", g.N())
+	}
+	if g.M() != 7 {
+		t.Errorf("homogeneous M = %d, want 7 links", g.M())
+	}
+	// paper p0 connects author alice.
+	p0 := offset["paper"] + 0
+	a0 := offset["author"] + 0
+	if !g.HasEdge(p0, a0) {
+		t.Error("typed link lost in homogeneous view")
+	}
+	if g.Label(a0) != "author:alice" {
+		t.Errorf("label = %q", g.Label(a0))
+	}
+}
+
+func TestLinkCountAndHasRelation(t *testing.T) {
+	n := tinyDBLP()
+	if n.LinkCount("paper", "author") != 4 {
+		t.Errorf("LinkCount = %d", n.LinkCount("paper", "author"))
+	}
+	if !n.HasRelation("author", "paper") {
+		t.Error("HasRelation should merge orientations")
+	}
+	if n.HasRelation("author", "venue") {
+		t.Error("no author-venue relation expected")
+	}
+}

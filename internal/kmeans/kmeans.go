@@ -1,0 +1,199 @@
+// Package kmeans implements Lloyd's k-means with k-means++ seeding plus
+// a spherical (cosine-distance) variant. It is the shared clustering
+// backend for spectral clustering, the SimRank-feature baseline, and
+// RankClus's posterior-space cluster adjustment.
+package kmeans
+
+import (
+	"math"
+
+	"hinet/internal/stats"
+)
+
+// Options configures a clustering run.
+type Options struct {
+	MaxIter   int  // default 100
+	Restarts  int  // independent k-means++ restarts, best inertia wins; default 4
+	Spherical bool // cosine distance on L2-normalized points instead of Euclidean
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxIter == 0 {
+		o.MaxIter = 100
+	}
+	if o.Restarts == 0 {
+		o.Restarts = 4
+	}
+	return o
+}
+
+// Result is a clustering of n points into k clusters.
+type Result struct {
+	Assign  []int       // cluster of each point
+	Centers [][]float64 // k × dim
+	Inertia float64     // total within-cluster squared distance
+}
+
+// Cluster partitions points (n × dim) into k clusters.
+func Cluster(rng *stats.RNG, points [][]float64, k int, opt Options) Result {
+	opt = opt.withDefaults()
+	n := len(points)
+	if n == 0 || k <= 0 {
+		return Result{}
+	}
+	if k > n {
+		k = n
+	}
+	pts := points
+	if opt.Spherical {
+		pts = normalizeRows(points)
+	}
+	best := Result{Inertia: math.Inf(1)}
+	for r := 0; r < opt.Restarts; r++ {
+		res := lloyd(rng, pts, k, opt)
+		if res.Inertia < best.Inertia {
+			best = res
+		}
+	}
+	return best
+}
+
+func lloyd(rng *stats.RNG, pts [][]float64, k int, opt Options) Result {
+	n := len(pts)
+	centers := seedPlusPlus(rng, pts, k)
+	assign := make([]int, n)
+	for i := range assign {
+		assign[i] = -1
+	}
+	for it := 0; it < opt.MaxIter; it++ {
+		changed := 0
+		for i, p := range pts {
+			bi, bd := 0, math.Inf(1)
+			for c := range centers {
+				d := sqDist(p, centers[c])
+				if d < bd {
+					bd, bi = d, c
+				}
+			}
+			if assign[i] != bi {
+				assign[i] = bi
+				changed++
+			}
+		}
+		// recompute centers
+		counts := make([]int, k)
+		for c := range centers {
+			for j := range centers[c] {
+				centers[c][j] = 0
+			}
+		}
+		for i, p := range pts {
+			c := assign[i]
+			counts[c]++
+			for j, v := range p {
+				centers[c][j] += v
+			}
+		}
+		for c := range centers {
+			if counts[c] == 0 {
+				// re-seed empty cluster at the point farthest from its center
+				far, fd := 0, -1.0
+				for i, p := range pts {
+					if d := sqDist(p, centers[assign[i]]); d > fd {
+						fd, far = d, i
+					}
+				}
+				copy(centers[c], pts[far])
+				continue
+			}
+			for j := range centers[c] {
+				centers[c][j] /= float64(counts[c])
+			}
+			if opt.Spherical {
+				normalizeInPlace(centers[c])
+			}
+		}
+		if changed == 0 {
+			break
+		}
+	}
+	inertia := 0.0
+	for i, p := range pts {
+		inertia += sqDist(p, centers[assign[i]])
+	}
+	return Result{Assign: assign, Centers: centers, Inertia: inertia}
+}
+
+// seedPlusPlus picks k initial centers with D² weighting.
+func seedPlusPlus(rng *stats.RNG, pts [][]float64, k int) [][]float64 {
+	n := len(pts)
+	centers := make([][]float64, 0, k)
+	first := rng.Intn(n)
+	centers = append(centers, clone(pts[first]))
+	d2 := make([]float64, n)
+	for i, p := range pts {
+		d2[i] = sqDist(p, centers[0])
+	}
+	for len(centers) < k {
+		total := 0.0
+		for _, d := range d2 {
+			total += d
+		}
+		var pick int
+		if total == 0 {
+			pick = rng.Intn(n)
+		} else {
+			u := rng.Float64() * total
+			acc := 0.0
+			pick = n - 1
+			for i, d := range d2 {
+				acc += d
+				if acc >= u {
+					pick = i
+					break
+				}
+			}
+		}
+		centers = append(centers, clone(pts[pick]))
+		for i, p := range pts {
+			if d := sqDist(p, centers[len(centers)-1]); d < d2[i] {
+				d2[i] = d
+			}
+		}
+	}
+	return centers
+}
+
+func sqDist(a, b []float64) float64 {
+	s := 0.0
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return s
+}
+
+func clone(p []float64) []float64 { return append([]float64(nil), p...) }
+
+func normalizeRows(pts [][]float64) [][]float64 {
+	out := make([][]float64, len(pts))
+	for i, p := range pts {
+		out[i] = clone(p)
+		normalizeInPlace(out[i])
+	}
+	return out
+}
+
+func normalizeInPlace(p []float64) {
+	n := 0.0
+	for _, v := range p {
+		n += v * v
+	}
+	if n == 0 {
+		return
+	}
+	n = math.Sqrt(n)
+	for i := range p {
+		p[i] /= n
+	}
+}

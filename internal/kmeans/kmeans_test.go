@@ -1,0 +1,130 @@
+package kmeans
+
+import (
+	"math"
+	"testing"
+
+	"hinet/internal/eval"
+	"hinet/internal/stats"
+)
+
+// blobs generates three well-separated Gaussian blobs.
+func blobs(rng *stats.RNG, per int) ([][]float64, []int) {
+	centers := [][]float64{{0, 0}, {10, 0}, {0, 10}}
+	var pts [][]float64
+	var labels []int
+	for c, ctr := range centers {
+		for i := 0; i < per; i++ {
+			pts = append(pts, []float64{
+				ctr[0] + rng.NormFloat64()*0.5,
+				ctr[1] + rng.NormFloat64()*0.5,
+			})
+			labels = append(labels, c)
+		}
+	}
+	return pts, labels
+}
+
+func TestClusterSeparatedBlobs(t *testing.T) {
+	rng := stats.NewRNG(1)
+	pts, truth := blobs(rng, 50)
+	res := Cluster(rng, pts, 3, Options{})
+	if acc := eval.Accuracy(truth, res.Assign); acc < 0.99 {
+		t.Errorf("accuracy = %v on trivial blobs", acc)
+	}
+	if len(res.Centers) != 3 {
+		t.Errorf("centers = %d", len(res.Centers))
+	}
+}
+
+func TestInertiaDecreasesWithK(t *testing.T) {
+	rng := stats.NewRNG(2)
+	pts, _ := blobs(rng, 40)
+	r1 := Cluster(stats.NewRNG(3), pts, 1, Options{})
+	r3 := Cluster(stats.NewRNG(3), pts, 3, Options{})
+	if r3.Inertia >= r1.Inertia {
+		t.Errorf("inertia should drop: k=1 %v, k=3 %v", r1.Inertia, r3.Inertia)
+	}
+}
+
+func TestKGreaterThanN(t *testing.T) {
+	rng := stats.NewRNG(4)
+	pts := [][]float64{{0, 0}, {1, 1}}
+	res := Cluster(rng, pts, 10, Options{})
+	if len(res.Assign) != 2 {
+		t.Fatal("assignment length wrong")
+	}
+	if res.Assign[0] == res.Assign[1] {
+		t.Error("two distinct points with k>=n should split")
+	}
+}
+
+func TestEmptyInput(t *testing.T) {
+	rng := stats.NewRNG(5)
+	res := Cluster(rng, nil, 3, Options{})
+	if res.Assign != nil {
+		t.Error("empty input should give empty result")
+	}
+}
+
+func TestSphericalClusteringDirections(t *testing.T) {
+	rng := stats.NewRNG(6)
+	// two direction groups with very different magnitudes
+	var pts [][]float64
+	var truth []int
+	for i := 0; i < 40; i++ {
+		scale := 1 + rng.Float64()*100
+		pts = append(pts, []float64{scale * (1 + rng.NormFloat64()*0.05), scale * rng.NormFloat64() * 0.05})
+		truth = append(truth, 0)
+	}
+	for i := 0; i < 40; i++ {
+		scale := 1 + rng.Float64()*100
+		pts = append(pts, []float64{scale * rng.NormFloat64() * 0.05, scale * (1 + rng.NormFloat64()*0.05)})
+		truth = append(truth, 1)
+	}
+	res := Cluster(rng, pts, 2, Options{Spherical: true})
+	if acc := eval.Accuracy(truth, res.Assign); acc < 0.95 {
+		t.Errorf("spherical accuracy = %v", acc)
+	}
+}
+
+func TestDeterministicWithSeed(t *testing.T) {
+	pts, _ := blobs(stats.NewRNG(7), 30)
+	a := Cluster(stats.NewRNG(42), pts, 3, Options{})
+	b := Cluster(stats.NewRNG(42), pts, 3, Options{})
+	for i := range a.Assign {
+		if a.Assign[i] != b.Assign[i] {
+			t.Fatal("same-seed k-means differs")
+		}
+	}
+}
+
+func TestAssignmentsMatchNearestCenter(t *testing.T) {
+	rng := stats.NewRNG(8)
+	pts, _ := blobs(rng, 30)
+	res := Cluster(rng, pts, 3, Options{})
+	for i, p := range pts {
+		bi, bd := -1, math.Inf(1)
+		for c := range res.Centers {
+			d := sqDist(p, res.Centers[c])
+			if d < bd {
+				bd, bi = d, c
+			}
+		}
+		if bi != res.Assign[i] {
+			t.Fatalf("point %d not assigned to nearest center", i)
+		}
+	}
+}
+
+func TestIdenticalPointsSingleCluster(t *testing.T) {
+	rng := stats.NewRNG(9)
+	pts := make([][]float64, 10)
+	for i := range pts {
+		pts[i] = []float64{3, 3}
+	}
+	res := Cluster(rng, pts, 2, Options{})
+	if res.Inertia != 0 {
+		t.Errorf("identical points inertia = %v", res.Inertia)
+	}
+}

@@ -1,0 +1,147 @@
+package linkclus
+
+import (
+	"math"
+	"testing"
+
+	"hinet/internal/eval"
+	"hinet/internal/netgen"
+	"hinet/internal/simrank"
+	"hinet/internal/sparse"
+	"hinet/internal/stats"
+)
+
+func blockBipartite() *sparse.Matrix {
+	// X 0..3 linked to Y block {0,1}; X 4..7 to Y block {2,3}.
+	d := make([][]float64, 8)
+	for i := range d {
+		d[i] = make([]float64, 4)
+	}
+	for i := 0; i < 4; i++ {
+		d[i][0], d[i][1] = 1, 1
+	}
+	for i := 4; i < 8; i++ {
+		d[i][2], d[i][3] = 1, 1
+	}
+	return sparse.NewFromDense(d)
+}
+
+func TestSimSeparatesBlocks(t *testing.T) {
+	m := Fit(stats.NewRNG(1), blockBipartite(), Options{Dim: 4, LeafSize: 2})
+	if m.Sim(0, 1) <= m.Sim(0, 5) {
+		t.Errorf("within-block sim %v should beat cross-block %v", m.Sim(0, 1), m.Sim(0, 5))
+	}
+	if m.Sim(0, 1) < 0.9 {
+		t.Errorf("identical-neighborhood sim = %v, want ≈1", m.Sim(0, 1))
+	}
+}
+
+func TestSimSelfAndSymmetry(t *testing.T) {
+	m := Fit(stats.NewRNG(2), blockBipartite(), Options{Dim: 4})
+	for a := 0; a < 8; a++ {
+		if s := m.Sim(a, a); math.Abs(s-1) > 1e-9 {
+			t.Fatalf("self sim = %v", s)
+		}
+		for b := 0; b < 8; b++ {
+			if math.Abs(m.Sim(a, b)-m.Sim(b, a)) > 1e-12 {
+				t.Fatal("sim not symmetric")
+			}
+		}
+	}
+}
+
+func TestClusterRecoversPlantedBiTyped(t *testing.T) {
+	res := netgen.BiTyped(stats.NewRNG(3), netgen.MediumBiTyped())
+	w := res.Net.Relation(res.X, res.Y)
+	m := Fit(stats.NewRNG(4), w, Options{})
+	assign := m.Cluster(stats.NewRNG(5), 3)
+	if nmi := eval.NMI(res.TruthX, assign); nmi < 0.6 {
+		t.Errorf("LinkClus cluster NMI = %v", nmi)
+	}
+}
+
+func TestAgreesWithSimRankOrdering(t *testing.T) {
+	// On a small planted network, LinkClus similarities should broadly
+	// agree with bipartite SimRank (rank correlation over pairs).
+	cfg := netgen.BiTypedConfig{
+		K:     2,
+		Nx:    []int{8, 8},
+		Ny:    []int{40, 40},
+		Links: []int{160, 160},
+		Cross: 0.15,
+		Skew:  0.8,
+	}
+	res := netgen.BiTyped(stats.NewRNG(6), cfg)
+	w := res.Net.Relation(res.X, res.Y)
+	m := Fit(stats.NewRNG(7), w, Options{Dim: 8})
+	sr := simrank.Bipartite(w, simrank.Options{MaxIter: 8})
+	var a, b []float64
+	for i := 0; i < 16; i++ {
+		for j := i + 1; j < 16; j++ {
+			a = append(a, m.Sim(i, j))
+			b = append(b, sr.SX[i][j])
+		}
+	}
+	if tau := eval.KendallTau(a, b); tau < 0.3 {
+		t.Errorf("Kendall tau vs SimRank = %v, want ≥ 0.3", tau)
+	}
+}
+
+func TestTopKReturnsBlockMates(t *testing.T) {
+	m := Fit(stats.NewRNG(8), blockBipartite(), Options{Dim: 4, LeafSize: 2, Fanout: 2})
+	top := m.TopK(0, 3)
+	if len(top) != 3 {
+		t.Fatalf("topk size = %d", len(top))
+	}
+	for _, p := range top {
+		if p.ID >= 4 {
+			t.Errorf("cross-block object %d in top-3: %v", p.ID, top)
+		}
+	}
+}
+
+func TestTreeCoversAllObjects(t *testing.T) {
+	res := netgen.BiTyped(stats.NewRNG(9), netgen.MediumBiTyped())
+	w := res.Net.Relation(res.X, res.Y)
+	m := Fit(stats.NewRNG(10), w, Options{LeafSize: 4, Fanout: 3})
+	seen := map[int]bool{}
+	var walk func(n *TreeNode)
+	walk = func(n *TreeNode) {
+		if len(n.Children) == 0 {
+			for _, id := range n.Members {
+				seen[id] = true
+			}
+			return
+		}
+		for _, ch := range n.Children {
+			walk(ch)
+		}
+	}
+	walk(m.Tree)
+	if len(seen) != w.Rows() {
+		t.Errorf("tree covers %d/%d objects", len(seen), w.Rows())
+	}
+}
+
+func TestEmptyMatrix(t *testing.T) {
+	m := Fit(stats.NewRNG(11), sparse.NewFromCoords(0, 0, nil), Options{})
+	if len(m.UX) != 0 {
+		t.Error("empty input should give empty model")
+	}
+	if m.Cluster(stats.NewRNG(12), 3) != nil {
+		t.Error("empty cluster should be nil")
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	w := blockBipartite()
+	a := Fit(stats.NewRNG(13), w, Options{Dim: 4})
+	b := Fit(stats.NewRNG(13), w, Options{Dim: 4})
+	for i := 0; i < 8; i++ {
+		for j := 0; j < 8; j++ {
+			if math.Abs(a.Sim(i, j)-b.Sim(i, j)) > 1e-12 {
+				t.Fatal("same-seed models differ")
+			}
+		}
+	}
+}

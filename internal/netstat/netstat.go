@@ -1,0 +1,359 @@
+// Package netstat implements the "measuring information networks" layer
+// of the tutorial (§2a): density, connectivity, centrality and
+// reachability analysis, plus the statistical signatures of real
+// networks — power-law degree distributions (MLE exponent fit), the
+// small-world phenomenon (average path length vs clustering
+// coefficient), and densification of evolving networks.
+package netstat
+
+import (
+	"math"
+	"sort"
+
+	"hinet/internal/graph"
+)
+
+// Density returns 2m/(n(n-1)) for undirected graphs and m/(n(n-1)) for
+// directed ones; graphs with fewer than two nodes have density 0.
+func Density(g *graph.Graph) float64 {
+	n := float64(g.N())
+	if n < 2 {
+		return 0
+	}
+	m := float64(g.M())
+	if g.Directed {
+		return m / (n * (n - 1))
+	}
+	return 2 * m / (n * (n - 1))
+}
+
+// DegreeHistogram returns counts[d] = number of nodes with degree d.
+func DegreeHistogram(g *graph.Graph) []int {
+	maxD := 0
+	degs := make([]int, g.N())
+	for v := 0; v < g.N(); v++ {
+		d := len(g.NeighborSet(v, false))
+		degs[v] = d
+		if d > maxD {
+			maxD = d
+		}
+	}
+	h := make([]int, maxD+1)
+	for _, d := range degs {
+		h[d]++
+	}
+	return h
+}
+
+// PowerLawFit estimates the exponent α of P(d) ∝ d^−α for degrees
+// ≥ dmin by the discrete maximum-likelihood approximation
+// α ≈ 1 + n / Σ ln(d_i / (dmin − ½)). It returns the estimate and the
+// number of samples used; graphs with no degree ≥ dmin return (0, 0).
+func PowerLawFit(g *graph.Graph, dmin int) (alpha float64, samples int) {
+	if dmin < 1 {
+		dmin = 1
+	}
+	sum := 0.0
+	for v := 0; v < g.N(); v++ {
+		d := len(g.NeighborSet(v, false))
+		if d >= dmin {
+			sum += math.Log(float64(d) / (float64(dmin) - 0.5))
+			samples++
+		}
+	}
+	if samples == 0 || sum == 0 {
+		return 0, samples
+	}
+	return 1 + float64(samples)/sum, samples
+}
+
+// ClusteringCoefficient returns the average local clustering coefficient
+// (Watts–Strogatz definition; nodes with degree < 2 contribute 0).
+func ClusteringCoefficient(g *graph.Graph) float64 {
+	n := g.N()
+	if n == 0 {
+		return 0
+	}
+	total := 0.0
+	for v := 0; v < n; v++ {
+		nb := g.NeighborSet(v, false)
+		d := len(nb)
+		if d < 2 {
+			continue
+		}
+		links := 0
+		set := make(map[int]bool, d)
+		for _, u := range nb {
+			set[u] = true
+		}
+		for _, u := range nb {
+			for _, e := range g.Neighbors(u) {
+				if e.To > u && set[e.To] {
+					links++
+				}
+			}
+		}
+		total += 2 * float64(links) / float64(d*(d-1))
+	}
+	return total / float64(n)
+}
+
+// AveragePathLength estimates the mean shortest-path hop distance over
+// reachable pairs by BFS from up to samples source nodes (all nodes when
+// samples ≤ 0 or ≥ n). Unreachable pairs are excluded.
+func AveragePathLength(g *graph.Graph, samples int) float64 {
+	n := g.N()
+	if n < 2 {
+		return 0
+	}
+	if samples <= 0 || samples > n {
+		samples = n
+	}
+	step := n / samples
+	if step == 0 {
+		step = 1
+	}
+	totalDist, pairs := 0.0, 0
+	for s := 0; s < n; s += step {
+		for _, d := range g.BFS(s) {
+			if d > 0 {
+				totalDist += float64(d)
+				pairs++
+			}
+		}
+	}
+	if pairs == 0 {
+		return 0
+	}
+	return totalDist / float64(pairs)
+}
+
+// Diameter returns the exact largest eccentricity over all nodes when
+// exact is true (O(n·m)); otherwise a double-BFS-sweep lower bound.
+func Diameter(g *graph.Graph, exact bool) int {
+	n := g.N()
+	if n == 0 {
+		return 0
+	}
+	maxFrom := func(src int) (int, int) {
+		far, fd := src, 0
+		for v, d := range g.BFS(src) {
+			if d > fd {
+				fd, far = d, v
+			}
+		}
+		return far, fd
+	}
+	if exact {
+		best := 0
+		for v := 0; v < n; v++ {
+			if _, d := maxFrom(v); d > best {
+				best = d
+			}
+		}
+		return best
+	}
+	a, _ := maxFrom(0)
+	_, d := maxFrom(a)
+	return d
+}
+
+// Reachability returns the fraction of ordered node pairs (u,v), u≠v,
+// where v is reachable from u, estimated via BFS from every node.
+func Reachability(g *graph.Graph) float64 {
+	n := g.N()
+	if n < 2 {
+		return 0
+	}
+	reach := 0
+	for s := 0; s < n; s++ {
+		for v, d := range g.BFS(s) {
+			if v != s && d >= 0 {
+				reach++
+			}
+		}
+	}
+	return float64(reach) / float64(n*(n-1))
+}
+
+// DegreeCentrality returns degree/(n−1) per node.
+func DegreeCentrality(g *graph.Graph) []float64 {
+	n := g.N()
+	c := make([]float64, n)
+	if n < 2 {
+		return c
+	}
+	for v := 0; v < n; v++ {
+		c[v] = float64(len(g.NeighborSet(v, false))) / float64(n-1)
+	}
+	return c
+}
+
+// ClosenessCentrality returns, per node, (reachable count) / (n−1) ×
+// (reachable count) / (total distance) — the Wasserman–Faust
+// normalization that handles disconnected graphs. Nodes reaching nothing
+// score 0.
+func ClosenessCentrality(g *graph.Graph) []float64 {
+	n := g.N()
+	c := make([]float64, n)
+	if n < 2 {
+		return c
+	}
+	for v := 0; v < n; v++ {
+		total, reach := 0, 0
+		for u, d := range g.BFS(v) {
+			if u != v && d > 0 {
+				total += d
+				reach++
+			}
+		}
+		if total > 0 {
+			r := float64(reach)
+			c[v] = (r / float64(n-1)) * (r / float64(total))
+		}
+	}
+	return c
+}
+
+// BetweennessCentrality computes exact shortest-path betweenness with
+// Brandes' algorithm (unweighted). Undirected scores are halved per the
+// usual convention.
+func BetweennessCentrality(g *graph.Graph) []float64 {
+	n := g.N()
+	cb := make([]float64, n)
+	for s := 0; s < n; s++ {
+		// single-source shortest path counting
+		var stack []int
+		preds := make([][]int, n)
+		sigma := make([]float64, n)
+		dist := make([]int, n)
+		for i := range dist {
+			dist[i] = -1
+		}
+		sigma[s] = 1
+		dist[s] = 0
+		queue := []int{s}
+		for len(queue) > 0 {
+			v := queue[0]
+			queue = queue[1:]
+			stack = append(stack, v)
+			for _, e := range g.Neighbors(v) {
+				w := e.To
+				if dist[w] < 0 {
+					dist[w] = dist[v] + 1
+					queue = append(queue, w)
+				}
+				if dist[w] == dist[v]+1 {
+					sigma[w] += sigma[v]
+					preds[w] = append(preds[w], v)
+				}
+			}
+		}
+		delta := make([]float64, n)
+		for i := len(stack) - 1; i >= 0; i-- {
+			w := stack[i]
+			for _, v := range preds[w] {
+				delta[v] += sigma[v] / sigma[w] * (1 + delta[w])
+			}
+			if w != s {
+				cb[w] += delta[w]
+			}
+		}
+	}
+	if !g.Directed {
+		for i := range cb {
+			cb[i] /= 2
+		}
+	}
+	return cb
+}
+
+// DensificationExponent fits E ∝ N^a over growth snapshots by least
+// squares in log–log space and returns a. Fewer than two snapshots give 0.
+func DensificationExponent(nodes, edges []int) float64 {
+	if len(nodes) != len(edges) || len(nodes) < 2 {
+		return 0
+	}
+	var sx, sy, sxx, sxy float64
+	n := 0
+	for i := range nodes {
+		if nodes[i] <= 0 || edges[i] <= 0 {
+			continue
+		}
+		x := math.Log(float64(nodes[i]))
+		y := math.Log(float64(edges[i]))
+		sx += x
+		sy += y
+		sxx += x * x
+		sxy += x * y
+		n++
+	}
+	if n < 2 {
+		return 0
+	}
+	fn := float64(n)
+	den := fn*sxx - sx*sx
+	if den == 0 {
+		return 0
+	}
+	return (fn*sxy - sx*sy) / den
+}
+
+// Summary aggregates the headline statistics for one graph — the row
+// format of the tutorial's network-measurement table.
+type Summary struct {
+	Nodes, Edges   int
+	Density        float64
+	Components     int
+	LargestComp    int
+	AvgDegree      float64
+	MaxDegree      int
+	ClusteringCoef float64
+	AvgPathLength  float64 // sampled
+	PowerLawAlpha  float64
+}
+
+// Summarize computes a Summary (path length sampled at ≤ 64 sources).
+func Summarize(g *graph.Graph) Summary {
+	s := Summary{Nodes: g.N(), Edges: g.M(), Density: Density(g)}
+	comp, k := g.ConnectedComponents()
+	s.Components = k
+	sizes := make(map[int]int)
+	for _, c := range comp {
+		sizes[c]++
+	}
+	for _, sz := range sizes {
+		if sz > s.LargestComp {
+			s.LargestComp = sz
+		}
+	}
+	totalDeg := 0
+	for v := 0; v < g.N(); v++ {
+		d := len(g.NeighborSet(v, false))
+		totalDeg += d
+		if d > s.MaxDegree {
+			s.MaxDegree = d
+		}
+	}
+	if g.N() > 0 {
+		s.AvgDegree = float64(totalDeg) / float64(g.N())
+	}
+	s.ClusteringCoef = ClusteringCoefficient(g)
+	s.AvgPathLength = AveragePathLength(g, 64)
+	s.PowerLawAlpha, _ = PowerLawFit(g, 2)
+	return s
+}
+
+// TopCentral returns the k node ids with the highest centrality score,
+// descending (ties by id).
+func TopCentral(scores []float64, k int) []int {
+	idx := make([]int, len(scores))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return scores[idx[a]] > scores[idx[b]] })
+	if k > len(idx) {
+		k = len(idx)
+	}
+	return idx[:k]
+}

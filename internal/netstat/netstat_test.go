@@ -1,0 +1,229 @@
+package netstat
+
+import (
+	"math"
+	"testing"
+
+	"hinet/internal/graph"
+	"hinet/internal/netgen"
+	"hinet/internal/stats"
+)
+
+func pathGraph(n int) *graph.Graph {
+	g := graph.New(n, false)
+	for i := 0; i+1 < n; i++ {
+		g.AddEdge(i, i+1, 1)
+	}
+	return g
+}
+
+func completeGraph(n int) *graph.Graph {
+	g := graph.New(n, false)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			g.AddEdge(i, j, 1)
+		}
+	}
+	return g
+}
+
+func TestDensity(t *testing.T) {
+	if d := Density(completeGraph(5)); math.Abs(d-1) > 1e-12 {
+		t.Errorf("complete density = %v", d)
+	}
+	if d := Density(graph.New(5, false)); d != 0 {
+		t.Errorf("empty density = %v", d)
+	}
+	dg := graph.New(3, true)
+	dg.AddEdge(0, 1, 1)
+	if d := Density(dg); math.Abs(d-1.0/6) > 1e-12 {
+		t.Errorf("directed density = %v", d)
+	}
+}
+
+func TestDegreeHistogram(t *testing.T) {
+	h := DegreeHistogram(pathGraph(4)) // degrees 1,2,2,1
+	if h[1] != 2 || h[2] != 2 {
+		t.Errorf("histogram = %v", h)
+	}
+}
+
+func TestClusteringCoefficient(t *testing.T) {
+	if c := ClusteringCoefficient(completeGraph(5)); math.Abs(c-1) > 1e-12 {
+		t.Errorf("complete CC = %v", c)
+	}
+	if c := ClusteringCoefficient(pathGraph(5)); c != 0 {
+		t.Errorf("path CC = %v", c)
+	}
+	// triangle + pendant: CC = (1+1+1+0)/4
+	g := graph.New(4, false)
+	g.AddEdge(0, 1, 1)
+	g.AddEdge(1, 2, 1)
+	g.AddEdge(0, 2, 1)
+	g.AddEdge(2, 3, 1)
+	// node2 has degree 3, with 1 link among neighbors {0,1,3} → 2/6=1/3
+	want := (1.0 + 1.0 + 1.0/3.0 + 0) / 4
+	if c := ClusteringCoefficient(g); math.Abs(c-want) > 1e-12 {
+		t.Errorf("CC = %v, want %v", c, want)
+	}
+}
+
+func TestAveragePathLength(t *testing.T) {
+	// path 0-1-2: pairs (0,1)=1 (0,2)=2 (1,2)=1 → avg (1+2+1+1+2+1)/6 = 4/3
+	if l := AveragePathLength(pathGraph(3), 0); math.Abs(l-4.0/3) > 1e-12 {
+		t.Errorf("APL = %v", l)
+	}
+}
+
+func TestDiameter(t *testing.T) {
+	if d := Diameter(pathGraph(6), true); d != 5 {
+		t.Errorf("exact diameter = %d", d)
+	}
+	if d := Diameter(pathGraph(6), false); d != 5 {
+		t.Errorf("double-sweep diameter = %d (path should be exact)", d)
+	}
+	if d := Diameter(completeGraph(4), true); d != 1 {
+		t.Errorf("complete diameter = %d", d)
+	}
+}
+
+func TestReachability(t *testing.T) {
+	if r := Reachability(completeGraph(4)); r != 1 {
+		t.Errorf("complete reachability = %v", r)
+	}
+	g := graph.New(4, false)
+	g.AddEdge(0, 1, 1)
+	g.AddEdge(2, 3, 1)
+	if r := Reachability(g); math.Abs(r-4.0/12) > 1e-12 {
+		t.Errorf("split reachability = %v", r)
+	}
+}
+
+func TestDegreeCentrality(t *testing.T) {
+	c := DegreeCentrality(pathGraph(3))
+	if c[1] != 1 || c[0] != 0.5 {
+		t.Errorf("degree centrality = %v", c)
+	}
+}
+
+func TestClosenessCentralityOrdering(t *testing.T) {
+	c := ClosenessCentrality(pathGraph(5))
+	if !(c[2] > c[1] && c[1] > c[0]) {
+		t.Errorf("closeness should peak at center: %v", c)
+	}
+	iso := graph.New(2, false)
+	if ClosenessCentrality(iso)[0] != 0 {
+		t.Error("isolated closeness should be 0")
+	}
+}
+
+func TestBetweennessPathCenter(t *testing.T) {
+	b := BetweennessCentrality(pathGraph(5))
+	// center node 2 lies on all 2·(2×2)=… pairs crossing it: exact value 4
+	if math.Abs(b[2]-4) > 1e-9 {
+		t.Errorf("betweenness center = %v, want 4", b[2])
+	}
+	if b[0] != 0 || b[4] != 0 {
+		t.Errorf("endpoints should be 0: %v", b)
+	}
+	// star: center carries all (n-1 choose 2) pairs
+	star := graph.New(5, false)
+	for i := 1; i < 5; i++ {
+		star.AddEdge(0, i, 1)
+	}
+	bs := BetweennessCentrality(star)
+	if math.Abs(bs[0]-6) > 1e-9 {
+		t.Errorf("star center betweenness = %v, want 6", bs[0])
+	}
+}
+
+func TestPowerLawFitOnBA(t *testing.T) {
+	rng := stats.NewRNG(1)
+	g := netgen.BarabasiAlbert(rng, 5000, 3)
+	alpha, n := PowerLawFit(g, 3)
+	if n < 4000 {
+		t.Fatalf("too few samples: %d", n)
+	}
+	// BA theoretical exponent is 3; MLE on finite graphs lands 2.2–3.5.
+	if alpha < 2.0 || alpha > 3.8 {
+		t.Errorf("BA power-law alpha = %v, want ≈3", alpha)
+	}
+}
+
+func TestPowerLawFitNotPowerLawOnER(t *testing.T) {
+	rng := stats.NewRNG(2)
+	gER := netgen.ErdosRenyi(rng, 2000, 0.005) // avg degree 10
+	gBA := netgen.BarabasiAlbert(stats.NewRNG(3), 2000, 5)
+	// Fit the tail above the mean degree: ER's Poisson tail decays much
+	// faster there than BA's power law, so its fitted alpha is larger.
+	alphaER, nER := PowerLawFit(gER, 10)
+	alphaBA, nBA := PowerLawFit(gBA, 10)
+	if nER < 100 || nBA < 100 {
+		t.Fatalf("too few tail samples: ER=%d BA=%d", nER, nBA)
+	}
+	if alphaER <= alphaBA {
+		t.Errorf("expected alpha(ER)=%v > alpha(BA)=%v", alphaER, alphaBA)
+	}
+}
+
+func TestSmallWorldSignature(t *testing.T) {
+	// WS with low rewiring: high clustering, short paths vs same-size ER.
+	ws := netgen.WattsStrogatz(stats.NewRNG(4), 500, 10, 0.1)
+	er := netgen.ErdosRenyi(stats.NewRNG(5), 500, 10.0/499)
+	ccWS := ClusteringCoefficient(ws)
+	ccER := ClusteringCoefficient(er)
+	if ccWS < 3*ccER {
+		t.Errorf("WS clustering %v not ≫ ER %v", ccWS, ccER)
+	}
+	aplWS := AveragePathLength(ws, 50)
+	if aplWS > 10 {
+		t.Errorf("WS path length %v not small", aplWS)
+	}
+}
+
+func TestDensificationExponent(t *testing.T) {
+	// E = N^1.3 exactly.
+	var nodes, edges []int
+	for _, n := range []int{100, 200, 400, 800} {
+		nodes = append(nodes, n)
+		edges = append(edges, int(math.Pow(float64(n), 1.3)))
+	}
+	a := DensificationExponent(nodes, edges)
+	if math.Abs(a-1.3) > 0.02 {
+		t.Errorf("densification exponent = %v, want 1.3", a)
+	}
+	if DensificationExponent([]int{1}, []int{1}) != 0 {
+		t.Error("single snapshot should give 0")
+	}
+}
+
+func TestForestFireDensificationExponentAboveOne(t *testing.T) {
+	_, snaps := netgen.ForestFire(stats.NewRNG(6), 4000, 0.35, 0.3, 400)
+	var nodes, edges []int
+	for _, s := range snaps {
+		nodes = append(nodes, s.Nodes)
+		edges = append(edges, s.Edges)
+	}
+	a := DensificationExponent(nodes, edges)
+	if a <= 1.0 {
+		t.Errorf("forest fire exponent = %v, want > 1 (densification)", a)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	g := completeGraph(6)
+	s := Summarize(g)
+	if s.Nodes != 6 || s.Edges != 15 || s.Components != 1 || s.LargestComp != 6 {
+		t.Errorf("summary = %+v", s)
+	}
+	if s.MaxDegree != 5 || math.Abs(s.AvgDegree-5) > 1e-12 {
+		t.Errorf("degrees = %+v", s)
+	}
+}
+
+func TestTopCentral(t *testing.T) {
+	top := TopCentral([]float64{0.1, 0.9, 0.5}, 2)
+	if top[0] != 1 || top[1] != 2 {
+		t.Errorf("TopCentral = %v", top)
+	}
+}

@@ -1,0 +1,183 @@
+// Package olap implements information-network OLAP (tutorial §7c,
+// iNextCube VLDB'09 demo): a data cube whose cells hold *aggregated
+// sub-networks* instead of scalar measures. Link events carry
+// dimension coordinates (e.g. year, research area); slicing fixes some
+// dimensions, roll-up aggregates a dimension away, and every cell
+// exposes graph measures — total link weight, distinct edges, active
+// nodes, and ranked top nodes (iNextCube's "rank measure").
+package olap
+
+import (
+	"fmt"
+
+	"hinet/internal/sparse"
+	"hinet/internal/stats"
+)
+
+// Dimension is one cube axis with named members.
+type Dimension struct {
+	Name   string
+	Values []string
+}
+
+// Event is one link observation: an (src, dst, weight) edge stamped
+// with one member index per dimension.
+type Event struct {
+	Src, Dst int
+	Weight   float64
+	Coords   []int
+}
+
+// Cube is an information-network cube over a fixed src×dst object
+// space.
+type Cube struct {
+	dims   []Dimension
+	events []Event
+	nSrc   int
+	nDst   int
+}
+
+// NewCube creates a cube with the given dimensions over an nSrc×nDst
+// link space.
+func NewCube(dims []Dimension, nSrc, nDst int) *Cube {
+	return &Cube{dims: dims, nSrc: nSrc, nDst: nDst}
+}
+
+// Dimensions returns the cube's axes.
+func (c *Cube) Dimensions() []Dimension { return c.dims }
+
+// Events returns the number of stored link events.
+func (c *Cube) Events() int { return len(c.events) }
+
+// Add records a link event. Coordinate arity and ranges are validated.
+func (c *Cube) Add(e Event) {
+	if len(e.Coords) != len(c.dims) {
+		panic("olap: coordinate arity mismatch")
+	}
+	for d, v := range e.Coords {
+		if v < 0 || v >= len(c.dims[d].Values) {
+			panic(fmt.Sprintf("olap: coord %d out of range for dimension %s", v, c.dims[d].Name))
+		}
+	}
+	if e.Src < 0 || e.Src >= c.nSrc || e.Dst < 0 || e.Dst >= c.nDst {
+		panic("olap: event endpoint out of range")
+	}
+	c.events = append(c.events, e)
+}
+
+// CellQuery fixes some dimensions: Filter[d] = member index, or -1 for
+// "all" (the * wildcard).
+type CellQuery []int
+
+// AggNetwork is the aggregated sub-network measure of one cell.
+type AggNetwork struct {
+	W *sparse.Matrix // aggregated src×dst link weights
+}
+
+// TotalWeight is the summed link weight in the cell.
+func (a *AggNetwork) TotalWeight() float64 { return a.W.Sum() }
+
+// Edges is the number of distinct (src, dst) pairs.
+func (a *AggNetwork) Edges() int { return a.W.NNZ() }
+
+// ActiveNodes counts src and dst objects incident to any link.
+func (a *AggNetwork) ActiveNodes() (srcs, dsts int) {
+	seenDst := make(map[int]bool)
+	for r := 0; r < a.W.Rows(); r++ {
+		if a.W.RowNNZ(r) > 0 {
+			srcs++
+			a.W.Row(r, func(col int, v float64) { seenDst[col] = true })
+		}
+	}
+	return srcs, len(seenDst)
+}
+
+// TopSrc returns the k src objects with the largest aggregated weight —
+// the iNextCube rank measure for the cell.
+func (a *AggNetwork) TopSrc(k int) []int {
+	mass := make([]float64, a.W.Rows())
+	for r := range mass {
+		mass[r] = a.W.RowSum(r)
+	}
+	return stats.TopK(mass, k)
+}
+
+// Slice materializes one cell (or sub-cube aggregate when wildcards are
+// used) as an aggregated network.
+func (c *Cube) Slice(q CellQuery) *AggNetwork {
+	if len(q) != len(c.dims) {
+		panic("olap: query arity mismatch")
+	}
+	var entries []sparse.Coord
+	for _, e := range c.events {
+		ok := true
+		for d, want := range q {
+			if want >= 0 && e.Coords[d] != want {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			entries = append(entries, sparse.Coord{Row: e.Src, Col: e.Dst, Val: e.Weight})
+		}
+	}
+	return &AggNetwork{W: sparse.NewFromCoords(c.nSrc, c.nDst, entries)}
+}
+
+// RollUp removes a dimension, summing events that collide — the
+// classic roll-up, producing a smaller cube over the remaining axes.
+func (c *Cube) RollUp(dim int) *Cube {
+	if dim < 0 || dim >= len(c.dims) {
+		panic("olap: roll-up dimension out of range")
+	}
+	dims := make([]Dimension, 0, len(c.dims)-1)
+	for d, dd := range c.dims {
+		if d != dim {
+			dims = append(dims, dd)
+		}
+	}
+	out := NewCube(dims, c.nSrc, c.nDst)
+	for _, e := range c.events {
+		coords := make([]int, 0, len(dims))
+		for d, v := range e.Coords {
+			if d != dim {
+				coords = append(coords, v)
+			}
+		}
+		out.events = append(out.events, Event{Src: e.Src, Dst: e.Dst, Weight: e.Weight, Coords: coords})
+	}
+	return out
+}
+
+// DrillCells enumerates every cell of one dimension (others wildcarded)
+// with its aggregate measures — the row set of a one-dimensional
+// report, e.g. "co-publication network per year".
+type CellReport struct {
+	Member      string
+	TotalWeight float64
+	Edges       int
+	SrcNodes    int
+	DstNodes    int
+}
+
+// DrillCells reports aggregate measures for each member of dimension d.
+func (c *Cube) DrillCells(d int) []CellReport {
+	out := make([]CellReport, 0, len(c.dims[d].Values))
+	for m := range c.dims[d].Values {
+		q := make(CellQuery, len(c.dims))
+		for i := range q {
+			q[i] = -1
+		}
+		q[d] = m
+		agg := c.Slice(q)
+		s, t := agg.ActiveNodes()
+		out = append(out, CellReport{
+			Member:      c.dims[d].Values[m],
+			TotalWeight: agg.TotalWeight(),
+			Edges:       agg.Edges(),
+			SrcNodes:    s,
+			DstNodes:    t,
+		})
+	}
+	return out
+}

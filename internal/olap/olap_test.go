@@ -1,0 +1,170 @@
+package olap
+
+import (
+	"math"
+	"testing"
+
+	"hinet/internal/dblp"
+	"hinet/internal/stats"
+)
+
+func sampleCube() *Cube {
+	dims := []Dimension{
+		{Name: "year", Values: []string{"2000", "2001"}},
+		{Name: "area", Values: []string{"db", "ir"}},
+	}
+	c := NewCube(dims, 3, 4)
+	c.Add(Event{Src: 0, Dst: 0, Weight: 2, Coords: []int{0, 0}})
+	c.Add(Event{Src: 0, Dst: 1, Weight: 1, Coords: []int{0, 1}})
+	c.Add(Event{Src: 1, Dst: 2, Weight: 3, Coords: []int{1, 0}})
+	c.Add(Event{Src: 2, Dst: 3, Weight: 5, Coords: []int{1, 1}})
+	c.Add(Event{Src: 0, Dst: 0, Weight: 4, Coords: []int{1, 0}})
+	return c
+}
+
+func TestSliceSingleCell(t *testing.T) {
+	c := sampleCube()
+	cell := c.Slice(CellQuery{0, 0})
+	if cell.TotalWeight() != 2 || cell.Edges() != 1 {
+		t.Errorf("cell (2000,db): weight=%v edges=%d", cell.TotalWeight(), cell.Edges())
+	}
+}
+
+func TestSliceWildcard(t *testing.T) {
+	c := sampleCube()
+	all := c.Slice(CellQuery{-1, -1})
+	if all.TotalWeight() != 15 {
+		t.Errorf("full slice weight = %v", all.TotalWeight())
+	}
+	year1 := c.Slice(CellQuery{1, -1})
+	if year1.TotalWeight() != 12 {
+		t.Errorf("2001 slice weight = %v", year1.TotalWeight())
+	}
+}
+
+func TestSlicePartitionsWeight(t *testing.T) {
+	c := sampleCube()
+	total := c.Slice(CellQuery{-1, -1}).TotalWeight()
+	sum := 0.0
+	for y := 0; y < 2; y++ {
+		for a := 0; a < 2; a++ {
+			sum += c.Slice(CellQuery{y, a}).TotalWeight()
+		}
+	}
+	if math.Abs(total-sum) > 1e-12 {
+		t.Errorf("cells sum %v != total %v", sum, total)
+	}
+}
+
+func TestRollUpConservesWeight(t *testing.T) {
+	c := sampleCube()
+	r := c.RollUp(0) // drop year
+	if len(r.Dimensions()) != 1 || r.Dimensions()[0].Name != "area" {
+		t.Fatal("roll-up dimension bookkeeping wrong")
+	}
+	if got := r.Slice(CellQuery{-1}).TotalWeight(); got != 15 {
+		t.Errorf("rolled-up total = %v", got)
+	}
+	db := r.Slice(CellQuery{0})
+	if db.TotalWeight() != 9 { // 2+3+4
+		t.Errorf("db cell after roll-up = %v", db.TotalWeight())
+	}
+}
+
+func TestAggNetworkMeasures(t *testing.T) {
+	c := sampleCube()
+	agg := c.Slice(CellQuery{1, 0})
+	s, d := agg.ActiveNodes()
+	if s != 2 || d != 2 {
+		t.Errorf("active nodes = %d,%d", s, d)
+	}
+	top := agg.TopSrc(1)
+	if top[0] != 0 { // src 0 has weight 4 vs src 1 weight 3
+		t.Errorf("top src = %v", top)
+	}
+}
+
+func TestDrillCells(t *testing.T) {
+	c := sampleCube()
+	rows := c.DrillCells(0)
+	if len(rows) != 2 {
+		t.Fatal("drill rows wrong")
+	}
+	if rows[0].Member != "2000" || rows[0].TotalWeight != 3 {
+		t.Errorf("2000 row = %+v", rows[0])
+	}
+	if rows[1].TotalWeight != 12 || rows[1].Edges != 3 {
+		t.Errorf("2001 row = %+v", rows[1])
+	}
+}
+
+func TestValidation(t *testing.T) {
+	c := sampleCube()
+	for name, f := range map[string]func(){
+		"arity":   func() { c.Add(Event{Src: 0, Dst: 0, Weight: 1, Coords: []int{0}}) },
+		"range":   func() { c.Add(Event{Src: 0, Dst: 0, Weight: 1, Coords: []int{0, 9}}) },
+		"node":    func() { c.Add(Event{Src: 99, Dst: 0, Weight: 1, Coords: []int{0, 0}}) },
+		"query":   func() { c.Slice(CellQuery{0}) },
+		"rolldim": func() { c.RollUp(5) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s should panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+// TestDBLPCubeByYearAndArea builds the venue-author cube from the DBLP
+// corpus: the canonical iNextCube demonstration.
+func TestDBLPCubeByYearAndArea(t *testing.T) {
+	corpus := dblp.Generate(stats.NewRNG(1), dblp.Config{
+		VenuesPerArea:  3,
+		AuthorsPerArea: 40,
+		TermsPerArea:   30,
+		SharedTerms:    10,
+		Papers:         400,
+		Years:          3,
+	})
+	years := []string{"2000", "2001", "2002"}
+	dims := []Dimension{
+		{Name: "year", Values: years},
+		{Name: "area", Values: corpus.Config.Areas},
+	}
+	cube := NewCube(dims, corpus.Net.Count(dblp.TypeVenue), corpus.Net.Count(dblp.TypeAuthor))
+	pv := corpus.Net.Relation(dblp.TypePaper, dblp.TypeVenue)
+	pa := corpus.Net.Relation(dblp.TypePaper, dblp.TypeAuthor)
+	for p := 0; p < corpus.Net.Count(dblp.TypePaper); p++ {
+		year := corpus.PaperYear[p]
+		area := corpus.PaperArea[p]
+		pv.Row(p, func(v int, _ float64) {
+			pa.Row(p, func(a int, _ float64) {
+				cube.Add(Event{Src: v, Dst: a, Weight: 1, Coords: []int{year, area}})
+			})
+		})
+	}
+	// Total events = total (paper, author) pairs.
+	if cube.Slice(CellQuery{-1, -1}).TotalWeight() != pa.Sum() {
+		t.Error("cube mass != paper-author mass")
+	}
+	// Per-area cells should be venue-coherent: top venue of the db cell
+	// belongs to area 0 (most links are within area).
+	dbCell := cube.Slice(CellQuery{-1, 0})
+	top := dbCell.TopSrc(1)
+	if corpus.VenueArea[top[0]] != 0 {
+		t.Errorf("top venue of area-0 cell is from area %d", corpus.VenueArea[top[0]])
+	}
+	// Roll up year, drill area: 4 rows, weights partition the total.
+	byArea := cube.RollUp(0)
+	rows := byArea.DrillCells(0)
+	sum := 0.0
+	for _, r := range rows {
+		sum += r.TotalWeight
+	}
+	if math.Abs(sum-pa.Sum()) > 1e-9 {
+		t.Errorf("area drill sums %v, want %v", sum, pa.Sum())
+	}
+}

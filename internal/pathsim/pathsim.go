@@ -1,0 +1,101 @@
+// Package pathsim implements PathSim (Sun et al., cited in the tutorial
+// as the top-k similarity frontier, §7b): meta-path-based similarity in
+// heterogeneous information networks. For a symmetric meta path P (e.g.
+// author–paper–venue–paper–author), with commuting matrix M = W_P:
+//
+//	s(x, y) = 2·M[x][y] / (M[x][x] + M[y][y])
+//
+// PathSim favors *peers* — objects that are both strongly connected and
+// of comparable visibility — where random-walk measures (Personalized
+// PageRank) drift toward high-degree hubs and SimRank toward obscure
+// low-degree look-alikes. TopK answers single-source queries.
+package pathsim
+
+import (
+	"sort"
+
+	"hinet/internal/hin"
+	"hinet/internal/sparse"
+)
+
+// Index is a prepared PathSim index for one symmetric meta path: the
+// commuting matrix plus its diagonal.
+type Index struct {
+	Path hin.MetaPath
+	M    *sparse.Matrix
+	diag []float64
+}
+
+// NewIndex builds the commuting matrix for a symmetric meta path.
+func NewIndex(n *hin.Network, path hin.MetaPath) *Index {
+	if !path.Symmetric() || len(path) < 3 {
+		panic("pathsim: meta path must be symmetric with length >= 3")
+	}
+	m := n.CommutingMatrix(path)
+	return &Index{Path: path, M: m, diag: m.Diagonal()}
+}
+
+// NewIndexFromMatrix wraps a precomputed commuting matrix (must be
+// square; callers guarantee it corresponds to a symmetric path).
+func NewIndexFromMatrix(m *sparse.Matrix, path hin.MetaPath) *Index {
+	if m.Rows() != m.Cols() {
+		panic("pathsim: commuting matrix must be square")
+	}
+	return &Index{Path: path, M: m, diag: m.Diagonal()}
+}
+
+// Sim returns the PathSim score s(x, y) ∈ [0, 1].
+func (ix *Index) Sim(x, y int) float64 {
+	den := ix.diag[x] + ix.diag[y]
+	if den == 0 {
+		return 0
+	}
+	return 2 * ix.M.At(x, y) / den
+}
+
+// Pair is a scored query answer.
+type Pair struct {
+	ID    int
+	Score float64
+}
+
+// TopK returns the k most PathSim-similar objects to x (excluding x),
+// descending, ties by id. Only objects sharing at least one path
+// instance with x can score above 0, so the scan touches just row x.
+func (ix *Index) TopK(x, k int) []Pair {
+	var out []Pair
+	ix.M.Row(x, func(y int, v float64) {
+		if y == x || v == 0 {
+			return
+		}
+		den := ix.diag[x] + ix.diag[y]
+		if den == 0 {
+			return
+		}
+		out = append(out, Pair{ID: y, Score: 2 * v / den})
+	})
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].ID < out[j].ID
+	})
+	if k < len(out) {
+		out = out[:k]
+	}
+	return out
+}
+
+// AllScores materializes the full similarity row of x (dense), useful
+// for metric comparison against baselines.
+func (ix *Index) AllScores(x int) []float64 {
+	scores := make([]float64, ix.M.Rows())
+	ix.M.Row(x, func(y int, v float64) {
+		den := ix.diag[x] + ix.diag[y]
+		if den > 0 {
+			scores[y] = 2 * v / den
+		}
+	})
+	scores[x] = 1
+	return scores
+}

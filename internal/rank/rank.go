@@ -1,0 +1,311 @@
+// Package rank implements the link-based ranking algorithms the tutorial
+// covers for homogeneous networks (§2b.ii–iii) — PageRank, Personalized
+// PageRank and HITS — plus the two conditional ranking functions for
+// bi-typed networks that RankClus (§4c) integrates with clustering:
+// simple ranking and authority ranking.
+//
+// All iterations are hand-rolled power iterations over the CSR matrices
+// in internal/sparse; no external numeric library is used.
+package rank
+
+import (
+	"math"
+
+	"hinet/internal/sparse"
+)
+
+// Options configures the fixed-point iterations.
+type Options struct {
+	Damping   float64 // PageRank damping factor d (default 0.85)
+	MaxIter   int     // iteration cap (default 100)
+	Tolerance float64 // L∞ convergence threshold (default 1e-9)
+}
+
+func (o Options) withDefaults() Options {
+	if o.Damping == 0 {
+		o.Damping = 0.85
+	}
+	if o.MaxIter == 0 {
+		o.MaxIter = 100
+	}
+	if o.Tolerance == 0 {
+		o.Tolerance = 1e-9
+	}
+	return o
+}
+
+// Result carries a ranking vector plus convergence diagnostics.
+type Result struct {
+	Scores     []float64
+	Iterations int
+	Converged  bool
+}
+
+// PageRank computes the stationary distribution of the damped random
+// walk on adj (a possibly weighted, directed adjacency matrix whose
+// rows are source nodes). Dangling rows redistribute uniformly. The
+// output sums to 1.
+func PageRank(adj *sparse.Matrix, opt Options) Result {
+	return personalized(adj, nil, opt)
+}
+
+// Personalized computes Personalized PageRank with restart distribution
+// restart (need not be normalized; zero vector behaves like uniform).
+func Personalized(adj *sparse.Matrix, restart []float64, opt Options) Result {
+	return personalized(adj, restart, opt)
+}
+
+func personalized(adj *sparse.Matrix, restart []float64, opt Options) Result {
+	opt = opt.withDefaults()
+	n := adj.Rows()
+	if adj.Cols() != n {
+		panic("rank: PageRank needs a square matrix")
+	}
+	if n == 0 {
+		return Result{Converged: true}
+	}
+	p := adj.RowNormalized()
+	dangling := make([]bool, n)
+	for r := 0; r < n; r++ {
+		dangling[r] = p.RowSum(r) == 0
+	}
+	tele := make([]float64, n)
+	if restart == nil {
+		for i := range tele {
+			tele[i] = 1 / float64(n)
+		}
+	} else {
+		if len(restart) != n {
+			panic("rank: restart vector length mismatch")
+		}
+		copy(tele, restart)
+		if s := sum(tele); s > 0 {
+			sparse.ScaleVec(1/s, tele)
+		} else {
+			for i := range tele {
+				tele[i] = 1 / float64(n)
+			}
+		}
+	}
+	x := make([]float64, n)
+	copy(x, tele)
+	next := make([]float64, n)
+	d := opt.Damping
+	for it := 1; it <= opt.MaxIter; it++ {
+		// next = d·(Pᵀx + danglingMass·tele) + (1-d)·tele
+		p.MulVecT(x, next)
+		dm := 0.0
+		for r := 0; r < n; r++ {
+			if dangling[r] {
+				dm += x[r]
+			}
+		}
+		for i := 0; i < n; i++ {
+			next[i] = d*(next[i]+dm*tele[i]) + (1-d)*tele[i]
+		}
+		if sparse.MaxAbsDiff(x, next) < opt.Tolerance {
+			copy(x, next)
+			return Result{Scores: x, Iterations: it, Converged: true}
+		}
+		x, next = next, x
+	}
+	return Result{Scores: x, Iterations: opt.MaxIter, Converged: false}
+}
+
+// HITSResult carries the two HITS vectors.
+type HITSResult struct {
+	Authority  []float64
+	Hub        []float64
+	Iterations int
+	Converged  bool
+}
+
+// HITS computes hub and authority scores by the mutual-reinforcement
+// iteration a ← Aᵀh, h ← Aa with L2 normalization each round.
+func HITS(adj *sparse.Matrix, opt Options) HITSResult {
+	opt = opt.withDefaults()
+	n := adj.Rows()
+	if adj.Cols() != n {
+		panic("rank: HITS needs a square matrix")
+	}
+	if n == 0 {
+		return HITSResult{Converged: true}
+	}
+	a := make([]float64, n)
+	h := make([]float64, n)
+	for i := range h {
+		h[i] = 1 / math.Sqrt(float64(n))
+		a[i] = h[i]
+	}
+	prevA := make([]float64, n)
+	for it := 1; it <= opt.MaxIter; it++ {
+		copy(prevA, a)
+		adj.MulVecT(h, a) // authority from in-links
+		normalize2(a)
+		adj.MulVec(a, h) // hub from out-links
+		normalize2(h)
+		if sparse.MaxAbsDiff(prevA, a) < opt.Tolerance {
+			return HITSResult{Authority: a, Hub: h, Iterations: it, Converged: true}
+		}
+	}
+	return HITSResult{Authority: a, Hub: h, Iterations: opt.MaxIter, Converged: false}
+}
+
+// BiRank is the result of ranking a bi-typed network: conditional rank
+// distributions over the target type X and attribute type Y. Both sum
+// to 1 (they are probability distributions, per the RankClus model).
+type BiRank struct {
+	X, Y []float64
+}
+
+// SimpleRanking ranks by normalized weighted degree: rY(j) ∝ Σ_i W[i][j],
+// rX(i) ∝ Σ_j W[i][j]. This is RankClus's cheap ranking function; it is
+// vulnerable to spam-like high-degree objects but needs no iteration.
+func SimpleRanking(w *sparse.Matrix) BiRank {
+	x := make([]float64, w.Rows())
+	y := make([]float64, w.Cols())
+	for r := 0; r < w.Rows(); r++ {
+		w.Row(r, func(c int, v float64) {
+			x[r] += v
+			y[c] += v
+		})
+	}
+	normalize1(x)
+	normalize1(y)
+	return BiRank{X: x, Y: y}
+}
+
+// AuthorityOptions configures AuthorityRanking.
+type AuthorityOptions struct {
+	Alpha     float64 // weight of the X–X homogeneous propagation (default 0.95 when WXX present, else 1)
+	MaxIter   int
+	Tolerance float64
+}
+
+// AuthorityRanking computes RankClus's authority ranking on a bi-typed
+// network: iterate
+//
+//	rY ← normalize(Wᵀ rX)
+//	rX ← normalize(α·W rY + (1-α)·WXX rX)
+//
+// until the rank distributions stabilize. High-rank attribute objects
+// propagate authority to the targets they link, and vice versa; this is
+// the ranking whose conditional form drives RankClus and NetClus.
+func AuthorityRanking(w, wxx *sparse.Matrix, opt AuthorityOptions) BiRank {
+	if opt.MaxIter == 0 {
+		opt.MaxIter = 100
+	}
+	if opt.Tolerance == 0 {
+		opt.Tolerance = 1e-9
+	}
+	alpha := opt.Alpha
+	if wxx == nil {
+		alpha = 1
+	} else if alpha == 0 {
+		alpha = 0.95
+	}
+	nx, ny := w.Rows(), w.Cols()
+	rx := uniform(nx)
+	ry := uniform(ny)
+	tmpX := make([]float64, nx)
+	prevX := make([]float64, nx)
+	for it := 0; it < opt.MaxIter; it++ {
+		copy(prevX, rx)
+		w.MulVecT(rx, ry)
+		normalize1(ry)
+		w.MulVec(ry, rx)
+		if wxx != nil && alpha < 1 {
+			wxx.MulVec(prevX, tmpX)
+			for i := range rx {
+				rx[i] = alpha*rx[i] + (1-alpha)*tmpX[i]
+			}
+		}
+		normalize1(rx)
+		if sparse.MaxAbsDiff(prevX, rx) < opt.Tolerance {
+			break
+		}
+	}
+	return BiRank{X: rx, Y: ry}
+}
+
+// ConditionalRank restricts the bi-typed network to the given target
+// objects (e.g. the conferences currently assigned to one cluster),
+// ranks within the sub-network, and returns rank distributions over the
+// *full* X and Y index spaces (targets outside the cluster get rank 0;
+// attribute ranks are smoothed nowhere — smoothing is the caller's
+// concern). This is the "conditional rank" building block of RankClus.
+func ConditionalRank(w, wxx *sparse.Matrix, members []int, authority bool, opt AuthorityOptions) BiRank {
+	sub := restrictRows(w, members)
+	var br BiRank
+	if authority {
+		var subXX *sparse.Matrix
+		if wxx != nil {
+			subXX = restrictBoth(wxx, members)
+		}
+		br = AuthorityRanking(sub, subXX, opt)
+	} else {
+		br = SimpleRanking(sub)
+	}
+	full := BiRank{X: make([]float64, w.Rows()), Y: br.Y}
+	for i, m := range members {
+		full.X[m] = br.X[i]
+	}
+	return full
+}
+
+// restrictRows keeps only the given rows of w (in order), producing a
+// len(members)×Cols matrix.
+func restrictRows(w *sparse.Matrix, members []int) *sparse.Matrix {
+	var entries []sparse.Coord
+	for i, m := range members {
+		w.Row(m, func(c int, v float64) {
+			entries = append(entries, sparse.Coord{Row: i, Col: c, Val: v})
+		})
+	}
+	return sparse.NewFromCoords(len(members), w.Cols(), entries)
+}
+
+// restrictBoth keeps the given rows and columns of a square matrix.
+func restrictBoth(w *sparse.Matrix, members []int) *sparse.Matrix {
+	pos := make(map[int]int, len(members))
+	for i, m := range members {
+		pos[m] = i
+	}
+	var entries []sparse.Coord
+	for i, m := range members {
+		w.Row(m, func(c int, v float64) {
+			if j, ok := pos[c]; ok {
+				entries = append(entries, sparse.Coord{Row: i, Col: j, Val: v})
+			}
+		})
+	}
+	return sparse.NewFromCoords(len(members), len(members), entries)
+}
+
+func uniform(n int) []float64 {
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = 1 / float64(n)
+	}
+	return v
+}
+
+func sum(xs []float64) float64 {
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+func normalize1(xs []float64) {
+	if s := sum(xs); s > 0 {
+		sparse.ScaleVec(1/s, xs)
+	}
+}
+
+func normalize2(xs []float64) {
+	if n := sparse.Norm2(xs); n > 0 {
+		sparse.ScaleVec(1/n, xs)
+	}
+}

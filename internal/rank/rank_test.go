@@ -1,0 +1,286 @@
+package rank
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"hinet/internal/graph"
+	"hinet/internal/netgen"
+	"hinet/internal/sparse"
+	"hinet/internal/stats"
+)
+
+func sumOf(xs []float64) float64 {
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+// star: node 0 is pointed at by 1..n-1.
+func starAdj(n int) *sparse.Matrix {
+	var entries []sparse.Coord
+	for i := 1; i < n; i++ {
+		entries = append(entries, sparse.Coord{Row: i, Col: 0, Val: 1})
+	}
+	return sparse.NewFromCoords(n, n, entries)
+}
+
+func TestPageRankSumsToOne(t *testing.T) {
+	r := PageRank(starAdj(10), Options{})
+	if !r.Converged {
+		t.Fatal("did not converge")
+	}
+	if math.Abs(sumOf(r.Scores)-1) > 1e-9 {
+		t.Errorf("sum = %v", sumOf(r.Scores))
+	}
+}
+
+func TestPageRankStarCenterWins(t *testing.T) {
+	r := PageRank(starAdj(20), Options{})
+	for i := 1; i < 20; i++ {
+		if r.Scores[0] <= r.Scores[i] {
+			t.Fatalf("center rank %v not above leaf %v", r.Scores[0], r.Scores[i])
+		}
+	}
+}
+
+func TestPageRankUniformOnCycle(t *testing.T) {
+	n := 7
+	var entries []sparse.Coord
+	for i := 0; i < n; i++ {
+		entries = append(entries, sparse.Coord{Row: i, Col: (i + 1) % n, Val: 1})
+	}
+	r := PageRank(sparse.NewFromCoords(n, n, entries), Options{})
+	for i := 0; i < n; i++ {
+		if math.Abs(r.Scores[i]-1.0/float64(n)) > 1e-6 {
+			t.Fatalf("cycle not uniform: %v", r.Scores)
+		}
+	}
+}
+
+func TestPageRankFixedPointProperty(t *testing.T) {
+	// The returned vector must satisfy its own update equation.
+	rng := stats.NewRNG(1)
+	g := netgen.BarabasiAlbert(rng, 300, 3)
+	adj := g.Adjacency()
+	r := PageRank(adj, Options{Tolerance: 1e-12, MaxIter: 500})
+	if !r.Converged {
+		t.Fatal("no convergence")
+	}
+	p := adj.RowNormalized()
+	n := adj.Rows()
+	next := p.MulVecT(r.Scores, nil)
+	d := 0.85
+	for i := 0; i < n; i++ {
+		next[i] = d*next[i] + (1-d)/float64(n)
+	}
+	if diff := sparse.MaxAbsDiff(r.Scores, next); diff > 1e-9 {
+		t.Errorf("fixed point violated by %v", diff)
+	}
+}
+
+func TestPageRankDanglingMassRedistributed(t *testing.T) {
+	// 0→1, 1 dangles.
+	m := sparse.NewFromCoords(2, 2, []sparse.Coord{{Row: 0, Col: 1, Val: 1}})
+	r := PageRank(m, Options{})
+	if !r.Converged {
+		t.Fatal("no convergence")
+	}
+	if math.Abs(sumOf(r.Scores)-1) > 1e-9 {
+		t.Errorf("dangling leak: sum = %v", sumOf(r.Scores))
+	}
+	if r.Scores[1] <= r.Scores[0] {
+		t.Error("node with in-link should outrank")
+	}
+}
+
+func TestPersonalizedBiasesTowardRestart(t *testing.T) {
+	rng := stats.NewRNG(2)
+	g := netgen.ErdosRenyi(rng, 100, 0.05)
+	adj := g.Adjacency()
+	restart := make([]float64, 100)
+	restart[7] = 1
+	r := Personalized(adj, restart, Options{})
+	count := 0
+	for i, s := range r.Scores {
+		if i != 7 && s >= r.Scores[7] {
+			count++
+		}
+	}
+	if count > 0 {
+		t.Errorf("%d nodes outrank the restart node", count)
+	}
+}
+
+func TestPersonalizedZeroRestartFallsBackUniform(t *testing.T) {
+	adj := starAdj(5)
+	a := Personalized(adj, make([]float64, 5), Options{})
+	b := PageRank(adj, Options{})
+	if sparse.MaxAbsDiff(a.Scores, b.Scores) > 1e-9 {
+		t.Error("zero restart should equal global PageRank")
+	}
+}
+
+func TestHITSAuthorityOnStar(t *testing.T) {
+	r := HITS(starAdj(10), Options{})
+	if !r.Converged {
+		t.Fatal("no convergence")
+	}
+	// node 0 receives all links: top authority; leaves are hubs.
+	for i := 1; i < 10; i++ {
+		if r.Authority[0] <= r.Authority[i] {
+			t.Fatal("authority wrong")
+		}
+		if r.Hub[i] <= r.Hub[0] {
+			t.Fatal("hub wrong")
+		}
+	}
+}
+
+func TestHITSNonNegativeUnitNorm(t *testing.T) {
+	rng := stats.NewRNG(3)
+	g := netgen.BarabasiAlbert(rng, 200, 2)
+	r := HITS(g.Adjacency(), Options{})
+	na := sparse.Norm2(r.Authority)
+	if math.Abs(na-1) > 1e-6 {
+		t.Errorf("authority norm = %v", na)
+	}
+	for _, v := range r.Authority {
+		if v < 0 {
+			t.Fatal("negative authority")
+		}
+	}
+}
+
+func TestSimpleRankingDistributions(t *testing.T) {
+	w := sparse.NewFromDense([][]float64{
+		{3, 1},
+		{0, 2},
+	})
+	br := SimpleRanking(w)
+	if math.Abs(sumOf(br.X)-1) > 1e-12 || math.Abs(sumOf(br.Y)-1) > 1e-12 {
+		t.Fatal("rank distributions must sum to 1")
+	}
+	if math.Abs(br.X[0]-4.0/6) > 1e-12 {
+		t.Errorf("X[0] = %v", br.X[0])
+	}
+	if math.Abs(br.Y[0]-0.5) > 1e-12 {
+		t.Errorf("Y[0] = %v", br.Y[0])
+	}
+}
+
+func TestAuthorityRankingRewardsWellConnected(t *testing.T) {
+	// conf0 is linked by the two most prolific authors; conf2 by one lone author.
+	w := sparse.NewFromDense([][]float64{
+		{5, 5, 0},
+		{3, 2, 1},
+		{0, 0, 1},
+	})
+	br := AuthorityRanking(w, nil, AuthorityOptions{})
+	if br.X[0] <= br.X[2] {
+		t.Errorf("authority ranking order wrong: %v", br.X)
+	}
+	if math.Abs(sumOf(br.X)-1) > 1e-9 || math.Abs(sumOf(br.Y)-1) > 1e-9 {
+		t.Error("distributions must sum to 1")
+	}
+}
+
+func TestAuthorityRankingWithHomogeneousLinks(t *testing.T) {
+	w := sparse.NewFromDense([][]float64{
+		{2, 0},
+		{0, 2},
+		{1, 1},
+	})
+	wxx := sparse.NewFromDense([][]float64{
+		{0, 1, 0},
+		{1, 0, 0},
+		{0, 0, 0},
+	})
+	br := AuthorityRanking(w, wxx, AuthorityOptions{Alpha: 0.7})
+	if math.Abs(sumOf(br.X)-1) > 1e-9 {
+		t.Error("X must remain a distribution with WXX mixing")
+	}
+	for _, v := range br.X {
+		if v < 0 {
+			t.Fatal("negative rank")
+		}
+	}
+}
+
+func TestConditionalRankRestriction(t *testing.T) {
+	w := sparse.NewFromDense([][]float64{
+		{4, 0, 0},
+		{0, 3, 1},
+		{0, 0, 2},
+	})
+	br := ConditionalRank(w, nil, []int{1, 2}, false, AuthorityOptions{})
+	if br.X[0] != 0 {
+		t.Error("excluded member must have zero rank")
+	}
+	if math.Abs(sumOf(br.X)-1) > 1e-12 {
+		t.Error("restricted X ranks must sum to 1")
+	}
+	// attribute 0 gets no mass from members {1,2}
+	if br.Y[0] != 0 {
+		t.Errorf("Y[0] = %v, want 0", br.Y[0])
+	}
+}
+
+func TestConditionalRankAuthorityMatchesDirect(t *testing.T) {
+	w := sparse.NewFromDense([][]float64{
+		{4, 1, 0},
+		{0, 3, 1},
+		{2, 0, 2},
+	})
+	all := []int{0, 1, 2}
+	via := ConditionalRank(w, nil, all, true, AuthorityOptions{})
+	direct := AuthorityRanking(w, nil, AuthorityOptions{})
+	if sparse.MaxAbsDiff(via.X, direct.X) > 1e-12 || sparse.MaxAbsDiff(via.Y, direct.Y) > 1e-12 {
+		t.Error("full-membership conditional rank must equal direct ranking")
+	}
+}
+
+func TestPageRankDistributionProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := stats.NewRNG(seed)
+		g := netgen.ErdosRenyi(rng, 30+rng.Intn(50), 0.08)
+		r := PageRank(g.Adjacency(), Options{})
+		if math.Abs(sumOf(r.Scores)-1) > 1e-6 {
+			return false
+		}
+		for _, v := range r.Scores {
+			if v < 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEmptyGraphs(t *testing.T) {
+	r := PageRank(sparse.NewFromCoords(0, 0, nil), Options{})
+	if !r.Converged || len(r.Scores) != 0 {
+		t.Error("empty PageRank should trivially converge")
+	}
+	h := HITS(sparse.NewFromCoords(0, 0, nil), Options{})
+	if !h.Converged {
+		t.Error("empty HITS should trivially converge")
+	}
+}
+
+func TestPageRankOnGraphAdjacency(t *testing.T) {
+	// Smoke: undirected path graph; middle node should outrank endpoint.
+	g := graph.New(3, false)
+	g.AddEdge(0, 1, 1)
+	g.AddEdge(1, 2, 1)
+	r := PageRank(g.Adjacency(), Options{})
+	if r.Scores[1] <= r.Scores[0] {
+		t.Error("middle of path should outrank endpoint")
+	}
+}

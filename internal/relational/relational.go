@@ -1,0 +1,305 @@
+// Package relational implements the miniature in-memory relational
+// database that grounds the tutorial's central claim (§1): a database's
+// tuples and foreign keys already form a heterogeneous information
+// network. The package provides typed tables, foreign-key integrity,
+// selection and join primitives, the tuple-ID propagation operator that
+// CrossMine/CrossClus traverse schemas with, and the Network() export
+// that turns a database instance into a hin.Network.
+package relational
+
+import (
+	"fmt"
+	"sort"
+
+	"hinet/internal/hin"
+)
+
+// ColumnType enumerates supported column types.
+type ColumnType int
+
+// Column types.
+const (
+	IntCol ColumnType = iota
+	FloatCol
+	StringCol
+)
+
+// Column describes one attribute: its name, type, and (optionally) the
+// table its values reference as a foreign key.
+type Column struct {
+	Name string
+	Type ColumnType
+	FK   string // referenced table name; "" when not a foreign key
+}
+
+// Schema describes a table: name and columns. The primary key is the
+// implicit tuple index (0..n-1); FK columns store the referenced
+// tuple's index as an int.
+type Schema struct {
+	Name    string
+	Columns []Column
+}
+
+// ColIndex returns the index of the named column or -1.
+func (s Schema) ColIndex(name string) int {
+	for i, c := range s.Columns {
+		if c.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// Tuple is one row; values are int (IntCol and FK), float64, or string.
+type Tuple []any
+
+// Table holds a schema and its rows.
+type Table struct {
+	Schema Schema
+	Rows   []Tuple
+}
+
+// DB is a set of tables with foreign-key integrity.
+type DB struct {
+	tables map[string]*Table
+	order  []string
+}
+
+// NewDB returns an empty database.
+func NewDB() *DB {
+	return &DB{tables: make(map[string]*Table)}
+}
+
+// CreateTable registers a table. FK columns must reference existing
+// tables (self-references allowed). Duplicate names panic.
+func (db *DB) CreateTable(s Schema) *Table {
+	if _, ok := db.tables[s.Name]; ok {
+		panic("relational: duplicate table " + s.Name)
+	}
+	for _, c := range s.Columns {
+		if c.FK != "" && c.FK != s.Name {
+			if _, ok := db.tables[c.FK]; !ok {
+				panic(fmt.Sprintf("relational: %s.%s references unknown table %s", s.Name, c.Name, c.FK))
+			}
+		}
+		if c.FK != "" && c.Type != IntCol {
+			panic("relational: FK columns must be IntCol")
+		}
+	}
+	t := &Table{Schema: s}
+	db.tables[s.Name] = t
+	db.order = append(db.order, s.Name)
+	return t
+}
+
+// Table returns the named table or nil.
+func (db *DB) Table(name string) *Table { return db.tables[name] }
+
+// Tables lists table names in creation order.
+func (db *DB) Tables() []string { return append([]string(nil), db.order...) }
+
+// Insert appends a row, checking arity, types and FK targets. It
+// returns the new tuple's id.
+func (db *DB) Insert(table string, row Tuple) int {
+	t := db.tables[table]
+	if t == nil {
+		panic("relational: unknown table " + table)
+	}
+	if len(row) != len(t.Schema.Columns) {
+		panic(fmt.Sprintf("relational: %s arity %d, got %d", table, len(t.Schema.Columns), len(row)))
+	}
+	for i, c := range t.Schema.Columns {
+		switch c.Type {
+		case IntCol:
+			v, ok := row[i].(int)
+			if !ok {
+				panic(fmt.Sprintf("relational: %s.%s expects int", table, c.Name))
+			}
+			if c.FK != "" {
+				ref := db.tables[c.FK]
+				if v < -1 || v >= len(ref.Rows)+boolToInt(c.FK == table) {
+					panic(fmt.Sprintf("relational: %s.%s FK %d out of range", table, c.Name, v))
+				}
+			}
+		case FloatCol:
+			if _, ok := row[i].(float64); !ok {
+				panic(fmt.Sprintf("relational: %s.%s expects float64", table, c.Name))
+			}
+		case StringCol:
+			if _, ok := row[i].(string); !ok {
+				panic(fmt.Sprintf("relational: %s.%s expects string", table, c.Name))
+			}
+		}
+	}
+	t.Rows = append(t.Rows, row)
+	return len(t.Rows) - 1
+}
+
+func boolToInt(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// Select returns ids of rows in table satisfying pred.
+func (db *DB) Select(table string, pred func(Tuple) bool) []int {
+	t := db.tables[table]
+	var out []int
+	for i, r := range t.Rows {
+		if pred(r) {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// JoinEdge names one FK hop in a join path: the table holding the FK
+// column and the column name. Direction is implied by which side the
+// current frontier is on.
+type JoinEdge struct {
+	Table  string // table that owns the FK column
+	Column string // FK column name
+}
+
+// IDSet maps a tuple id to the multiset of target-tuple ids it is
+// joined with — the tuple-ID propagation structure from CrossMine
+// (Yin et al., TKDE'06): instead of materializing joins, each tuple
+// carries the ids (and multiplicities) of the classification targets it
+// reaches.
+type IDSet map[int]map[int]int
+
+// InitIDs builds the identity propagation for a target table: each
+// tuple carries itself.
+func InitIDs(t *Table) IDSet {
+	s := make(IDSet, len(t.Rows))
+	for i := range t.Rows {
+		s[i] = map[int]int{i: 1}
+	}
+	return s
+}
+
+// PropagateForward pushes target ids across edge from the FK-owning
+// table to the referenced table: ids attached to rows of edge.Table flow
+// to the tuples their FK points at. from must be keyed by edge.Table
+// row ids; the result is keyed by referenced-table row ids.
+func (db *DB) PropagateForward(edge JoinEdge, from IDSet) IDSet {
+	t := db.tables[edge.Table]
+	ci := t.Schema.ColIndex(edge.Column)
+	if ci < 0 || t.Schema.Columns[ci].FK == "" {
+		panic(fmt.Sprintf("relational: %s.%s is not a FK", edge.Table, edge.Column))
+	}
+	out := make(IDSet)
+	for rowID, ids := range from {
+		ref := t.Rows[rowID][ci].(int)
+		if ref < 0 {
+			continue
+		}
+		dst := out[ref]
+		if dst == nil {
+			dst = make(map[int]int)
+			out[ref] = dst
+		}
+		for id, n := range ids {
+			dst[id] += n
+		}
+	}
+	return out
+}
+
+// PropagateBackward pulls target ids across edge from the referenced
+// table into the FK-owning table: ids attached to referenced tuples flow
+// to every row whose FK points at them. from must be keyed by the
+// referenced table's row ids; the result is keyed by edge.Table row ids.
+func (db *DB) PropagateBackward(edge JoinEdge, from IDSet) IDSet {
+	t := db.tables[edge.Table]
+	ci := t.Schema.ColIndex(edge.Column)
+	if ci < 0 || t.Schema.Columns[ci].FK == "" {
+		panic(fmt.Sprintf("relational: %s.%s is not a FK", edge.Table, edge.Column))
+	}
+	out := make(IDSet)
+	for rowID, row := range t.Rows {
+		ref := row[ci].(int)
+		if ref < 0 {
+			continue
+		}
+		ids, ok := from[ref]
+		if !ok {
+			continue
+		}
+		dst := out[rowID]
+		if dst == nil {
+			dst = make(map[int]int)
+			out[rowID] = dst
+		}
+		for id, n := range ids {
+			dst[id] += n
+		}
+	}
+	return out
+}
+
+// TargetsOf flattens an IDSet entry into a sorted id list (test helper).
+func TargetsOf(s IDSet, row int) []int {
+	var out []int
+	for id := range s[row] {
+		out = append(out, id)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// NetworkOptions controls the DB → information network conversion.
+type NetworkOptions struct {
+	// CategoricalAsObjects lists "table.column" strings whose distinct
+	// values become first-class objects linked to their tuples — the
+	// step that turns, e.g., a venue column into venue nodes.
+	CategoricalAsObjects []string
+}
+
+// Network converts the database instance into a heterogeneous
+// information network: one object type per table, one object per tuple,
+// one link per foreign-key reference, plus optional value objects for
+// selected categorical columns. This is the tutorial's "viewing
+// databases as information networks" operator.
+func (db *DB) Network(opt NetworkOptions) *hin.Network {
+	n := hin.NewNetwork()
+	catCols := make(map[string]bool, len(opt.CategoricalAsObjects))
+	for _, c := range opt.CategoricalAsObjects {
+		catCols[c] = true
+	}
+	for _, name := range db.order {
+		t := db.tables[name]
+		typ := hin.Type(name)
+		n.AddType(typ)
+		for i := range t.Rows {
+			n.AddObject(typ, fmt.Sprintf("%s/%d", name, i))
+		}
+	}
+	for _, name := range db.order {
+		t := db.tables[name]
+		typ := hin.Type(name)
+		for ci, c := range t.Schema.Columns {
+			qualified := name + "." + c.Name
+			switch {
+			case c.FK != "":
+				refType := hin.Type(c.FK)
+				for i, row := range t.Rows {
+					ref := row[ci].(int)
+					if ref >= 0 {
+						n.AddLink(typ, i, refType, ref, 1)
+					}
+				}
+			case c.Type == StringCol && catCols[qualified]:
+				valType := hin.Type(qualified)
+				n.AddType(valType)
+				for i, row := range t.Rows {
+					v := row[ci].(string)
+					id := n.AddObject(valType, v)
+					n.AddLink(typ, i, valType, id, 1)
+				}
+			}
+		}
+	}
+	return n
+}

@@ -1,0 +1,169 @@
+package relational
+
+import (
+	"fmt"
+
+	"hinet/internal/stats"
+)
+
+// SynthConfig sizes the synthetic multi-relational workload standing in
+// for the financial-style benchmark of the CrossMine evaluation: a
+// customer target table whose class is decided by information scattered
+// across joined tables, never by the target's own columns.
+type SynthConfig struct {
+	Customers    int     // default 400
+	Branches     int     // default 20
+	TransPerCus  int     // transactions per customer, default 3
+	LabelNoise   float64 // P(class label flipped), default 0.05
+	ProfileNoise float64 // P(guidance column mislabels the group), default 0.3
+}
+
+func (c SynthConfig) withDefaults() SynthConfig {
+	if c.Customers == 0 {
+		c.Customers = 400
+	}
+	if c.Branches == 0 {
+		c.Branches = 20
+	}
+	if c.TransPerCus == 0 {
+		c.TransPerCus = 3
+	}
+	if c.LabelNoise == 0 {
+		c.LabelNoise = 0.05
+	}
+	if c.ProfileNoise == 0 {
+		c.ProfileNoise = 0.3
+	}
+	return c
+}
+
+// Synthetic is a generated multi-relational instance with ground truth.
+//
+// Schema:
+//
+//	branch(region string, quality string, size string)
+//	customer(branch_id → branch, profile string, segment string)
+//	transaction(customer_id → customer, kind string, amount float, channel string, weekday string)
+//
+// Latent structure: each customer belongs to a hidden group g ∈ {0,1,2}
+// that drives its branch's region, its transaction-kind mix, and the
+// noisy "profile" guidance column. The binary class is
+//
+//	class = 1  iff  (branch premium ∧ g = 0) ∨ (branch standard ∧ g ≠ 0)
+//
+// (≈ balanced), so a correct classifier must join through branch *and*
+// aggregate transactions — the cross-relational setting CrossMine is
+// built for. The flattened single-table baseline sees only profile and
+// segment: profile is a noisy proxy of g and segment is pure noise.
+type Synthetic struct {
+	DB    *DB
+	Class []int // per customer, 0/1 (noisy realization of the rule)
+	Group []int // per customer, latent group 0..2
+}
+
+// Regions and transaction kinds indexed by group.
+var (
+	synthRegions = []string{"north", "south", "east"}
+	synthKinds   = []string{"credit", "debit", "transfer"}
+	synthAges    = []string{"young", "mid", "senior"}
+)
+
+// SyntheticCustomers generates a deterministic instance.
+func SyntheticCustomers(rng *stats.RNG, cfg SynthConfig) *Synthetic {
+	cfg = cfg.withDefaults()
+	db := NewDB()
+	// segment / size / channel / weekday are pure noise: the irrelevant
+	// attributes CrossClus must learn to down-weight.
+	db.CreateTable(Schema{
+		Name: "branch",
+		Columns: []Column{
+			{Name: "region", Type: StringCol},
+			{Name: "quality", Type: StringCol},
+			{Name: "size", Type: StringCol},
+		},
+	})
+	db.CreateTable(Schema{
+		Name: "customer",
+		Columns: []Column{
+			{Name: "branch_id", Type: IntCol, FK: "branch"},
+			{Name: "profile", Type: StringCol},
+			{Name: "segment", Type: StringCol},
+		},
+	})
+	db.CreateTable(Schema{
+		Name: "transaction",
+		Columns: []Column{
+			{Name: "customer_id", Type: IntCol, FK: "customer"},
+			{Name: "kind", Type: StringCol},
+			{Name: "amount", Type: FloatCol},
+			{Name: "channel", Type: StringCol},
+			{Name: "weekday", Type: StringCol},
+		},
+	})
+
+	// Branches: region uniform, quality fair coin, size pure noise.
+	branchQuality := make([]string, cfg.Branches)
+	branchRegion := make([]int, cfg.Branches)
+	sizes := []string{"small", "medium", "large"}
+	for b := 0; b < cfg.Branches; b++ {
+		branchRegion[b] = rng.Intn(3)
+		q := "standard"
+		if rng.Float64() < 0.5 {
+			q = "premium"
+		}
+		branchQuality[b] = q
+		db.Insert("branch", Tuple{synthRegions[branchRegion[b]], q, sizes[rng.Intn(3)]})
+	}
+	// Branches grouped by region for preference sampling.
+	byRegion := make([][]int, 3)
+	for b, r := range branchRegion {
+		byRegion[r] = append(byRegion[r], b)
+	}
+
+	s := &Synthetic{DB: db}
+	for c := 0; c < cfg.Customers; c++ {
+		g := rng.Intn(3)
+		s.Group = append(s.Group, g)
+		// Branch: home region w.p. 0.8 (fallback uniform if region empty).
+		var branch int
+		if rng.Float64() < 0.8 && len(byRegion[g]) > 0 {
+			branch = byRegion[g][rng.Intn(len(byRegion[g]))]
+		} else {
+			branch = rng.Intn(cfg.Branches)
+		}
+		// Guidance column: noisy group label.
+		profile := g
+		if rng.Float64() < cfg.ProfileNoise {
+			profile = rng.Intn(3)
+		}
+		segment := synthAges[rng.Intn(3)] // pure noise
+		db.Insert("customer", Tuple{branch, fmt.Sprintf("p%d", profile), segment})
+
+		// Class rule across tables.
+		premium := branchQuality[branch] == "premium"
+		class := 0
+		if (premium && g == 0) || (!premium && g != 0) {
+			class = 1
+		}
+		if rng.Float64() < cfg.LabelNoise {
+			class = 1 - class
+		}
+		s.Class = append(s.Class, class)
+
+		// Transactions: kind biased 85% toward the group's kind; channel
+		// and weekday are noise.
+		channels := []string{"online", "teller", "atm"}
+		days := []string{"mon", "wed", "fri", "sat"}
+		for t := 0; t < cfg.TransPerCus; t++ {
+			kind := g
+			if rng.Float64() >= 0.85 {
+				kind = rng.Intn(3)
+			}
+			db.Insert("transaction", Tuple{
+				c, synthKinds[kind], 10 + 90*rng.Float64(),
+				channels[rng.Intn(3)], days[rng.Intn(4)],
+			})
+		}
+	}
+	return s
+}

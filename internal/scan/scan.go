@@ -1,0 +1,190 @@
+// Package scan implements SCAN (Xu et al., KDD'07), the structural
+// clustering algorithm for homogeneous networks the tutorial covers in
+// §2b.i. Unlike modularity methods, SCAN also labels the nodes that
+// belong to no cluster: hubs (bridging several clusters) and outliers.
+//
+// Structural similarity of adjacent nodes uses closed neighborhoods:
+//
+//	σ(u,v) = |Γ[u] ∩ Γ[v]| / √(|Γ[u]|·|Γ[v]|)
+//
+// A node is a core when at least μ neighbors have σ ≥ ε; clusters are
+// grown from cores by direct structural reachability.
+package scan
+
+import (
+	"math"
+
+	"hinet/internal/graph"
+)
+
+// Options holds the two SCAN parameters.
+type Options struct {
+	Epsilon float64 // similarity threshold, typically 0.5–0.8
+	Mu      int     // minimum ε-neighborhood size to be a core, typically 2
+}
+
+// Node classification constants in Result.Role.
+const (
+	RoleMember  = iota // belongs to a cluster
+	RoleHub            // non-member bridging ≥ 2 clusters
+	RoleOutlier        // non-member touching ≤ 1 cluster
+)
+
+// Result is a SCAN clustering: cluster ids (−1 for non-members), the
+// role of each node, and the number of clusters found.
+type Result struct {
+	Cluster  []int
+	Role     []int
+	Clusters int
+}
+
+// Sigma returns the structural similarity of u and v in g.
+func Sigma(g *graph.Graph, u, v int) float64 {
+	nu := g.NeighborSet(u, true)
+	nv := g.NeighborSet(v, true)
+	inter := intersectSize(nu, nv)
+	if inter == 0 {
+		return 0
+	}
+	return float64(inter) / sqrtProd(len(nu), len(nv))
+}
+
+// Run executes SCAN over an undirected graph.
+func Run(g *graph.Graph, opt Options) Result {
+	n := g.N()
+	if opt.Mu <= 0 {
+		opt.Mu = 2
+	}
+	// Precompute closed neighborhoods once.
+	nbs := make([][]int, n)
+	for v := 0; v < n; v++ {
+		nbs[v] = g.NeighborSet(v, true)
+	}
+	sigma := func(u, v int) float64 {
+		inter := intersectSize(nbs[u], nbs[v])
+		if inter == 0 {
+			return 0
+		}
+		return float64(inter) / sqrtProd(len(nbs[u]), len(nbs[v]))
+	}
+	// ε-neighborhood: similar *adjacent* nodes (plus self by convention).
+	epsNb := make([][]int, n)
+	for u := 0; u < n; u++ {
+		list := []int{u}
+		for _, v := range g.NeighborSet(u, false) {
+			if sigma(u, v) >= opt.Epsilon {
+				list = append(list, v)
+			}
+		}
+		epsNb[u] = list
+	}
+	isCore := make([]bool, n)
+	for u := 0; u < n; u++ {
+		isCore[u] = len(epsNb[u]) >= opt.Mu
+	}
+	cluster := make([]int, n)
+	for i := range cluster {
+		cluster[i] = -1
+	}
+	next := 0
+	for u := 0; u < n; u++ {
+		if !isCore[u] || cluster[u] >= 0 {
+			continue
+		}
+		// BFS over structurally reachable nodes.
+		id := next
+		next++
+		queue := []int{u}
+		cluster[u] = id
+		for len(queue) > 0 {
+			x := queue[0]
+			queue = queue[1:]
+			if !isCore[x] {
+				continue // border nodes join but do not expand
+			}
+			for _, y := range epsNb[x] {
+				if cluster[y] < 0 {
+					cluster[y] = id
+					queue = append(queue, y)
+				}
+			}
+		}
+	}
+	// Classify non-members.
+	role := make([]int, n)
+	for v := 0; v < n; v++ {
+		if cluster[v] >= 0 {
+			role[v] = RoleMember
+			continue
+		}
+		touched := map[int]bool{}
+		for _, e := range g.Neighbors(v) {
+			if c := cluster[e.To]; c >= 0 {
+				touched[c] = true
+			}
+		}
+		if len(touched) >= 2 {
+			role[v] = RoleHub
+		} else {
+			role[v] = RoleOutlier
+		}
+	}
+	return Result{Cluster: cluster, Role: role, Clusters: next}
+}
+
+// EpsilonSweep runs SCAN over a grid of ε values and reports the number
+// of clusters and non-member count for each — the tuning curve from the
+// SCAN paper's parameter study.
+type SweepPoint struct {
+	Epsilon    float64
+	Clusters   int
+	Hubs       int
+	Outliers   int
+	MemberFrac float64
+}
+
+// EpsilonSweep evaluates SCAN across the given epsilons.
+func EpsilonSweep(g *graph.Graph, mu int, epsilons []float64) []SweepPoint {
+	pts := make([]SweepPoint, 0, len(epsilons))
+	for _, eps := range epsilons {
+		r := Run(g, Options{Epsilon: eps, Mu: mu})
+		p := SweepPoint{Epsilon: eps, Clusters: r.Clusters}
+		members := 0
+		for v := range r.Role {
+			switch r.Role[v] {
+			case RoleMember:
+				members++
+			case RoleHub:
+				p.Hubs++
+			case RoleOutlier:
+				p.Outliers++
+			}
+		}
+		if g.N() > 0 {
+			p.MemberFrac = float64(members) / float64(g.N())
+		}
+		pts = append(pts, p)
+	}
+	return pts
+}
+
+func intersectSize(a, b []int) int {
+	i, j, c := 0, 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] == b[j]:
+			c++
+			i++
+			j++
+		case a[i] < b[j]:
+			i++
+		default:
+			j++
+		}
+	}
+	return c
+}
+
+func sqrtProd(a, b int) float64 {
+	return math.Sqrt(float64(a) * float64(b))
+}

@@ -1,0 +1,130 @@
+package scan
+
+import (
+	"math"
+	"testing"
+
+	"hinet/internal/eval"
+	"hinet/internal/graph"
+	"hinet/internal/netgen"
+	"hinet/internal/stats"
+)
+
+// twoCliquesBridge builds two 4-cliques {0..3} and {5..8} joined through
+// bridge node 4, plus an isolated pendant 9 hanging off node 0.
+func twoCliquesBridge() *graph.Graph {
+	g := graph.New(10, false)
+	clique := func(vs []int) {
+		for i := 0; i < len(vs); i++ {
+			for j := i + 1; j < len(vs); j++ {
+				g.AddEdge(vs[i], vs[j], 1)
+			}
+		}
+	}
+	clique([]int{0, 1, 2, 3})
+	clique([]int{5, 6, 7, 8})
+	g.AddEdge(3, 4, 1)
+	g.AddEdge(4, 5, 1)
+	g.AddEdge(0, 9, 1)
+	return g
+}
+
+func TestSigmaIdenticalNeighborhoods(t *testing.T) {
+	g := graph.New(2, false)
+	g.AddEdge(0, 1, 1)
+	// Γ[0] = {0,1}, Γ[1] = {0,1} → σ = 2/2 = 1.
+	if s := Sigma(g, 0, 1); math.Abs(s-1) > 1e-12 {
+		t.Errorf("σ = %v, want 1", s)
+	}
+}
+
+func TestSigmaDisjoint(t *testing.T) {
+	g := graph.New(4, false)
+	g.AddEdge(0, 1, 1)
+	g.AddEdge(2, 3, 1)
+	if s := Sigma(g, 0, 2); s != 0 {
+		t.Errorf("σ disjoint = %v", s)
+	}
+}
+
+func TestRunFindsTwoCliques(t *testing.T) {
+	g := twoCliquesBridge()
+	r := Run(g, Options{Epsilon: 0.7, Mu: 3})
+	if r.Clusters != 2 {
+		t.Fatalf("clusters = %d, want 2", r.Clusters)
+	}
+	// All of each clique in one cluster.
+	for _, v := range []int{1, 2, 3} {
+		if r.Cluster[v] != r.Cluster[0] {
+			t.Errorf("clique 1 split at node %d", v)
+		}
+	}
+	for _, v := range []int{6, 7, 8} {
+		if r.Cluster[v] != r.Cluster[5] {
+			t.Errorf("clique 2 split at node %d", v)
+		}
+	}
+	if r.Cluster[0] == r.Cluster[5] {
+		t.Error("cliques merged")
+	}
+}
+
+func TestHubAndOutlierRoles(t *testing.T) {
+	g := twoCliquesBridge()
+	r := Run(g, Options{Epsilon: 0.7, Mu: 3})
+	if r.Cluster[4] >= 0 || r.Role[4] != RoleHub {
+		t.Errorf("node 4 should be a hub; cluster=%d role=%d", r.Cluster[4], r.Role[4])
+	}
+	if r.Cluster[9] >= 0 || r.Role[9] != RoleOutlier {
+		t.Errorf("node 9 should be an outlier; cluster=%d role=%d", r.Cluster[9], r.Role[9])
+	}
+}
+
+func TestPlantedPartitionRecovery(t *testing.T) {
+	rng := stats.NewRNG(1)
+	g, truth := netgen.PlantedPartition(rng, 3, 30, 0.5, 0.02)
+	r := Run(g, Options{Epsilon: 0.45, Mu: 3})
+	// Evaluate only member nodes (SCAN may leave a few unclassified).
+	var pt, pp []int
+	for v := range truth {
+		if r.Cluster[v] >= 0 {
+			pt = append(pt, truth[v])
+			pp = append(pp, r.Cluster[v])
+		}
+	}
+	if len(pt) < 60 {
+		t.Fatalf("too few members: %d", len(pt))
+	}
+	if nmi := eval.NMI(pt, pp); nmi < 0.8 {
+		t.Errorf("member NMI = %v", nmi)
+	}
+}
+
+func TestEpsilonSweepMonotoneMembership(t *testing.T) {
+	rng := stats.NewRNG(2)
+	g, _ := netgen.PlantedPartition(rng, 2, 40, 0.4, 0.05)
+	pts := EpsilonSweep(g, 2, []float64{0.1, 0.5, 0.9})
+	if len(pts) != 3 {
+		t.Fatal("sweep size wrong")
+	}
+	// Very high ε excludes most nodes; very low ε includes almost all.
+	if pts[0].MemberFrac < pts[2].MemberFrac {
+		t.Errorf("member fraction should shrink with ε: %+v", pts)
+	}
+}
+
+func TestEmptyGraph(t *testing.T) {
+	g := graph.New(0, false)
+	r := Run(g, Options{Epsilon: 0.5, Mu: 2})
+	if r.Clusters != 0 || len(r.Cluster) != 0 {
+		t.Error("empty graph should give empty result")
+	}
+}
+
+func TestSingletonGraphOutlier(t *testing.T) {
+	g := graph.New(1, false)
+	r := Run(g, Options{Epsilon: 0.5, Mu: 2})
+	if r.Cluster[0] >= 0 || r.Role[0] != RoleOutlier {
+		t.Error("isolated node should be an outlier")
+	}
+}

@@ -1,0 +1,135 @@
+package simrank
+
+import (
+	"math"
+	"testing"
+
+	"hinet/internal/sparse"
+	"hinet/internal/stats"
+)
+
+// twoPapersCiteSame: nodes 0,1 both cited by 2 and 3 (directed edges
+// 2→0, 3→0, 2→1, 3→1). 0 and 1 have identical in-neighborhoods.
+func twoPapersCiteSame() *sparse.Matrix {
+	return sparse.NewFromCoords(4, 4, []sparse.Coord{
+		{Row: 2, Col: 0, Val: 1}, {Row: 3, Col: 0, Val: 1},
+		{Row: 2, Col: 1, Val: 1}, {Row: 3, Col: 1, Val: 1},
+	})
+}
+
+func TestSimilarityIdenticalInNeighborhoods(t *testing.T) {
+	s := Similarity(twoPapersCiteSame(), Options{MaxIter: 20, Eps: 1e-9})
+	// Exact fixed point: s(0,1) = C/4·[s(2,2)+s(2,3)+s(3,2)+s(3,3)]
+	// = 0.8/4·(1+0+0+1) = 0.4, since 2,3 have no in-links.
+	if math.Abs(s[0][1]-0.4) > 1e-9 {
+		t.Errorf("s(0,1) = %v, want 0.4", s[0][1])
+	}
+	// 2 and 3 have no in-links → s(2,3) = 0
+	if s[2][3] != 0 {
+		t.Errorf("s(2,3) = %v, want 0", s[2][3])
+	}
+}
+
+func TestSimilarityInvariants(t *testing.T) {
+	rng := stats.NewRNG(1)
+	var entries []sparse.Coord
+	n := 25
+	for i := 0; i < 120; i++ {
+		entries = append(entries, sparse.Coord{Row: rng.Intn(n), Col: rng.Intn(n), Val: 1})
+	}
+	adj := sparse.NewFromCoords(n, n, entries)
+	s := Similarity(adj, Options{})
+	for a := 0; a < n; a++ {
+		if s[a][a] != 1 {
+			t.Fatalf("s(%d,%d) = %v, want 1", a, a, s[a][a])
+		}
+		for b := 0; b < n; b++ {
+			if s[a][b] != s[b][a] {
+				t.Fatalf("asymmetric at (%d,%d)", a, b)
+			}
+			if s[a][b] < 0 || s[a][b] > 1+1e-9 {
+				t.Fatalf("s(%d,%d) = %v out of [0,1]", a, b, s[a][b])
+			}
+		}
+	}
+}
+
+func TestSimilarityDecayMonotone(t *testing.T) {
+	adj := twoPapersCiteSame()
+	low := Similarity(adj, Options{C: 0.4, MaxIter: 20, Eps: 1e-9})
+	high := Similarity(adj, Options{C: 0.9, MaxIter: 20, Eps: 1e-9})
+	if low[0][1] >= high[0][1] {
+		t.Errorf("C=0.4 gives %v, C=0.9 gives %v; want increasing", low[0][1], high[0][1])
+	}
+}
+
+func TestBipartiteTwoBlocks(t *testing.T) {
+	// X = {0,1,2,3}: 0,1 link Y-block {0,1}; 2,3 link Y-block {2,3}.
+	w := sparse.NewFromDense([][]float64{
+		{1, 1, 0, 0},
+		{1, 1, 0, 0},
+		{0, 0, 1, 1},
+		{0, 0, 1, 1},
+	})
+	r := Bipartite(w, Options{MaxIter: 15})
+	if r.SX[0][1] <= r.SX[0][2] {
+		t.Errorf("same-block sim %v should beat cross-block %v", r.SX[0][1], r.SX[0][2])
+	}
+	if r.SY[2][3] <= r.SY[0][2] {
+		t.Errorf("attribute-side sim wrong: %v vs %v", r.SY[2][3], r.SY[0][2])
+	}
+	if r.SX[0][2] > 1e-9 {
+		t.Errorf("disconnected blocks should have sim 0, got %v", r.SX[0][2])
+	}
+}
+
+func TestBipartiteSymmetryAndBounds(t *testing.T) {
+	rng := stats.NewRNG(2)
+	var entries []sparse.Coord
+	for i := 0; i < 60; i++ {
+		entries = append(entries, sparse.Coord{Row: rng.Intn(10), Col: rng.Intn(15), Val: 1})
+	}
+	w := sparse.NewFromCoords(10, 15, entries)
+	r := Bipartite(w, Options{})
+	for a := 0; a < 10; a++ {
+		for b := 0; b < 10; b++ {
+			if math.Abs(r.SX[a][b]-r.SX[b][a]) > 1e-12 {
+				t.Fatal("SX asymmetric")
+			}
+			if r.SX[a][b] < 0 || r.SX[a][b] > 1+1e-9 {
+				t.Fatal("SX out of bounds")
+			}
+		}
+	}
+	for c := 0; c < 15; c++ {
+		if r.SY[c][c] != 1 {
+			t.Fatal("SY diagonal must be 1")
+		}
+	}
+}
+
+func TestIsolatedNodeZeroSimilarity(t *testing.T) {
+	// node 2 isolated
+	adj := sparse.NewFromCoords(3, 3, []sparse.Coord{{Row: 0, Col: 1, Val: 1}})
+	s := Similarity(adj, Options{})
+	if s[2][0] != 0 || s[2][1] != 0 {
+		t.Error("isolated node should have zero similarity to others")
+	}
+	if s[2][2] != 1 {
+		t.Error("self similarity must stay 1")
+	}
+}
+
+func TestWeightedLinksInfluenceSimilarity(t *testing.T) {
+	// a and b share one heavy co-neighbor; a and c share one light one.
+	// X: 0=a,1=b,2=c ; Y: 0 shared heavy, 1 shared light, 2,3 private
+	w := sparse.NewFromDense([][]float64{
+		{5, 1, 1, 0},
+		{5, 0, 0, 1},
+		{0, 1, 0, 1},
+	})
+	r := Bipartite(w, Options{MaxIter: 10})
+	if r.SX[0][1] <= r.SX[0][2] {
+		t.Errorf("heavily-shared pair %v should beat lightly-shared %v", r.SX[0][1], r.SX[0][2])
+	}
+}

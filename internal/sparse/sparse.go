@@ -1,0 +1,359 @@
+// Package sparse implements the compressed sparse row (CSR) matrix and
+// dense-vector kernels used by every iterative algorithm in this
+// repository (PageRank, HITS, authority ranking, SimRank, PathSim,
+// spectral clustering).
+//
+// The paper's algorithms were originally built on MATLAB-style numeric
+// stacks; Go has no canonical sparse library, so this package hand-rolls
+// the handful of kernels the reproduction needs: mat-vec, transposed
+// mat-vec, row normalization, transpose, and sparse-sparse product for
+// meta-path composition.
+package sparse
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Coord is one nonzero entry used while assembling a matrix.
+type Coord struct {
+	Row, Col int
+	Val      float64
+}
+
+// Matrix is an immutable CSR sparse matrix.
+type Matrix struct {
+	rows, cols int
+	rowPtr     []int
+	colIdx     []int
+	vals       []float64
+}
+
+// NewFromCoords builds a CSR matrix from coordinate triples. Duplicate
+// (row, col) entries are summed. Entries out of range panic.
+func NewFromCoords(rows, cols int, entries []Coord) *Matrix {
+	if rows < 0 || cols < 0 {
+		panic("sparse: negative dimensions")
+	}
+	sorted := append([]Coord(nil), entries...)
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].Row != sorted[j].Row {
+			return sorted[i].Row < sorted[j].Row
+		}
+		return sorted[i].Col < sorted[j].Col
+	})
+	m := &Matrix{rows: rows, cols: cols, rowPtr: make([]int, rows+1)}
+	for i := 0; i < len(sorted); {
+		c := sorted[i]
+		if c.Row < 0 || c.Row >= rows || c.Col < 0 || c.Col >= cols {
+			panic(fmt.Sprintf("sparse: entry (%d,%d) out of %dx%d", c.Row, c.Col, rows, cols))
+		}
+		v := 0.0
+		j := i
+		for ; j < len(sorted) && sorted[j].Row == c.Row && sorted[j].Col == c.Col; j++ {
+			v += sorted[j].Val
+		}
+		if v != 0 {
+			m.colIdx = append(m.colIdx, c.Col)
+			m.vals = append(m.vals, v)
+			m.rowPtr[c.Row+1]++
+		}
+		i = j
+	}
+	for r := 0; r < rows; r++ {
+		m.rowPtr[r+1] += m.rowPtr[r]
+	}
+	return m
+}
+
+// NewFromDense builds a CSR matrix from a dense row-major [][]float64.
+func NewFromDense(d [][]float64) *Matrix {
+	rows := len(d)
+	cols := 0
+	if rows > 0 {
+		cols = len(d[0])
+	}
+	var entries []Coord
+	for r, row := range d {
+		if len(row) != cols {
+			panic("sparse: ragged dense input")
+		}
+		for c, v := range row {
+			if v != 0 {
+				entries = append(entries, Coord{r, c, v})
+			}
+		}
+	}
+	return NewFromCoords(rows, cols, entries)
+}
+
+// Rows returns the number of rows.
+func (m *Matrix) Rows() int { return m.rows }
+
+// Cols returns the number of columns.
+func (m *Matrix) Cols() int { return m.cols }
+
+// NNZ returns the number of stored nonzeros.
+func (m *Matrix) NNZ() int { return len(m.vals) }
+
+// Row invokes f(col, val) for every stored entry of row r.
+func (m *Matrix) Row(r int, f func(col int, val float64)) {
+	for i := m.rowPtr[r]; i < m.rowPtr[r+1]; i++ {
+		f(m.colIdx[i], m.vals[i])
+	}
+}
+
+// RowNNZ returns the number of stored entries in row r.
+func (m *Matrix) RowNNZ(r int) int { return m.rowPtr[r+1] - m.rowPtr[r] }
+
+// At returns the value at (r, c); zero when not stored. O(log nnz(row)).
+func (m *Matrix) At(r, c int) float64 {
+	lo, hi := m.rowPtr[r], m.rowPtr[r+1]
+	i := lo + sort.SearchInts(m.colIdx[lo:hi], c)
+	if i < hi && m.colIdx[i] == c {
+		return m.vals[i]
+	}
+	return 0
+}
+
+// RowSum returns the sum of entries in row r.
+func (m *Matrix) RowSum(r int) float64 {
+	s := 0.0
+	for i := m.rowPtr[r]; i < m.rowPtr[r+1]; i++ {
+		s += m.vals[i]
+	}
+	return s
+}
+
+// Sum returns the sum of all entries.
+func (m *Matrix) Sum() float64 {
+	s := 0.0
+	for _, v := range m.vals {
+		s += v
+	}
+	return s
+}
+
+// MulVec computes y = M x. It panics on dimension mismatch; y is
+// allocated when nil, otherwise reused (len must equal Rows).
+func (m *Matrix) MulVec(x, y []float64) []float64 {
+	if len(x) != m.cols {
+		panic("sparse: MulVec dimension mismatch")
+	}
+	if y == nil {
+		y = make([]float64, m.rows)
+	} else if len(y) != m.rows {
+		panic("sparse: MulVec output length mismatch")
+	}
+	for r := 0; r < m.rows; r++ {
+		s := 0.0
+		for i := m.rowPtr[r]; i < m.rowPtr[r+1]; i++ {
+			s += m.vals[i] * x[m.colIdx[i]]
+		}
+		y[r] = s
+	}
+	return y
+}
+
+// MulVecT computes y = Mᵀ x without materializing the transpose.
+func (m *Matrix) MulVecT(x, y []float64) []float64 {
+	if len(x) != m.rows {
+		panic("sparse: MulVecT dimension mismatch")
+	}
+	if y == nil {
+		y = make([]float64, m.cols)
+	} else if len(y) != m.cols {
+		panic("sparse: MulVecT output length mismatch")
+	}
+	for i := range y {
+		y[i] = 0
+	}
+	for r := 0; r < m.rows; r++ {
+		xr := x[r]
+		if xr == 0 {
+			continue
+		}
+		for i := m.rowPtr[r]; i < m.rowPtr[r+1]; i++ {
+			y[m.colIdx[i]] += m.vals[i] * xr
+		}
+	}
+	return y
+}
+
+// Transpose returns Mᵀ as a new CSR matrix.
+func (m *Matrix) Transpose() *Matrix {
+	t := &Matrix{
+		rows:   m.cols,
+		cols:   m.rows,
+		rowPtr: make([]int, m.cols+1),
+		colIdx: make([]int, len(m.colIdx)),
+		vals:   make([]float64, len(m.vals)),
+	}
+	for _, c := range m.colIdx {
+		t.rowPtr[c+1]++
+	}
+	for c := 0; c < m.cols; c++ {
+		t.rowPtr[c+1] += t.rowPtr[c]
+	}
+	next := append([]int(nil), t.rowPtr[:m.cols]...)
+	for r := 0; r < m.rows; r++ {
+		for i := m.rowPtr[r]; i < m.rowPtr[r+1]; i++ {
+			c := m.colIdx[i]
+			pos := next[c]
+			next[c]++
+			t.colIdx[pos] = r
+			t.vals[pos] = m.vals[i]
+		}
+	}
+	return t
+}
+
+// RowNormalized returns a copy of M whose rows each sum to 1 (rows that
+// sum to zero are left all-zero). This is the row-stochastic transition
+// matrix used by random-walk style rankings.
+func (m *Matrix) RowNormalized() *Matrix {
+	n := &Matrix{
+		rows:   m.rows,
+		cols:   m.cols,
+		rowPtr: append([]int(nil), m.rowPtr...),
+		colIdx: append([]int(nil), m.colIdx...),
+		vals:   append([]float64(nil), m.vals...),
+	}
+	for r := 0; r < m.rows; r++ {
+		s := m.RowSum(r)
+		if s == 0 {
+			continue
+		}
+		for i := n.rowPtr[r]; i < n.rowPtr[r+1]; i++ {
+			n.vals[i] /= s
+		}
+	}
+	return n
+}
+
+// Scale returns a copy of M with every entry multiplied by f.
+func (m *Matrix) Scale(f float64) *Matrix {
+	n := &Matrix{
+		rows:   m.rows,
+		cols:   m.cols,
+		rowPtr: append([]int(nil), m.rowPtr...),
+		colIdx: append([]int(nil), m.colIdx...),
+		vals:   make([]float64, len(m.vals)),
+	}
+	for i, v := range m.vals {
+		n.vals[i] = v * f
+	}
+	return n
+}
+
+// Mul returns the sparse product M·B. Dimensions must agree.
+func (m *Matrix) Mul(b *Matrix) *Matrix {
+	if m.cols != b.rows {
+		panic("sparse: Mul dimension mismatch")
+	}
+	out := &Matrix{rows: m.rows, cols: b.cols, rowPtr: make([]int, m.rows+1)}
+	acc := make(map[int]float64)
+	var keys []int
+	for r := 0; r < m.rows; r++ {
+		for k := range acc {
+			delete(acc, k)
+		}
+		for i := m.rowPtr[r]; i < m.rowPtr[r+1]; i++ {
+			mid := m.colIdx[i]
+			mv := m.vals[i]
+			for j := b.rowPtr[mid]; j < b.rowPtr[mid+1]; j++ {
+				acc[b.colIdx[j]] += mv * b.vals[j]
+			}
+		}
+		keys = keys[:0]
+		for k, v := range acc {
+			if v != 0 {
+				keys = append(keys, k)
+			}
+		}
+		sort.Ints(keys)
+		for _, k := range keys {
+			out.colIdx = append(out.colIdx, k)
+			out.vals = append(out.vals, acc[k])
+		}
+		out.rowPtr[r+1] = len(out.vals)
+	}
+	return out
+}
+
+// Dense materializes the matrix as row-major [][]float64 (test helper;
+// avoid on large matrices).
+func (m *Matrix) Dense() [][]float64 {
+	d := make([][]float64, m.rows)
+	for r := range d {
+		d[r] = make([]float64, m.cols)
+		for i := m.rowPtr[r]; i < m.rowPtr[r+1]; i++ {
+			d[r][m.colIdx[i]] = m.vals[i]
+		}
+	}
+	return d
+}
+
+// Diagonal returns the main diagonal as a dense vector.
+func (m *Matrix) Diagonal() []float64 {
+	n := m.rows
+	if m.cols < n {
+		n = m.cols
+	}
+	d := make([]float64, n)
+	for i := range d {
+		d[i] = m.At(i, i)
+	}
+	return d
+}
+
+// Dot returns the inner product of two equal-length dense vectors.
+func Dot(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic("sparse: Dot length mismatch")
+	}
+	s := 0.0
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+// Norm2 returns the Euclidean norm of v.
+func Norm2(v []float64) float64 {
+	return math.Sqrt(Dot(v, v))
+}
+
+// AXPY computes y += a*x in place.
+func AXPY(a float64, x, y []float64) {
+	if len(x) != len(y) {
+		panic("sparse: AXPY length mismatch")
+	}
+	for i := range x {
+		y[i] += a * x[i]
+	}
+}
+
+// ScaleVec multiplies v by a in place.
+func ScaleVec(a float64, v []float64) {
+	for i := range v {
+		v[i] *= a
+	}
+}
+
+// MaxAbsDiff returns max_i |a_i - b_i|, the convergence test used by the
+// fixed-point iterations.
+func MaxAbsDiff(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic("sparse: MaxAbsDiff length mismatch")
+	}
+	m := 0.0
+	for i := range a {
+		d := math.Abs(a[i] - b[i])
+		if d > m {
+			m = d
+		}
+	}
+	return m
+}

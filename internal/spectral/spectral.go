@@ -1,0 +1,170 @@
+// Package spectral implements normalized spectral clustering
+// (Ng–Jordan–Weiss style k-way normalized cut), the classic homogeneous
+// clustering method the tutorial lists in §2b.i and the baseline the
+// RankClus evaluation compares against.
+//
+// The top-k eigenvectors of the symmetric normalized adjacency
+// D^{-1/2} W D^{-1/2} are computed by orthogonal (subspace) iteration
+// with Gram–Schmidt re-orthonormalization — hand-rolled, stdlib only —
+// then rows are L2-normalized and clustered with k-means.
+package spectral
+
+import (
+	"math"
+
+	"hinet/internal/graph"
+	"hinet/internal/kmeans"
+	"hinet/internal/sparse"
+	"hinet/internal/stats"
+)
+
+// Options configures the eigensolver and the final k-means.
+type Options struct {
+	EigenIter int     // subspace iterations (default 150)
+	Tolerance float64 // subspace convergence threshold (default 1e-8)
+	KMeans    kmeans.Options
+}
+
+func (o Options) withDefaults() Options {
+	if o.EigenIter == 0 {
+		o.EigenIter = 150
+	}
+	if o.Tolerance == 0 {
+		o.Tolerance = 1e-8
+	}
+	return o
+}
+
+// Result is a spectral clustering outcome.
+type Result struct {
+	Assign    []int
+	Embedding [][]float64 // n × k row-normalized spectral embedding
+}
+
+// Cluster partitions an undirected weighted graph into k clusters.
+func Cluster(rng *stats.RNG, g *graph.Graph, k int, opt Options) Result {
+	return ClusterMatrix(rng, g.Adjacency(), k, opt)
+}
+
+// ClusterMatrix is Cluster on a precomputed symmetric adjacency matrix.
+func ClusterMatrix(rng *stats.RNG, w *sparse.Matrix, k int, opt Options) Result {
+	opt = opt.withDefaults()
+	n := w.Rows()
+	if n == 0 || k <= 0 {
+		return Result{}
+	}
+	if k > n {
+		k = n
+	}
+	// Normalized adjacency S = D^{-1/2} (W + εI) D^{-1/2}; the small
+	// self-loop regularizes isolated nodes.
+	dinv := make([]float64, n)
+	for i := 0; i < n; i++ {
+		d := w.RowSum(i) + 1e-9
+		dinv[i] = 1 / math.Sqrt(d)
+	}
+	mul := func(x, y []float64) {
+		// y = S x computed as dinv ⊙ (W (dinv ⊙ x)) + ε dinv² x
+		tmp := make([]float64, n)
+		for i := range tmp {
+			tmp[i] = dinv[i] * x[i]
+		}
+		w.MulVec(tmp, y)
+		for i := range y {
+			y[i] = dinv[i]*y[i] + 1e-9*dinv[i]*dinv[i]*x[i]
+		}
+	}
+	vecs := TopEigenvectors(rng, mul, n, k, opt.EigenIter, opt.Tolerance)
+	// Row-normalize the embedding.
+	emb := make([][]float64, n)
+	for i := 0; i < n; i++ {
+		emb[i] = make([]float64, k)
+		norm := 0.0
+		for j := 0; j < k; j++ {
+			emb[i][j] = vecs[j][i]
+			norm += emb[i][j] * emb[i][j]
+		}
+		if norm > 0 {
+			norm = math.Sqrt(norm)
+			for j := 0; j < k; j++ {
+				emb[i][j] /= norm
+			}
+		}
+	}
+	km := kmeans.Cluster(rng, emb, k, opt.KMeans)
+	return Result{Assign: km.Assign, Embedding: emb}
+}
+
+// TopEigenvectors computes the k dominant eigenvectors (by |λ|) of the
+// symmetric operator mul (y = A x on vectors of length n) via orthogonal
+// iteration. Returned as k vectors of length n, unit norm, mutually
+// orthogonal. Exported for reuse (e.g. in LinkClus's low-rank step).
+func TopEigenvectors(rng *stats.RNG, mul func(x, y []float64), n, k, iters int, tol float64) [][]float64 {
+	if k > n {
+		k = n
+	}
+	vs := make([][]float64, k)
+	for j := range vs {
+		vs[j] = make([]float64, n)
+		for i := range vs[j] {
+			vs[j][i] = rng.NormFloat64()
+		}
+	}
+	orthonormalize(vs)
+	next := make([][]float64, k)
+	for j := range next {
+		next[j] = make([]float64, n)
+	}
+	for it := 0; it < iters; it++ {
+		for j := 0; j < k; j++ {
+			mul(vs[j], next[j])
+		}
+		// copy into vs before orthonormalizing
+		maxShift := 0.0
+		for j := 0; j < k; j++ {
+			vs[j], next[j] = next[j], vs[j]
+		}
+		orthonormalize(vs)
+		for j := 0; j < k; j++ {
+			// measure angle change via 1-|dot| against previous (stored in next)
+			d := math.Abs(sparse.Dot(vs[j], next[j]))
+			nrm := sparse.Norm2(next[j])
+			if nrm > 0 {
+				d /= nrm
+			}
+			if shift := 1 - d; shift > maxShift {
+				maxShift = shift
+			}
+		}
+		if maxShift < tol {
+			break
+		}
+	}
+	return vs
+}
+
+// orthonormalize applies modified Gram–Schmidt in place; vectors that
+// collapse to ~zero are re-randomized deterministically from their index.
+func orthonormalize(vs [][]float64) {
+	for j := range vs {
+		for i := 0; i < j; i++ {
+			d := sparse.Dot(vs[j], vs[i])
+			sparse.AXPY(-d, vs[i], vs[j])
+		}
+		n := sparse.Norm2(vs[j])
+		if n < 1e-12 {
+			for i := range vs[j] {
+				vs[j][i] = math.Sin(float64(i*(j+3) + 1))
+			}
+			for i := 0; i < j; i++ {
+				d := sparse.Dot(vs[j], vs[i])
+				sparse.AXPY(-d, vs[i], vs[j])
+			}
+			n = sparse.Norm2(vs[j])
+			if n < 1e-12 {
+				continue
+			}
+		}
+		sparse.ScaleVec(1/n, vs[j])
+	}
+}

@@ -1,0 +1,109 @@
+package spectral
+
+import (
+	"math"
+	"testing"
+
+	"hinet/internal/eval"
+	"hinet/internal/netgen"
+	"hinet/internal/sparse"
+	"hinet/internal/stats"
+)
+
+func TestClusterPlantedPartition(t *testing.T) {
+	rng := stats.NewRNG(1)
+	g, truth := netgen.PlantedPartition(rng, 3, 40, 0.4, 0.02)
+	r := Cluster(stats.NewRNG(2), g, 3, Options{})
+	if nmi := eval.NMI(truth, r.Assign); nmi < 0.85 {
+		t.Errorf("NMI = %v on easy planted partition", nmi)
+	}
+}
+
+func TestClusterTwoComponents(t *testing.T) {
+	// Two disconnected triangles must be split perfectly.
+	w := sparse.NewFromDense([][]float64{
+		{0, 1, 1, 0, 0, 0},
+		{1, 0, 1, 0, 0, 0},
+		{1, 1, 0, 0, 0, 0},
+		{0, 0, 0, 0, 1, 1},
+		{0, 0, 0, 1, 0, 1},
+		{0, 0, 0, 1, 1, 0},
+	})
+	r := ClusterMatrix(stats.NewRNG(3), w, 2, Options{})
+	truth := []int{0, 0, 0, 1, 1, 1}
+	if acc := eval.Accuracy(truth, r.Assign); acc != 1 {
+		t.Errorf("accuracy = %v on disconnected components", acc)
+	}
+}
+
+func TestEmbeddingRowsUnitNorm(t *testing.T) {
+	rng := stats.NewRNG(4)
+	g, _ := netgen.PlantedPartition(rng, 2, 25, 0.4, 0.05)
+	r := Cluster(stats.NewRNG(5), g, 2, Options{})
+	for i, row := range r.Embedding {
+		n := 0.0
+		for _, v := range row {
+			n += v * v
+		}
+		if math.Abs(math.Sqrt(n)-1) > 1e-6 {
+			t.Fatalf("row %d norm = %v", i, math.Sqrt(n))
+		}
+	}
+}
+
+func TestTopEigenvectorsDiagonal(t *testing.T) {
+	// Operator = diag(5, 2, 1): dominant eigenvector is e0, second e1.
+	d := []float64{5, 2, 1}
+	mul := func(x, y []float64) {
+		for i := range x {
+			y[i] = d[i] * x[i]
+		}
+	}
+	vs := TopEigenvectors(stats.NewRNG(6), mul, 3, 2, 500, 1e-12)
+	if math.Abs(math.Abs(vs[0][0])-1) > 1e-4 {
+		t.Errorf("dominant eigenvector = %v, want ±e0", vs[0])
+	}
+	if math.Abs(math.Abs(vs[1][1])-1) > 1e-4 {
+		t.Errorf("second eigenvector = %v, want ±e1", vs[1])
+	}
+	// Orthogonality.
+	if dot := vs[0][0]*vs[1][0] + vs[0][1]*vs[1][1] + vs[0][2]*vs[1][2]; math.Abs(dot) > 1e-6 {
+		t.Errorf("eigenvectors not orthogonal: %v", dot)
+	}
+}
+
+func TestTopEigenvectorsSymmetricMatrix(t *testing.T) {
+	// A = [[2,1],[1,2]] has eigenpairs (3, [1,1]/√2), (1, [1,-1]/√2).
+	a := sparse.NewFromDense([][]float64{{2, 1}, {1, 2}})
+	mul := func(x, y []float64) { a.MulVec(x, y) }
+	vs := TopEigenvectors(stats.NewRNG(7), mul, 2, 1, 300, 1e-12)
+	want := 1 / math.Sqrt(2)
+	if math.Abs(math.Abs(vs[0][0])-want) > 1e-6 || math.Abs(math.Abs(vs[0][1])-want) > 1e-6 {
+		t.Errorf("dominant = %v, want ±[0.707, 0.707]", vs[0])
+	}
+}
+
+func TestDegenerateInputs(t *testing.T) {
+	r := ClusterMatrix(stats.NewRNG(8), sparse.NewFromCoords(0, 0, nil), 3, Options{})
+	if r.Assign != nil {
+		t.Error("empty matrix should give empty result")
+	}
+	// k > n clamps
+	w := sparse.NewFromDense([][]float64{{0, 1}, {1, 0}})
+	r = ClusterMatrix(stats.NewRNG(9), w, 5, Options{})
+	if len(r.Assign) != 2 {
+		t.Error("k>n should clamp")
+	}
+}
+
+func TestDeterministicWithSeed(t *testing.T) {
+	rng := stats.NewRNG(10)
+	g, _ := netgen.PlantedPartition(rng, 2, 30, 0.4, 0.05)
+	a := Cluster(stats.NewRNG(11), g, 2, Options{})
+	b := Cluster(stats.NewRNG(11), g, 2, Options{})
+	for i := range a.Assign {
+		if a.Assign[i] != b.Assign[i] {
+			t.Fatal("same-seed spectral clustering differs")
+		}
+	}
+}

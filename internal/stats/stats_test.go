@@ -1,0 +1,238 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 100; i++ {
+		if a.Float64() != b.Float64() {
+			t.Fatalf("same-seed RNGs diverged at draw %d", i)
+		}
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	rng := NewRNG(1)
+	z := NewZipf(rng, 100, 1.5)
+	counts := make([]int, 100)
+	for i := 0; i < 20000; i++ {
+		counts[z.Draw()]++
+	}
+	if counts[0] <= counts[10] {
+		t.Errorf("Zipf head not dominant: c0=%d c10=%d", counts[0], counts[10])
+	}
+	// Rough mass check: top item should carry a noticeable share for s=1.5.
+	if counts[0] < 2000 {
+		t.Errorf("Zipf top item mass too small: %d/20000", counts[0])
+	}
+}
+
+func TestZipfDrawInRange(t *testing.T) {
+	rng := NewRNG(7)
+	z := NewZipf(rng, 13, 1.0)
+	for i := 0; i < 1000; i++ {
+		d := z.Draw()
+		if d < 0 || d >= 13 {
+			t.Fatalf("Zipf draw %d out of range", d)
+		}
+	}
+}
+
+func TestCategoricalMatchesWeights(t *testing.T) {
+	rng := NewRNG(3)
+	c := NewCategorical(rng, []float64{1, 0, 3})
+	counts := make([]int, 3)
+	for i := 0; i < 40000; i++ {
+		counts[c.Draw()]++
+	}
+	if counts[1] != 0 {
+		t.Errorf("zero-weight category drawn %d times", counts[1])
+	}
+	ratio := float64(counts[2]) / float64(counts[0])
+	if ratio < 2.5 || ratio > 3.5 {
+		t.Errorf("category ratio = %.2f, want ≈3", ratio)
+	}
+}
+
+func TestCategoricalAllZeroUniform(t *testing.T) {
+	rng := NewRNG(5)
+	c := NewCategorical(rng, []float64{0, 0, 0, 0})
+	counts := make([]int, 4)
+	for i := 0; i < 8000; i++ {
+		counts[c.Draw()]++
+	}
+	for i, n := range counts {
+		if n < 1500 || n > 2500 {
+			t.Errorf("uniform fallback skewed: counts[%d]=%d", i, n)
+		}
+	}
+}
+
+func TestPoissonMean(t *testing.T) {
+	rng := NewRNG(11)
+	for _, lambda := range []float64{0.5, 4, 50} {
+		sum := 0
+		n := 20000
+		for i := 0; i < n; i++ {
+			sum += rng.Poisson(lambda)
+		}
+		mean := float64(sum) / float64(n)
+		if math.Abs(mean-lambda) > 0.15*lambda+0.1 {
+			t.Errorf("Poisson(%g) mean = %.3f", lambda, mean)
+		}
+	}
+}
+
+func TestLogSumExp(t *testing.T) {
+	got := LogSumExp([]float64{math.Log(1), math.Log(2), math.Log(3)})
+	if math.Abs(got-math.Log(6)) > 1e-12 {
+		t.Errorf("LogSumExp = %v, want log 6", got)
+	}
+	if !math.IsInf(LogSumExp(nil), -1) {
+		t.Error("LogSumExp(nil) should be -Inf")
+	}
+	// Large magnitudes must not overflow.
+	got = LogSumExp([]float64{1000, 1000})
+	if math.Abs(got-(1000+math.Log(2))) > 1e-9 {
+		t.Errorf("LogSumExp overflow guard failed: %v", got)
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	xs := []float64{2, 6}
+	Normalize(xs)
+	if xs[0] != 0.25 || xs[1] != 0.75 {
+		t.Errorf("Normalize = %v", xs)
+	}
+	zero := []float64{0, 0, 0, 0}
+	Normalize(zero)
+	for _, v := range zero {
+		if v != 0.25 {
+			t.Errorf("zero-sum Normalize should be uniform, got %v", zero)
+		}
+	}
+}
+
+func TestNormalizeProperty(t *testing.T) {
+	f := func(raw []float64) bool {
+		xs := make([]float64, len(raw))
+		for i, v := range raw {
+			xs[i] = math.Abs(math.Mod(v, 100))
+		}
+		Normalize(xs)
+		if len(xs) == 0 {
+			return true
+		}
+		sum := 0.0
+		for _, v := range xs {
+			if v < 0 {
+				return false
+			}
+			sum += v
+		}
+		return math.Abs(sum-1) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEntropyBounds(t *testing.T) {
+	if e := Entropy([]float64{1, 1, 1, 1}); math.Abs(e-math.Log(4)) > 1e-12 {
+		t.Errorf("uniform entropy = %v, want log 4", e)
+	}
+	if e := Entropy([]float64{1, 0, 0}); e != 0 {
+		t.Errorf("point-mass entropy = %v, want 0", e)
+	}
+	if e := Entropy(nil); e != 0 {
+		t.Errorf("empty entropy = %v", e)
+	}
+}
+
+func TestKLDivergence(t *testing.T) {
+	p := []float64{0.5, 0.5}
+	if d := KLDivergence(p, p, 0); math.Abs(d) > 1e-12 {
+		t.Errorf("KL(p||p) = %v", d)
+	}
+	q := []float64{0.9, 0.1}
+	if d := KLDivergence(p, q, 1e-12); d <= 0 {
+		t.Errorf("KL(p||q) = %v, want > 0", d)
+	}
+}
+
+func TestCosineSim(t *testing.T) {
+	if s := CosineSim([]float64{1, 0}, []float64{0, 1}); s != 0 {
+		t.Errorf("orthogonal cosine = %v", s)
+	}
+	if s := CosineSim([]float64{2, 2}, []float64{1, 1}); math.Abs(s-1) > 1e-12 {
+		t.Errorf("parallel cosine = %v", s)
+	}
+	if s := CosineSim([]float64{0, 0}, []float64{1, 1}); s != 0 {
+		t.Errorf("zero-vector cosine = %v", s)
+	}
+}
+
+func TestCosineSymmetricProperty(t *testing.T) {
+	f := func(a, b [4]float64) bool {
+		x, y := make([]float64, 4), make([]float64, 4)
+		for i := 0; i < 4; i++ {
+			// Clamp magnitudes so the dot product cannot overflow.
+			x[i] = math.Mod(a[i], 1e6)
+			y[i] = math.Mod(b[i], 1e6)
+			if math.IsNaN(x[i]) {
+				x[i] = 0
+			}
+			if math.IsNaN(y[i]) {
+				y[i] = 0
+			}
+		}
+		return math.Abs(CosineSim(x, y)-CosineSim(y, x)) < 1e-12 &&
+			CosineSim(x, y) < 1+1e-12 && CosineSim(x, y) > -1-1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestArgMaxTopK(t *testing.T) {
+	xs := []float64{3, 9, 1, 9, 5}
+	if i := ArgMax(xs); i != 1 {
+		t.Errorf("ArgMax = %d, want 1 (first tie)", i)
+	}
+	top := TopK(xs, 3)
+	want := []int{1, 3, 4}
+	for i := range want {
+		if top[i] != want[i] {
+			t.Fatalf("TopK = %v, want %v", top, want)
+		}
+	}
+	if got := TopK(xs, 99); len(got) != len(xs) {
+		t.Errorf("TopK over-length = %d items", len(got))
+	}
+	if ArgMax(nil) != -1 {
+		t.Error("ArgMax(nil) should be -1")
+	}
+}
+
+func TestMeanVariance(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if m := Mean(xs); m != 5 {
+		t.Errorf("Mean = %v", m)
+	}
+	if v := Variance(xs); v != 4 {
+		t.Errorf("Variance = %v", v)
+	}
+	if Variance([]float64{3}) != 0 || Mean(nil) != 0 {
+		t.Error("degenerate Mean/Variance wrong")
+	}
+}
+
+func TestL1Distance(t *testing.T) {
+	if d := L1Distance([]float64{1, 2}, []float64{3, 0}); d != 4 {
+		t.Errorf("L1 = %v", d)
+	}
+}

@@ -1,0 +1,381 @@
+// Package truth implements TruthFinder (Yin, Han, Yu — TKDE'08), the
+// veracity-analysis technique the tutorial presents in §3d: given many
+// websites asserting conflicting facts about objects, discover which
+// facts are true and how trustworthy each website is, by link analysis
+// on the website–fact network.
+//
+// The fixed point couples two quantities:
+//
+//	trust(w)      = mean confidence of the facts w provides
+//	score(f)      = Σ_{w provides f} −ln(1 − trust(w))     (evidence)
+//	adjusted(f)   = score(f) + ρ · Σ_{g≠f, same object} imp(g→f)·score(g)
+//	confidence(f) = 1 / (1 + e^{−γ·adjusted(f)})
+//
+// where imp(g→f) ∈ [−1, 1] lets conflicting facts about the same object
+// inhibit each other. Iteration stops when website trust stabilizes.
+package truth
+
+import (
+	"math"
+
+	"hinet/internal/stats"
+)
+
+// Claim states that website W asserts fact F.
+type Claim struct {
+	Website int
+	Fact    int
+}
+
+// Network is the website–fact claim graph plus the fact→object map.
+type Network struct {
+	NumWebsites int
+	NumFacts    int
+	FactObject  []int   // object each fact describes
+	Claims      []Claim // website–fact links
+
+	// Implication returns imp(g→f) in [−1,1] for facts about the same
+	// object. When nil, conflicting facts fully inhibit each other
+	// (imp = −1) and there is no positive reinforcement.
+	Implication func(g, f int) float64
+
+	// SiteWeight optionally scales each website's evidence contribution
+	// (e.g. from DetectCopycats); nil means weight 1 everywhere.
+	SiteWeight []float64
+}
+
+// Options tunes the fixed point.
+type Options struct {
+	Gamma     float64 // sigmoid dampening, default 0.3
+	Rho       float64 // implication weight, default 0.5
+	InitTrust float64 // initial website trust, default 0.9
+	MaxIter   int     // default 50
+	Tolerance float64 // trust L∞ convergence, default 1e-6
+}
+
+func (o Options) withDefaults() Options {
+	if o.Gamma == 0 {
+		o.Gamma = 0.3
+	}
+	if o.Rho == 0 {
+		o.Rho = 0.5
+	}
+	if o.InitTrust == 0 {
+		o.InitTrust = 0.9
+	}
+	if o.MaxIter == 0 {
+		o.MaxIter = 50
+	}
+	if o.Tolerance == 0 {
+		o.Tolerance = 1e-6
+	}
+	return o
+}
+
+// Result carries the fixed point.
+type Result struct {
+	Trust      []float64 // per website, in (0,1)
+	Confidence []float64 // per fact, in (0,1)
+	Iterations int
+	Converged  bool
+}
+
+// Run executes the TruthFinder iteration.
+func Run(n *Network, opt Options) Result {
+	opt = opt.withDefaults()
+	factsOf := make([][]int, n.NumWebsites) // website → facts
+	sitesOf := make([][]int, n.NumFacts)    // fact → websites
+	for _, c := range n.Claims {
+		factsOf[c.Website] = append(factsOf[c.Website], c.Fact)
+		sitesOf[c.Fact] = append(sitesOf[c.Fact], c.Website)
+	}
+	objFacts := make(map[int][]int) // object → facts
+	for f, o := range n.FactObject {
+		objFacts[o] = append(objFacts[o], f)
+	}
+	imp := n.Implication
+	if imp == nil {
+		imp = func(g, f int) float64 { return -1 }
+	}
+
+	trust := make([]float64, n.NumWebsites)
+	for i := range trust {
+		trust[i] = opt.InitTrust
+	}
+	conf := make([]float64, n.NumFacts)
+	score := make([]float64, n.NumFacts)
+	adjusted := make([]float64, n.NumFacts)
+	prevTrust := make([]float64, n.NumWebsites)
+
+	for it := 1; it <= opt.MaxIter; it++ {
+		copy(prevTrust, trust)
+
+		// Fact evidence from current website trust.
+		for f := range score {
+			s := 0.0
+			for _, w := range sitesOf[f] {
+				t := trust[w]
+				if t > 1-1e-9 {
+					t = 1 - 1e-9
+				}
+				wt := 1.0
+				if n.SiteWeight != nil {
+					wt = n.SiteWeight[w]
+				}
+				s += wt * -math.Log(1-t)
+			}
+			score[f] = s
+		}
+		// Implication adjustment among facts about the same object.
+		for f := range adjusted {
+			adjusted[f] = score[f]
+		}
+		for _, facts := range objFacts {
+			for _, f := range facts {
+				for _, g := range facts {
+					if g == f {
+						continue
+					}
+					adjusted[f] += opt.Rho * imp(g, f) * score[g]
+				}
+			}
+		}
+		// Dampened sigmoid to confidence.
+		for f := range conf {
+			conf[f] = 1 / (1 + math.Exp(-opt.Gamma*adjusted[f]))
+		}
+		// Website trust = mean confidence of its facts.
+		for w := range trust {
+			if len(factsOf[w]) == 0 {
+				trust[w] = opt.InitTrust
+				continue
+			}
+			s := 0.0
+			for _, f := range factsOf[w] {
+				s += conf[f]
+			}
+			trust[w] = s / float64(len(factsOf[w]))
+		}
+
+		maxDiff := 0.0
+		for w := range trust {
+			if d := math.Abs(trust[w] - prevTrust[w]); d > maxDiff {
+				maxDiff = d
+			}
+		}
+		if maxDiff < opt.Tolerance {
+			return Result{Trust: trust, Confidence: conf, Iterations: it, Converged: true}
+		}
+	}
+	return Result{Trust: trust, Confidence: conf, Iterations: opt.MaxIter, Converged: false}
+}
+
+// DetectCopycats groups websites whose claim sets are near-duplicates
+// (Jaccard similarity ≥ threshold) and returns per-site weights that
+// split one unit of evidence across each duplicate group — the simple
+// copying-detection guard from the tutorial's veracity discussion
+// (Dong et al., VLDB'09): a fact copied by k mirror sites should count
+// once, not k times.
+func DetectCopycats(n *Network, threshold float64) []float64 {
+	sets := make([]map[int]bool, n.NumWebsites)
+	for i := range sets {
+		sets[i] = make(map[int]bool)
+	}
+	for _, c := range n.Claims {
+		sets[c.Website][c.Fact] = true
+	}
+	group := make([]int, n.NumWebsites)
+	for i := range group {
+		group[i] = i
+	}
+	// Greedy grouping: site joins the first earlier site it duplicates.
+	for a := 0; a < n.NumWebsites; a++ {
+		for b := 0; b < a; b++ {
+			if group[b] != b {
+				continue
+			}
+			if jaccard(sets[a], sets[b]) >= threshold {
+				group[a] = b
+				break
+			}
+		}
+	}
+	size := make(map[int]int)
+	for _, g := range group {
+		size[g]++
+	}
+	weights := make([]float64, n.NumWebsites)
+	for w, g := range group {
+		weights[w] = 1 / float64(size[g])
+	}
+	return weights
+}
+
+func jaccard(a, b map[int]bool) float64 {
+	if len(a) == 0 || len(b) == 0 {
+		return 0
+	}
+	small, big := a, b
+	if len(b) < len(a) {
+		small, big = b, a
+	}
+	inter := 0
+	for f := range small {
+		if big[f] {
+			inter++
+		}
+	}
+	union := len(a) + len(b) - inter
+	return float64(inter) / float64(union)
+}
+
+// PredictTruth returns, per object, the fact with the highest
+// confidence — the discovered "true" value.
+func PredictTruth(n *Network, conf []float64) map[int]int {
+	best := make(map[int]int)
+	bestConf := make(map[int]float64)
+	for f, o := range n.FactObject {
+		if c, ok := bestConf[o]; !ok || conf[f] > c {
+			bestConf[o] = conf[f]
+			best[o] = f
+		}
+	}
+	return best
+}
+
+// MajorityVote is the baseline: per object, the fact asserted by the
+// most websites (ties broken by lower fact id).
+func MajorityVote(n *Network) map[int]int {
+	votes := make([]int, n.NumFacts)
+	for _, c := range n.Claims {
+		votes[c.Fact]++
+	}
+	best := make(map[int]int)
+	bestVotes := make(map[int]int)
+	for f, o := range n.FactObject {
+		if v, ok := bestVotes[o]; !ok || votes[f] > v {
+			bestVotes[o] = votes[f]
+			best[o] = f
+		}
+	}
+	return best
+}
+
+// SynthConfig controls the synthetic conflicting-claims workload that
+// substitutes for the paper's web-extracted datasets (book authors,
+// movie runtimes): a pool of websites with individual error rates, a set
+// of objects each having one true fact and several false alternatives,
+// and optional copycat sites that clone a bad site's claims.
+type SynthConfig struct {
+	Objects       int     // default 100
+	FalsePerObj   int     // false alternatives per object, default 3
+	Websites      int     // default 30
+	ClaimsPerSite int     // objects each site claims about, default 40
+	GoodSites     float64 // fraction of reliable sites, default 0.6
+	GoodErr       float64 // error rate of reliable sites, default 0.1
+	BadErr        float64 // error rate of unreliable sites, default 0.7
+	Copycats      int     // sites that clone the first bad site, default 0
+}
+
+func (c SynthConfig) withDefaults() SynthConfig {
+	def := func(v *int, d int) {
+		if *v == 0 {
+			*v = d
+		}
+	}
+	def(&c.Objects, 100)
+	def(&c.FalsePerObj, 3)
+	def(&c.Websites, 30)
+	def(&c.ClaimsPerSite, 40)
+	if c.GoodSites == 0 {
+		c.GoodSites = 0.6
+	}
+	if c.GoodErr == 0 {
+		c.GoodErr = 0.1
+	}
+	if c.BadErr == 0 {
+		c.BadErr = 0.7
+	}
+	return c
+}
+
+// Synthetic is a generated workload with ground truth.
+type Synthetic struct {
+	Net      *Network
+	TrueFact []int  // per object, the correct fact id
+	SiteGood []bool // per website, whether it was generated reliable
+}
+
+// Synthesize builds a deterministic conflicting-claims network.
+func Synthesize(rng *stats.RNG, cfg SynthConfig) *Synthetic {
+	cfg = cfg.withDefaults()
+	perObj := 1 + cfg.FalsePerObj
+	n := &Network{
+		NumWebsites: cfg.Websites + cfg.Copycats,
+		NumFacts:    cfg.Objects * perObj,
+		FactObject:  make([]int, cfg.Objects*perObj),
+	}
+	trueFact := make([]int, cfg.Objects)
+	for o := 0; o < cfg.Objects; o++ {
+		for j := 0; j < perObj; j++ {
+			n.FactObject[o*perObj+j] = o
+		}
+		trueFact[o] = o * perObj // fact 0 of each object is the truth
+	}
+	good := make([]bool, cfg.Websites+cfg.Copycats)
+	var firstBad = -1
+	for w := 0; w < cfg.Websites; w++ {
+		good[w] = rng.Float64() < cfg.GoodSites
+		if !good[w] && firstBad < 0 {
+			firstBad = w
+		}
+		errRate := cfg.GoodErr
+		if !good[w] {
+			errRate = cfg.BadErr
+		}
+		seen := make(map[int]bool)
+		for len(seen) < cfg.ClaimsPerSite && len(seen) < cfg.Objects {
+			o := rng.Intn(cfg.Objects)
+			if seen[o] {
+				continue
+			}
+			seen[o] = true
+			fact := trueFact[o]
+			if rng.Float64() < errRate {
+				fact = o*perObj + 1 + rng.Intn(cfg.FalsePerObj)
+			}
+			n.Claims = append(n.Claims, Claim{Website: w, Fact: fact})
+		}
+	}
+	// Copycats replicate the first bad site's claims verbatim.
+	if cfg.Copycats > 0 && firstBad >= 0 {
+		var src []Claim
+		for _, c := range n.Claims {
+			if c.Website == firstBad {
+				src = append(src, c)
+			}
+		}
+		for i := 0; i < cfg.Copycats; i++ {
+			w := cfg.Websites + i
+			good[w] = false
+			for _, c := range src {
+				n.Claims = append(n.Claims, Claim{Website: w, Fact: c.Fact})
+			}
+		}
+	}
+	return &Synthetic{Net: n, TrueFact: trueFact, SiteGood: good}
+}
+
+// Accuracy scores a prediction map against the ground truth.
+func (s *Synthetic) Accuracy(pred map[int]int) float64 {
+	if len(s.TrueFact) == 0 {
+		return 0
+	}
+	hit := 0
+	for o, f := range pred {
+		if s.TrueFact[o] == f {
+			hit++
+		}
+	}
+	return float64(hit) / float64(len(s.TrueFact))
+}

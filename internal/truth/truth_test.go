@@ -1,0 +1,222 @@
+package truth
+
+import (
+	"math"
+	"testing"
+
+	"hinet/internal/stats"
+)
+
+// tinyNetwork: 2 objects, 2 facts each; sites 0,1 assert truth (facts
+// 0, 2); site 2 asserts falsehoods (facts 1, 3).
+func tinyNetwork() *Network {
+	return &Network{
+		NumWebsites: 3,
+		NumFacts:    4,
+		FactObject:  []int{0, 0, 1, 1},
+		Claims: []Claim{
+			{Website: 0, Fact: 0}, {Website: 0, Fact: 2},
+			{Website: 1, Fact: 0}, {Website: 1, Fact: 2},
+			{Website: 2, Fact: 1}, {Website: 2, Fact: 3},
+		},
+	}
+}
+
+func TestRunMajorityBackedFactsWin(t *testing.T) {
+	n := tinyNetwork()
+	r := Run(n, Options{})
+	if !r.Converged {
+		t.Fatal("no convergence")
+	}
+	if r.Confidence[0] <= r.Confidence[1] || r.Confidence[2] <= r.Confidence[3] {
+		t.Errorf("confidences = %v; facts 0,2 should win", r.Confidence)
+	}
+	if r.Trust[0] <= r.Trust[2] {
+		t.Errorf("trust = %v; sites 0,1 should beat site 2", r.Trust)
+	}
+}
+
+func TestBoundsInvariants(t *testing.T) {
+	rng := stats.NewRNG(1)
+	s := Synthesize(rng, SynthConfig{})
+	r := Run(s.Net, Options{})
+	for w, tr := range r.Trust {
+		if tr <= 0 || tr >= 1 {
+			t.Fatalf("trust[%d] = %v out of (0,1)", w, tr)
+		}
+	}
+	for f, c := range r.Confidence {
+		if c < 0 || c > 1 {
+			t.Fatalf("confidence[%d] = %v", f, c)
+		}
+	}
+}
+
+func TestCopycatsHurtAndCopyDetectionRecovers(t *testing.T) {
+	rng := stats.NewRNG(2)
+	// Copycats amplify one bad site's claims: plain TruthFinder (and
+	// majority voting) degrade; copy detection restores accuracy.
+	s := Synthesize(rng, SynthConfig{
+		Objects:       80,
+		Websites:      20,
+		ClaimsPerSite: 40,
+		GoodSites:     0.5,
+		GoodErr:       0.05,
+		BadErr:        0.65,
+		Copycats:      6,
+	})
+	plain := Run(s.Net, Options{})
+	plainAcc := s.Accuracy(PredictTruth(s.Net, plain.Confidence))
+
+	s.Net.SiteWeight = DetectCopycats(s.Net, 0.9)
+	guarded := Run(s.Net, Options{})
+	guardedAcc := s.Accuracy(PredictTruth(s.Net, guarded.Confidence))
+
+	if guardedAcc <= plainAcc {
+		t.Errorf("copy detection should help: plain %.3f, guarded %.3f", plainAcc, guardedAcc)
+	}
+	if guardedAcc < 0.8 {
+		t.Errorf("guarded accuracy too low: %.3f", guardedAcc)
+	}
+}
+
+func TestDetectCopycatsWeights(t *testing.T) {
+	rng := stats.NewRNG(7)
+	s := Synthesize(rng, SynthConfig{Websites: 10, Copycats: 4, ClaimsPerSite: 30})
+	w := DetectCopycats(s.Net, 0.95)
+	// The 4 copycats + their source form a group of 5 → weight 0.2.
+	low := 0
+	for _, v := range w {
+		if v < 0.25 {
+			low++
+		}
+	}
+	if low < 5 {
+		t.Errorf("expected ≥5 down-weighted mirror sites, got %d (weights %v)", low, w)
+	}
+}
+
+func TestTruthFinderAtLeastMatchesMajorityUncorrelated(t *testing.T) {
+	// Uncorrelated individual errors: TruthFinder's trust weighting
+	// should match or beat raw voting across seeds.
+	var tfSum, mvSum float64
+	for seed := int64(0); seed < 5; seed++ {
+		s := Synthesize(stats.NewRNG(100+seed), SynthConfig{
+			Objects:       60,
+			FalsePerObj:   4,
+			Websites:      40,
+			ClaimsPerSite: 45,
+			GoodSites:     0.4,
+			GoodErr:       0.05,
+			BadErr:        0.55,
+		})
+		r := Run(s.Net, Options{})
+		tfSum += s.Accuracy(PredictTruth(s.Net, r.Confidence))
+		mvSum += s.Accuracy(MajorityVote(s.Net))
+	}
+	if tfSum < mvSum-0.05 {
+		t.Errorf("TruthFinder total %.3f below majority %.3f", tfSum, mvSum)
+	}
+}
+
+func TestHighAccuracyOnCleanWorkload(t *testing.T) {
+	rng := stats.NewRNG(3)
+	s := Synthesize(rng, SynthConfig{GoodSites: 0.8, GoodErr: 0.05, BadErr: 0.5})
+	r := Run(s.Net, Options{})
+	if acc := s.Accuracy(PredictTruth(s.Net, r.Confidence)); acc < 0.85 {
+		t.Errorf("clean-workload accuracy = %.3f", acc)
+	}
+}
+
+func TestGoodSitesEarnMoreTrust(t *testing.T) {
+	rng := stats.NewRNG(4)
+	s := Synthesize(rng, SynthConfig{Websites: 40, ClaimsPerSite: 60})
+	r := Run(s.Net, Options{})
+	var goodSum, badSum float64
+	var goodN, badN int
+	for w, g := range s.SiteGood {
+		if g {
+			goodSum += r.Trust[w]
+			goodN++
+		} else {
+			badSum += r.Trust[w]
+			badN++
+		}
+	}
+	if goodN == 0 || badN == 0 {
+		t.Skip("degenerate site split")
+	}
+	if goodSum/float64(goodN) <= badSum/float64(badN) {
+		t.Errorf("mean trust good=%.3f bad=%.3f", goodSum/float64(goodN), badSum/float64(badN))
+	}
+}
+
+func TestImplicationFunctionUsed(t *testing.T) {
+	// Two facts on one object; a positive implication from the
+	// well-supported fact should *raise* the weak fact's confidence
+	// relative to full inhibition.
+	base := tinyNetwork()
+	inhibit := Run(base, Options{})
+	support := tinyNetwork()
+	support.Implication = func(g, f int) float64 { return 0.5 }
+	boosted := Run(support, Options{})
+	if boosted.Confidence[1] <= inhibit.Confidence[1] {
+		t.Errorf("positive implication should raise weak-fact confidence: %v vs %v",
+			boosted.Confidence[1], inhibit.Confidence[1])
+	}
+}
+
+func TestWebsiteWithNoClaims(t *testing.T) {
+	n := tinyNetwork()
+	n.NumWebsites = 4 // site 3 claims nothing
+	r := Run(n, Options{})
+	if math.IsNaN(r.Trust[3]) {
+		t.Error("claimless site trust is NaN")
+	}
+}
+
+func TestMajorityVoteBaseline(t *testing.T) {
+	n := tinyNetwork()
+	mv := MajorityVote(n)
+	if mv[0] != 0 || mv[1] != 2 {
+		t.Errorf("majority vote = %v", mv)
+	}
+}
+
+func TestSynthesizeDeterministic(t *testing.T) {
+	a := Synthesize(stats.NewRNG(5), SynthConfig{})
+	b := Synthesize(stats.NewRNG(5), SynthConfig{})
+	if len(a.Net.Claims) != len(b.Net.Claims) {
+		t.Fatal("claim counts differ")
+	}
+	for i := range a.Net.Claims {
+		if a.Net.Claims[i] != b.Net.Claims[i] {
+			t.Fatal("claims differ")
+		}
+	}
+}
+
+func TestSynthesizeShape(t *testing.T) {
+	s := Synthesize(stats.NewRNG(6), SynthConfig{Objects: 10, FalsePerObj: 2, Websites: 5, ClaimsPerSite: 8})
+	if s.Net.NumFacts != 30 {
+		t.Errorf("facts = %d, want 30", s.Net.NumFacts)
+	}
+	if len(s.Net.Claims) != 5*8 {
+		t.Errorf("claims = %d, want 40", len(s.Net.Claims))
+	}
+	for o, f := range s.TrueFact {
+		if s.Net.FactObject[f] != o {
+			t.Fatal("true fact maps to wrong object")
+		}
+	}
+}
+
+func TestAccuracyHelper(t *testing.T) {
+	s := &Synthetic{TrueFact: []int{0, 5}}
+	if a := s.Accuracy(map[int]int{0: 0, 1: 5}); a != 1 {
+		t.Errorf("accuracy = %v", a)
+	}
+	if a := s.Accuracy(map[int]int{0: 1, 1: 5}); a != 0.5 {
+		t.Errorf("accuracy = %v", a)
+	}
+}
