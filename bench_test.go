@@ -11,6 +11,8 @@ package hinet_test
 
 import (
 	"fmt"
+	"math/rand"
+	"runtime"
 	"testing"
 
 	"hinet/internal/classify"
@@ -31,6 +33,7 @@ import (
 	"hinet/internal/relational"
 	"hinet/internal/scan"
 	"hinet/internal/simrank"
+	"hinet/internal/sparse"
 	"hinet/internal/spectral"
 	"hinet/internal/stats"
 	"hinet/internal/truth"
@@ -465,4 +468,162 @@ func BenchmarkAblationSCANEpsilon(b *testing.B) {
 			b.ReportMetric(float64(res.Clusters), "clusters")
 		})
 	}
+}
+
+// --- Sparse kernel engine: parallel vs serial -------------------------
+//
+// The BenchmarkMulVec family measures every parallel kernel against its
+// serial baseline (sparse.Parallelism(1)) at three scales, the largest
+// above 1M stored nonzeros. On a multi-core host the parallel rows
+// should clear ≥2x at the large scale; with GOMAXPROCS=1 the two modes
+// coincide (the engine falls back to the serial path).
+//
+// Note the small-10k "parallel" rows deliberately measure the engine's
+// production dispatch decision, which falls back to the serial loop
+// below the default SerialThreshold — equality with the serial rows at
+// that scale IS the "no regression on small matrices" check, not a
+// measurement of the parallel code path.
+
+type kernelScale struct {
+	name string
+	n    int // square dimension
+	deg  int // nonzeros per row
+}
+
+var kernelScales = []kernelScale{
+	{"small-10k", 2_000, 5},
+	{"medium-100k", 20_000, 5},
+	{"large-1M", 131_072, 8},
+}
+
+func kernelMatrix(sc kernelScale) *sparse.Matrix {
+	rng := rand.New(rand.NewSource(int64(sc.n)))
+	entries := make([]sparse.Coord, 0, sc.n*sc.deg)
+	for r := 0; r < sc.n; r++ {
+		for j := 0; j < sc.deg; j++ {
+			entries = append(entries, sparse.Coord{Row: r, Col: rng.Intn(sc.n), Val: rng.Float64() + 0.1})
+		}
+	}
+	return sparse.NewFromCoords(sc.n, sc.n, entries)
+}
+
+func denseVec(n int) []float64 {
+	rng := rand.New(rand.NewSource(7))
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = rng.NormFloat64()
+	}
+	return v
+}
+
+// benchModes runs fn once per execution mode with the parallelism knob
+// set accordingly and restored afterwards.
+func benchModes(b *testing.B, fn func(b *testing.B)) {
+	for _, mode := range []struct {
+		name    string
+		workers int
+	}{
+		{"serial", 1},
+		{"parallel", runtime.GOMAXPROCS(0)},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			old := sparse.Parallelism(0)
+			sparse.Parallelism(mode.workers)
+			defer sparse.Parallelism(old)
+			fn(b)
+		})
+	}
+}
+
+func BenchmarkMulVec(b *testing.B) {
+	for _, sc := range kernelScales {
+		m := kernelMatrix(sc)
+		x := denseVec(sc.n)
+		y := make([]float64, sc.n)
+		b.Run(sc.name, func(b *testing.B) {
+			benchModes(b, func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					m.MulVec(x, y)
+				}
+			})
+		})
+	}
+}
+
+func BenchmarkMulVecT(b *testing.B) {
+	for _, sc := range kernelScales {
+		m := kernelMatrix(sc)
+		x := denseVec(sc.n)
+		y := make([]float64, sc.n)
+		b.Run(sc.name, func(b *testing.B) {
+			benchModes(b, func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					m.MulVecT(x, y)
+				}
+			})
+		})
+	}
+}
+
+func BenchmarkMulSparse(b *testing.B) {
+	for _, sc := range kernelScales {
+		m := kernelMatrix(sc)
+		b.Run(sc.name, func(b *testing.B) {
+			benchModes(b, func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					m.Mul(m)
+				}
+			})
+		})
+	}
+}
+
+func BenchmarkTranspose(b *testing.B) {
+	for _, sc := range kernelScales {
+		m := kernelMatrix(sc)
+		b.Run(sc.name, func(b *testing.B) {
+			benchModes(b, func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					m.Transpose()
+				}
+			})
+		})
+	}
+}
+
+func BenchmarkRowNormalized(b *testing.B) {
+	for _, sc := range kernelScales {
+		m := kernelMatrix(sc)
+		b.Run(sc.name, func(b *testing.B) {
+			benchModes(b, func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					m.RowNormalized()
+				}
+			})
+		})
+	}
+}
+
+// BenchmarkPathSimBatchTopK measures bulk similarity serving through
+// the parallel engine (one TopK per author over the APVPA index).
+func BenchmarkPathSimBatchTopK(b *testing.B) {
+	c := dblp.Generate(stats.NewRNG(1), dblp.Config{
+		VenuesPerArea: 3, AuthorsPerArea: 60, TermsPerArea: 40,
+		SharedTerms: 20, Papers: 800,
+	})
+	path := hin.MetaPath{dblp.TypeAuthor, dblp.TypePaper, dblp.TypeVenue, dblp.TypePaper, dblp.TypeAuthor}
+	ix := pathsim.NewIndex(c.Net, path)
+	// 10 query rounds over every author push the batch's work estimate
+	// past the serial threshold, so the parallel mode actually
+	// exercises the parallel fan-out rather than the serial fallback.
+	na := c.Net.Count(dblp.TypeAuthor)
+	queries := make([]int, 10*na)
+	for i := range queries {
+		queries[i] = i % na
+	}
+	benchModes(b, func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			ix.BatchTopK(queries, 10)
+		}
+	})
 }

@@ -1,0 +1,16 @@
+// Package hinet is the module root of a Go reproduction of "Mining
+// knowledge from databases: an information network analysis approach"
+// (Han, Sun, Yan, Yu — SIGMOD 2010 tutorial).
+//
+// The library lives under internal/ (see README.md for the package
+// map): internal/sparse provides the parallel CSR kernel engine, hin
+// and graph the network representations, and the remaining packages
+// the reproduced techniques — RankClus, NetClus, PathSim, SimRank,
+// LinkClus, SCAN, CrossMine, CrossClus, DISTINCT, TruthFinder,
+// network OLAP and transductive classification. Entry points are
+// cmd/hinet, cmd/experiments and the walkthroughs in examples/.
+//
+// This file only carries the module-level documentation; the root
+// directory's test files (bench_test.go, integration_test.go) hold the
+// cross-package benchmark and integration suites.
+package hinet

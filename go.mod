@@ -1,0 +1,3 @@
+module hinet
+
+go 1.22

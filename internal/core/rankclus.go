@@ -28,6 +28,7 @@ import (
 
 	"hinet/internal/hin"
 	"hinet/internal/rank"
+	"hinet/internal/sparse"
 	"hinet/internal/stats"
 )
 
@@ -157,29 +158,40 @@ func runOnce(rng *stats.RNG, b *hin.Bipartite, opt Options) *Model {
 	for it := 1; it <= opt.MaxIter; it++ {
 		copy(prev, assign)
 
-		// Step 1: conditional ranking within each cluster.
+		// Step 1: conditional ranking within each cluster. Clusters are
+		// ranked independently, so the rank step fans out over the
+		// sparse worker pool; every slot written below is indexed by c.
 		members := clusterMembers(assign, k)
 		rankX := make([][]float64, k)
 		rankY := make([][]float64, k)
 		phi := make([][]float64, k) // per-cluster target weight in the Y ranking
 		dMass := make([]float64, k) // unnormalized Y-rank mass of each cluster
-		for c := 0; c < k; c++ {
-			br := rank.ConditionalRank(b.W, b.WXX, members[c], opt.Method == AuthorityRanking,
-				rank.AuthorityOptions{Alpha: opt.Alpha})
-			rankX[c] = br.X
-			rankY[c] = br.Y
-			// φ(x) is x's coefficient in the unnormalized conditional Y
-			// rank: rank_X for authority ranking, 1 for simple ranking.
-			phi[c] = make([]float64, nx)
-			for _, x := range members[c] {
-				if opt.Method == AuthorityRanking {
-					phi[c][x] = br.X[x]
-				} else {
-					phi[c][x] = 1
-				}
-				dMass[c] += xMass[x] * phi[c][x]
-			}
+		// Authority ranking iterates up to ~100 power-iteration passes
+		// per cluster, so the fan-out work estimate scales the one-pass
+		// link cost by that factor (simple ranking is a single pass).
+		rankWork := b.W.NNZ()
+		if opt.Method == AuthorityRanking {
+			rankWork *= 100
 		}
+		sparse.ParRange(k, rankWork, func(lo, hi int) {
+			for c := lo; c < hi; c++ {
+				br := rank.ConditionalRank(b.W, b.WXX, members[c], opt.Method == AuthorityRanking,
+					rank.AuthorityOptions{Alpha: opt.Alpha})
+				rankX[c] = br.X
+				rankY[c] = br.Y
+				// φ(x) is x's coefficient in the unnormalized conditional Y
+				// rank: rank_X for authority ranking, 1 for simple ranking.
+				phi[c] = make([]float64, nx)
+				for _, x := range members[c] {
+					if opt.Method == AuthorityRanking {
+						phi[c][x] = br.X[x]
+					} else {
+						phi[c][x] = 1
+					}
+					dMass[c] += xMass[x] * phi[c][x]
+				}
+			}
+		})
 
 		// p(y|c) seen from target x: the conditional rank with x's own
 		// links removed when x ∈ c (leave-one-out — otherwise a random
@@ -203,40 +215,53 @@ func runOnce(rng *stats.RNG, b *hin.Bipartite, opt Options) *Model {
 			return (1-lam)*base + lam*globalY[y]
 		}
 
-		// Step 2: EM over the link mixture model.
+		// Step 2: EM over the link mixture model. The E-step is
+		// independent per target object, so it fans out over the sparse
+		// worker pool; per-object posterior mass and link totals are
+		// re-aggregated serially in object order (newPrior[c] equals the
+		// sum of post[x][c], so the parallel E-step reproduces the
+		// serial prior update deterministically).
 		prior := uniformVec(k)
 		post := make([][]float64, nx) // π_x
+		xTot := make([]float64, nx)   // per-target link mass with nonzero support
+		emWork := b.W.NNZ() * k
 		for em := 0; em < opt.EMIter; em++ {
-			newPrior := make([]float64, k)
-			for x := 0; x < nx; x++ {
-				if post[x] == nil {
-					post[x] = make([]float64, k)
-				} else {
-					for c := range post[x] {
-						post[x][c] = 0
+			sparse.ParRange(nx, emWork, func(lo, hi int) {
+				pk := make([]float64, k)
+				for x := lo; x < hi; x++ {
+					if post[x] == nil {
+						post[x] = make([]float64, k)
+					} else {
+						for c := range post[x] {
+							post[x][c] = 0
+						}
 					}
+					xTot[x] = 0
+					b.W.Row(x, func(y int, w float64) {
+						// E-step for one link bundle (x, y, w).
+						s := 0.0
+						for c := 0; c < k; c++ {
+							pk[c] = prior[c] * componentY(c, x, y, w)
+							s += pk[c]
+						}
+						if s == 0 {
+							return
+						}
+						for c := 0; c < k; c++ {
+							pk[c] /= s
+							post[x][c] += w * pk[c]
+						}
+						xTot[x] += w
+					})
 				}
-			}
+			})
+			newPrior := make([]float64, k)
 			total := 0.0
-			pk := make([]float64, k)
 			for x := 0; x < nx; x++ {
-				b.W.Row(x, func(y int, w float64) {
-					// E-step for one link bundle (x, y, w).
-					s := 0.0
-					for c := 0; c < k; c++ {
-						pk[c] = prior[c] * componentY(c, x, y, w)
-						s += pk[c]
-					}
-					if s == 0 {
-						return
-					}
-					for c := 0; c < k; c++ {
-						pk[c] /= s
-						newPrior[c] += w * pk[c]
-						post[x][c] += w * pk[c]
-					}
-					total += w
-				})
+				total += xTot[x]
+				for c := 0; c < k; c++ {
+					newPrior[c] += post[x][c]
+				}
 			}
 			if total == 0 {
 				break

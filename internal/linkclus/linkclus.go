@@ -244,17 +244,22 @@ func randomCols(rng *stats.RNG, n, d int) [][]float64 {
 	return m
 }
 
-// matProduct computes A·B for sparse A (n×m) and dense B (m×d).
+// matProduct computes A·B for sparse A (n×m) and dense B (m×d). Rows of
+// the output are independent, so the loop runs on the shared sparse
+// worker pool (each propagation round is the package's hot path).
 func matProduct(a *sparse.Matrix, b [][]float64, n, d int) [][]float64 {
 	out := make([][]float64, n)
-	for r := 0; r < n; r++ {
-		out[r] = make([]float64, d)
-		a.Row(r, func(c int, v float64) {
-			for j := 0; j < d; j++ {
-				out[r][j] += v * b[c][j]
-			}
-		})
-	}
+	sparse.ParRange(n, a.NNZ()*d, func(lo, hi int) {
+		for r := lo; r < hi; r++ {
+			row := make([]float64, d)
+			a.Row(r, func(c int, v float64) {
+				for j := 0; j < d; j++ {
+					row[j] += v * b[c][j]
+				}
+			})
+			out[r] = row
+		}
+	})
 	return out
 }
 

@@ -151,7 +151,13 @@ func runOnce(rng *stats.RNG, star *hin.Star, opt Options) *Model {
 		post[d] = make([]float64, k)
 	}
 	prev := make([]int, nd)
-	logp := make([]float64, k)
+
+	// Work estimate for one EM posterior pass: every link of every
+	// center object is scored against all k clusters.
+	emWork := 0
+	for t := 0; t < nt; t++ {
+		emWork += star.Rel[t].NNZ() * k
+	}
 
 	for it := 1; it <= opt.MaxIter; it++ {
 		copy(prev, assign)
@@ -159,24 +165,34 @@ func runOnce(rng *stats.RNG, star *hin.Star, opt Options) *Model {
 		// Step 1: conditional rank distributions per cluster.
 		m.RankDist = conditionalRanks(star, assign, k, opt)
 
-		// Step 2: EM over center objects.
+		// Step 2: EM over center objects. Posteriors of distinct center
+		// objects are independent, so the E-step fans out over the
+		// sparse worker pool; the prior M-step re-aggregates serially in
+		// object order, keeping the update deterministic.
 		for em := 0; em < opt.EMIter; em++ {
+			sparse.ParRange(nd, emWork, func(lo, hi int) {
+				lp := make([]float64, k)
+				for d := lo; d < hi; d++ {
+					for c := 0; c < k; c++ {
+						lp[c] = math.Log(prior[c] + 1e-300)
+					}
+					for t := 0; t < nt; t++ {
+						star.Rel[t].Row(d, func(o int, w float64) {
+							for c := 0; c < k; c++ {
+								p := (1-opt.LambdaB)*m.RankDist[t][c][o] + opt.LambdaB*m.Background[t][o]
+								lp[c] += w * math.Log(p+1e-300)
+							}
+						})
+					}
+					lse := stats.LogSumExp(lp)
+					for c := 0; c < k; c++ {
+						post[d][c] = math.Exp(lp[c] - lse)
+					}
+				}
+			})
 			newPrior := make([]float64, k)
 			for d := 0; d < nd; d++ {
 				for c := 0; c < k; c++ {
-					logp[c] = math.Log(prior[c] + 1e-300)
-				}
-				for t := 0; t < nt; t++ {
-					star.Rel[t].Row(d, func(o int, w float64) {
-						for c := 0; c < k; c++ {
-							p := (1-opt.LambdaB)*m.RankDist[t][c][o] + opt.LambdaB*m.Background[t][o]
-							logp[c] += w * math.Log(p+1e-300)
-						}
-					})
-				}
-				lse := stats.LogSumExp(logp)
-				for c := 0; c < k; c++ {
-					post[d][c] = math.Exp(logp[c] - lse)
 					newPrior[c] += post[d][c]
 				}
 			}
@@ -203,21 +219,25 @@ func runOnce(rng *stats.RNG, star *hin.Star, opt Options) *Model {
 	m.AssignCenter = assign
 	m.PosteriorCenter = post
 	m.Prior = prior
-	m.LogLikelihood = 0
-	for d := 0; d < nd; d++ {
-		for c := 0; c < k; c++ {
-			logp[c] = math.Log(prior[c] + 1e-300)
+	m.LogLikelihood = sparse.ParReduce(nd, emWork, func(lo, hi int) float64 {
+		ll := 0.0
+		lp := make([]float64, k)
+		for d := lo; d < hi; d++ {
+			for c := 0; c < k; c++ {
+				lp[c] = math.Log(prior[c] + 1e-300)
+			}
+			for t := 0; t < nt; t++ {
+				star.Rel[t].Row(d, func(o int, w float64) {
+					for c := 0; c < k; c++ {
+						p := (1-opt.LambdaB)*m.RankDist[t][c][o] + opt.LambdaB*m.Background[t][o]
+						lp[c] += w * math.Log(p+1e-300)
+					}
+				})
+			}
+			ll += stats.LogSumExp(lp)
 		}
-		for t := 0; t < nt; t++ {
-			star.Rel[t].Row(d, func(o int, w float64) {
-				for c := 0; c < k; c++ {
-					p := (1-opt.LambdaB)*m.RankDist[t][c][o] + opt.LambdaB*m.Background[t][o]
-					logp[c] += w * math.Log(p+1e-300)
-				}
-			})
-		}
-		m.LogLikelihood += stats.LogSumExp(logp)
-	}
+		return ll
+	})
 
 	m.AttrPosterior = make([][][]float64, nt)
 	for t := 0; t < nt; t++ {
@@ -273,15 +293,22 @@ func conditionalRanks(star *hin.Star, assign []int, k int, opt Options) [][][]fl
 		}
 	}
 	if opt.Authority && nt >= 2 {
-		for c := 0; c < k; c++ {
-			sub0 := restrictRows(star.Rel[0], members[c])
-			sub1 := restrictRows(star.Rel[1], members[c])
-			// attr0 × attr1 composite within the cluster.
-			comp := sub0.Transpose().Mul(sub1)
-			br := rank.AuthorityRanking(comp, nil, rank.AuthorityOptions{})
-			copy(out[0][c], br.X)
-			copy(out[1][c], br.Y)
-		}
+		// Clusters are ranked independently; fan them out over the
+		// sparse worker pool (each iteration is itself a chain of
+		// parallel kernel calls, which the pool nests safely). The work
+		// estimate scales the one-pass link cost by authority ranking's
+		// ~100-iteration fixed-point budget.
+		sparse.ParRange(k, (star.Rel[0].NNZ()+star.Rel[1].NNZ())*100, func(lo, hi int) {
+			for c := lo; c < hi; c++ {
+				sub0 := restrictRows(star.Rel[0], members[c])
+				sub1 := restrictRows(star.Rel[1], members[c])
+				// attr0 × attr1 composite within the cluster.
+				comp := sub0.Transpose().Mul(sub1)
+				br := rank.AuthorityRanking(comp, nil, rank.AuthorityOptions{})
+				copy(out[0][c], br.X)
+				copy(out[1][c], br.Y)
+			}
+		})
 	}
 	return out
 }

@@ -86,6 +86,25 @@ func (ix *Index) TopK(x, k int) []Pair {
 	return out
 }
 
+// BatchTopK answers one TopK query per entry of xs, fanning the
+// queries out over the shared sparse worker pool. Queries only read the
+// immutable commuting matrix, so they parallelize perfectly; this is
+// the bulk entry point for serving many similarity queries at once.
+func (ix *Index) BatchTopK(xs []int, k int) [][]Pair {
+	out := make([][]Pair, len(xs))
+	rows := ix.M.Rows()
+	avg := 0
+	if rows > 0 {
+		avg = ix.M.NNZ() / rows
+	}
+	sparse.ParRange(len(xs), len(xs)*(1+avg), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out[i] = ix.TopK(xs[i], k)
+		}
+	})
+	return out
+}
+
 // AllScores materializes the full similarity row of x (dense), useful
 // for metric comparison against baselines.
 func (ix *Index) AllScores(x int) []float64 {

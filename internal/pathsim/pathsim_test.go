@@ -154,3 +154,48 @@ func TestOnDBLPCorpusSameAreaPeers(t *testing.T) {
 		t.Errorf("only %d/10 peers share the query's area", hits)
 	}
 }
+
+// BatchTopK must return exactly what per-query TopK returns, under
+// both the serial fallback and the forced-parallel path.
+func TestBatchTopKMatchesTopK(t *testing.T) {
+	c := dblp.Generate(stats.NewRNG(2), dblp.Config{
+		VenuesPerArea:  3,
+		AuthorsPerArea: 25,
+		TermsPerArea:   20,
+		SharedTerms:    8,
+		Papers:         300,
+	})
+	ix := NewIndex(c.Net, hin.MetaPath{dblp.TypeAuthor, dblp.TypePaper, dblp.TypeVenue, dblp.TypePaper, dblp.TypeAuthor})
+	queries := make([]int, c.Net.Count(dblp.TypeAuthor))
+	for i := range queries {
+		queries[i] = i
+	}
+	check := func() {
+		t.Helper()
+		batch := ix.BatchTopK(queries, 5)
+		if len(batch) != len(queries) {
+			t.Fatalf("BatchTopK returned %d results for %d queries", len(batch), len(queries))
+		}
+		for i, q := range queries {
+			want := ix.TopK(q, 5)
+			if len(batch[i]) != len(want) {
+				t.Fatalf("query %d: got %d pairs, want %d", q, len(batch[i]), len(want))
+			}
+			for j := range want {
+				if batch[i][j] != want[j] {
+					t.Fatalf("query %d rank %d: got %+v, want %+v", q, j, batch[i][j], want[j])
+				}
+			}
+		}
+	}
+	check() // default knobs (serial on small indexes)
+	oldW := sparse.Parallelism(0)
+	oldT := sparse.SerialThreshold(0)
+	sparse.Parallelism(4)
+	sparse.SerialThreshold(1)
+	defer func() {
+		sparse.Parallelism(oldW)
+		sparse.SerialThreshold(oldT)
+	}()
+	check() // forced parallel
+}

@@ -5,7 +5,10 @@
 // simple ranking and authority ranking.
 //
 // All iterations are hand-rolled power iterations over the CSR matrices
-// in internal/sparse; no external numeric library is used.
+// in internal/sparse; no external numeric library is used. The matrix
+// products and the element-wise/reduction loops of each iteration run
+// on sparse's shared parallel worker pool, so large networks use every
+// core while small test fixtures stay on the serial fast path.
 package rank
 
 import (
@@ -94,15 +97,20 @@ func personalized(adj *sparse.Matrix, restart []float64, opt Options) Result {
 	for it := 1; it <= opt.MaxIter; it++ {
 		// next = d·(Pᵀx + danglingMass·tele) + (1-d)·tele
 		p.MulVecT(x, next)
-		dm := 0.0
-		for r := 0; r < n; r++ {
-			if dangling[r] {
-				dm += x[r]
+		dm := sparse.ParReduce(n, n, func(lo, hi int) float64 {
+			s := 0.0
+			for r := lo; r < hi; r++ {
+				if dangling[r] {
+					s += x[r]
+				}
 			}
-		}
-		for i := 0; i < n; i++ {
-			next[i] = d*(next[i]+dm*tele[i]) + (1-d)*tele[i]
-		}
+			return s
+		})
+		sparse.ParRange(n, n, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				next[i] = d*(next[i]+dm*tele[i]) + (1-d)*tele[i]
+			}
+		})
 		if sparse.MaxAbsDiff(x, next) < opt.Tolerance {
 			copy(x, next)
 			return Result{Scores: x, Iterations: it, Converged: true}
@@ -216,9 +224,11 @@ func AuthorityRanking(w, wxx *sparse.Matrix, opt AuthorityOptions) BiRank {
 		w.MulVec(ry, rx)
 		if wxx != nil && alpha < 1 {
 			wxx.MulVec(prevX, tmpX)
-			for i := range rx {
-				rx[i] = alpha*rx[i] + (1-alpha)*tmpX[i]
-			}
+			sparse.ParRange(nx, nx, func(lo, hi int) {
+				for i := lo; i < hi; i++ {
+					rx[i] = alpha*rx[i] + (1-alpha)*tmpX[i]
+				}
+			})
 		}
 		normalize1(rx)
 		if sparse.MaxAbsDiff(prevX, rx) < opt.Tolerance {
@@ -291,11 +301,13 @@ func uniform(n int) []float64 {
 }
 
 func sum(xs []float64) float64 {
-	s := 0.0
-	for _, x := range xs {
-		s += x
-	}
-	return s
+	return sparse.ParReduce(len(xs), len(xs), func(lo, hi int) float64 {
+		s := 0.0
+		for i := lo; i < hi; i++ {
+			s += xs[i]
+		}
+		return s
+	})
 }
 
 func normalize1(xs []float64) {

@@ -49,23 +49,37 @@ func Similarity(adj *sparse.Matrix, opt Options) [][]float64 {
 	s := identity(n)
 	next := identity(n)
 	for it := 0; it < opt.MaxIter; it++ {
-		maxDelta := 0.0
-		for a := 0; a < n; a++ {
-			for b := a + 1; b < n; b++ {
-				v := pairUpdate(s, in[a], in[b], opt.C)
-				next[a][b] = v
-				next[b][a] = v
-				if d := abs(v - s[a][b]); d > maxDelta {
-					maxDelta = d
-				}
-			}
-		}
+		maxDelta := pairSweep(s, next, s, in, opt.C)
 		s, next = next, s
 		if maxDelta < opt.Eps {
 			break
 		}
 	}
 	return s
+}
+
+// pairSweep runs one half-matrix SimRank update: next[a][b] =
+// pairUpdate over the opposite-side similarity matrix opp, for all
+// a < b, returning the largest entry change. Rows are processed in
+// parallel blocks on the sparse worker pool; each pair (a,b) with a < b
+// is owned by exactly one block (the one containing a), so the
+// symmetric writes never collide.
+func pairSweep(cur, next, opp [][]float64, nbrs [][]neighbor, c float64) float64 {
+	n := len(cur)
+	return sparse.ParReduceMax(n, n*n, func(lo, hi int) float64 {
+		blockMax := 0.0
+		for a := lo; a < hi; a++ {
+			for b := a + 1; b < n; b++ {
+				v := pairUpdate(opp, nbrs[a], nbrs[b], c)
+				next[a][b] = v
+				next[b][a] = v
+				if d := abs(v - cur[a][b]); d > blockMax {
+					blockMax = d
+				}
+			}
+		}
+		return blockMax
+	})
 }
 
 // BipartiteResult holds the two similarity matrices of two-sided
@@ -94,26 +108,9 @@ func Bipartite(w *sparse.Matrix, opt Options) BipartiteResult {
 	nextX := identity(nx)
 	nextY := identity(ny)
 	for it := 0; it < opt.MaxIter; it++ {
-		maxDelta := 0.0
-		for a := 0; a < nx; a++ {
-			for b := a + 1; b < nx; b++ {
-				v := pairUpdate(sy, xNb[a], xNb[b], opt.C)
-				nextX[a][b] = v
-				nextX[b][a] = v
-				if d := abs(v - sx[a][b]); d > maxDelta {
-					maxDelta = d
-				}
-			}
-		}
-		for c := 0; c < ny; c++ {
-			for d := c + 1; d < ny; d++ {
-				v := pairUpdate(sx, yNb[c], yNb[d], opt.C)
-				nextY[c][d] = v
-				nextY[d][c] = v
-				if dd := abs(v - sy[c][d]); dd > maxDelta {
-					maxDelta = dd
-				}
-			}
+		maxDelta := pairSweep(sx, nextX, sy, xNb, opt.C)
+		if d := pairSweep(sy, nextY, sx, yNb, opt.C); d > maxDelta {
+			maxDelta = d
 		}
 		sx, nextX = nextX, sx
 		sy, nextY = nextY, sy

@@ -1,0 +1,327 @@
+// Parallel execution engine for the sparse kernels.
+//
+// Every heavy kernel in this package (MulVec, MulVecT, Mul, Transpose,
+// RowNormalized) dispatches row blocks onto a shared worker pool sized
+// by GOMAXPROCS. Small operations — below a tunable amount of estimated
+// scalar work — run serially so tiny test matrices never pay scheduling
+// overhead. The same machinery is exported as ParRange / ParReduce /
+// ParReduceMax so the iterative algorithm packages (rank, simrank,
+// netclus, core, …) can parallelize their own element-wise and
+// reduction loops over the identical pool.
+//
+// Determinism: for a fixed Parallelism and SerialThreshold setting the
+// block partition of any given operation is a pure function of the
+// input shape, and block-local partial results are always combined in
+// block order. Runs are therefore reproducible; reductions may differ
+// from the serial order by floating-point rounding only (≤ 1e-12 in the
+// equivalence tests).
+
+package sparse
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+const (
+	// defaultSerialThreshold is the minimum estimated scalar work
+	// (multiply-adds) before a kernel goes parallel.
+	defaultSerialThreshold = 1 << 15
+	// blocksPerWorker oversubscribes blocks for load balance on skewed
+	// matrices.
+	blocksPerWorker = 4
+	// maxParallelism bounds the worker pool.
+	maxParallelism = 256
+)
+
+var (
+	workerCap  atomic.Int64 // 0 ⇒ use GOMAXPROCS
+	workLimit  atomic.Int64 // serial-vs-parallel work threshold
+	sharedPool struct {
+		mu      sync.Mutex
+		tasks   chan func()
+		started int
+	}
+)
+
+func init() { workLimit.Store(defaultSerialThreshold) }
+
+// Parallelism sets the maximum number of pool workers used by the
+// parallel kernels when n > 0 (clamped to [1, 256]) and returns the
+// effective value. Parallelism(0) queries without changing anything.
+// The default (and the value used when the knob has never been set) is
+// GOMAXPROCS. Parallelism(1) forces every kernel down its serial path,
+// which is how the benchmarks measure serial baselines. Lowering the
+// cap below the current pool size takes effect as each excess resident
+// worker finishes its next task and retires.
+func Parallelism(n int) int {
+	if n > 0 {
+		if n > maxParallelism {
+			n = maxParallelism
+		}
+		workerCap.Store(int64(n))
+	}
+	return effectiveWorkers()
+}
+
+// SerialThreshold sets the estimated-work cutoff below which kernels
+// stay serial when n > 0, and returns the current value. The unit is
+// scalar multiply-adds (≈ NNZ for mat-vec). SerialThreshold(0) queries.
+func SerialThreshold(n int) int {
+	if n > 0 {
+		workLimit.Store(int64(n))
+	}
+	return int(workLimit.Load())
+}
+
+func effectiveWorkers() int {
+	w := int(workerCap.Load())
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > maxParallelism {
+		w = maxParallelism
+	}
+	return w
+}
+
+func threshold() int {
+	return int(workLimit.Load())
+}
+
+// taskQueue returns the shared task channel, growing the pool to n
+// resident workers. Workers are cheap (blocked goroutines); each one
+// retires after a task if the Parallelism cap has dropped below its
+// id, so a lowered cap shrinks the pool (sharedPool.started always
+// equals the resident worker count).
+func taskQueue(n int) chan func() {
+	sharedPool.mu.Lock()
+	if sharedPool.tasks == nil {
+		sharedPool.tasks = make(chan func(), maxParallelism)
+	}
+	for sharedPool.started < n {
+		go poolWorker(sharedPool.started, sharedPool.tasks)
+		sharedPool.started++
+	}
+	t := sharedPool.tasks
+	sharedPool.mu.Unlock()
+	return t
+}
+
+func poolWorker(id int, tasks chan func()) {
+	for f := range tasks {
+		f()
+		if id >= effectiveWorkers() {
+			sharedPool.mu.Lock()
+			sharedPool.started--
+			sharedPool.mu.Unlock()
+			return
+		}
+	}
+}
+
+// runTasks executes fn(0..count-1) on the shared pool and blocks until
+// all complete. The calling goroutine helps drain the queue while it
+// waits, so nested parallel kernels can never deadlock the pool: a
+// waiter either makes progress on queued work or observes completion.
+// A panic in any task is captured and re-raised on the calling
+// goroutine (first panic wins; the original stack is lost but the
+// value is preserved), matching the serial kernels' recoverability.
+func runTasks(count, workers int, fn func(i int)) {
+	if count == 1 {
+		fn(0)
+		return
+	}
+	tasks := taskQueue(workers)
+	var wg sync.WaitGroup
+	var panicOnce sync.Once
+	var panicVal any
+	wg.Add(count)
+	for i := 0; i < count; i++ {
+		i := i
+		f := func() {
+			// LIFO defers: the recover runs before wg.Done, so the
+			// panicVal write happens-before wg.Wait's return.
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					panicOnce.Do(func() { panicVal = r })
+				}
+			}()
+			fn(i)
+		}
+		select {
+		case tasks <- f:
+		default:
+			f() // pool saturated: run inline
+		}
+	}
+	done := make(chan struct{})
+	go func() {
+		wg.Wait()
+		close(done)
+	}()
+	for {
+		select {
+		case <-done:
+			if panicVal != nil {
+				panic(panicVal)
+			}
+			return
+		case f := <-tasks:
+			f()
+		}
+	}
+}
+
+// serialDispatch is the shared gate for kernels whose parallel path
+// carries O(workers·cols) buffer overhead (MulVecT, Transpose, Mul):
+// serial when only one worker is configured, the estimated work is
+// below the threshold or dominated by the dimension-proportional
+// overhead, or there is at most one row to split.
+func serialDispatch(workers, work, cols, rows int) bool {
+	return workers <= 1 || work < threshold() || work < 4*cols || rows <= 1
+}
+
+// scratchPool recycles the cols-sized accumulators of MulVecT's
+// parallel path so power iterations don't re-allocate every call.
+var scratchPool sync.Pool
+
+func getScratch(n int) []float64 {
+	if v := scratchPool.Get(); v != nil {
+		if buf := v.([]float64); cap(buf) >= n {
+			buf = buf[:n]
+			for i := range buf {
+				buf[i] = 0
+			}
+			return buf
+		}
+	}
+	return make([]float64, n)
+}
+
+func putScratch(buf []float64) { scratchPool.Put(buf) }
+
+// blockCount picks the number of contiguous blocks for an n-element
+// range, given the effective worker count.
+func blockCount(n, workers int) int {
+	b := workers * blocksPerWorker
+	if b > n {
+		b = n
+	}
+	if b < 1 {
+		b = 1
+	}
+	return b
+}
+
+// ParRange runs body over contiguous sub-ranges of [0, n), in parallel
+// on the shared pool when the estimated scalar work is at or above the
+// serial threshold and more than one worker is configured; otherwise it
+// calls body(0, n) inline. Blocks are disjoint, so body may freely
+// write to per-index slots of shared slices.
+func ParRange(n, work int, body func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	w := effectiveWorkers()
+	if w <= 1 || work < threshold() {
+		body(0, n)
+		return
+	}
+	blocks := blockCount(n, w)
+	runTasks(blocks, w, func(b int) {
+		body(n*b/blocks, n*(b+1)/blocks)
+	})
+}
+
+// ParReduce sums f over block partitions of [0, n). Partial sums are
+// combined in block order, so results are reproducible for fixed
+// parallelism settings (they can differ from the serial sum by rounding
+// only). Below the threshold it returns f(0, n).
+func ParReduce(n, work int, f func(lo, hi int) float64) float64 {
+	if n <= 0 {
+		return 0
+	}
+	w := effectiveWorkers()
+	if w <= 1 || work < threshold() {
+		return f(0, n)
+	}
+	blocks := blockCount(n, w)
+	partial := make([]float64, blocks)
+	runTasks(blocks, w, func(b int) {
+		partial[b] = f(n*b/blocks, n*(b+1)/blocks)
+	})
+	s := 0.0
+	for _, p := range partial {
+		s += p
+	}
+	return s
+}
+
+// ParReduceMax maximizes f over block partitions of [0, n). Max is
+// order-independent, so the result is bitwise identical to the serial
+// evaluation. f must return -Inf-safe values; ParReduceMax of an empty
+// range is 0.
+func ParReduceMax(n, work int, f func(lo, hi int) float64) float64 {
+	if n <= 0 {
+		return 0
+	}
+	w := effectiveWorkers()
+	if w <= 1 || work < threshold() {
+		return f(0, n)
+	}
+	blocks := blockCount(n, w)
+	partial := make([]float64, blocks)
+	runTasks(blocks, w, func(b int) {
+		partial[b] = f(n*b/blocks, n*(b+1)/blocks)
+	})
+	m := partial[0]
+	for _, p := range partial[1:] {
+		if p > m {
+			m = p
+		}
+	}
+	return m
+}
+
+// rowBlockBounds splits the matrix's rows into at most `blocks`
+// contiguous ranges balanced by stored nonzeros, returning the
+// boundary rows (len = count+1, bounds[0] = 0, bounds[count] = rows).
+func (m *Matrix) rowBlockBounds(blocks int) []int {
+	bounds := make([]int, blocks+1)
+	nnz := len(m.vals)
+	for b := 1; b < blocks; b++ {
+		target := nnz * b / blocks
+		// First row whose cumulative nnz reaches the target.
+		lo, hi := bounds[b-1], m.rows
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if m.rowPtr[mid] < target {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		bounds[b] = lo
+	}
+	bounds[blocks] = m.rows
+	return bounds
+}
+
+// forRowBlocks runs body over nnz-balanced row blocks of m, serially
+// when the work estimate is below threshold.
+func (m *Matrix) forRowBlocks(work int, body func(lo, hi int)) {
+	w := effectiveWorkers()
+	if w <= 1 || work < threshold() || m.rows <= 1 {
+		body(0, m.rows)
+		return
+	}
+	bounds := m.rowBlockBounds(blockCount(m.rows, w))
+	runTasks(len(bounds)-1, w, func(b int) {
+		if bounds[b] < bounds[b+1] {
+			body(bounds[b], bounds[b+1])
+		}
+	})
+}

@@ -8,6 +8,13 @@
 // the handful of kernels the reproduction needs: mat-vec, transposed
 // mat-vec, row normalization, transpose, and sparse-sparse product for
 // meta-path composition.
+//
+// All heavy kernels execute on a shared goroutine pool (see
+// parallel.go): operations over matrices with enough stored nonzeros
+// are split into nnz-balanced row blocks across up to Parallelism(0)
+// workers, while small operations fall back to the serial loops so unit
+// tests and tiny networks pay no scheduling overhead. Matrices are
+// immutable, so concurrent kernel calls on the same matrix are safe.
 package sparse
 
 import (
@@ -136,7 +143,10 @@ func (m *Matrix) Sum() float64 {
 }
 
 // MulVec computes y = M x. It panics on dimension mismatch; y is
-// allocated when nil, otherwise reused (len must equal Rows).
+// allocated when nil, otherwise reused (len must equal Rows). Large
+// matrices are processed in parallel row blocks; because each y[r] is
+// accumulated by exactly one worker in the serial order, the result is
+// bitwise identical to the serial loop.
 func (m *Matrix) MulVec(x, y []float64) []float64 {
 	if len(x) != m.cols {
 		panic("sparse: MulVec dimension mismatch")
@@ -146,17 +156,23 @@ func (m *Matrix) MulVec(x, y []float64) []float64 {
 	} else if len(y) != m.rows {
 		panic("sparse: MulVec output length mismatch")
 	}
-	for r := 0; r < m.rows; r++ {
-		s := 0.0
-		for i := m.rowPtr[r]; i < m.rowPtr[r+1]; i++ {
-			s += m.vals[i] * x[m.colIdx[i]]
+	m.forRowBlocks(len(m.vals), func(lo, hi int) {
+		for r := lo; r < hi; r++ {
+			s := 0.0
+			for i := m.rowPtr[r]; i < m.rowPtr[r+1]; i++ {
+				s += m.vals[i] * x[m.colIdx[i]]
+			}
+			y[r] = s
 		}
-		y[r] = s
-	}
+	})
 	return y
 }
 
-// MulVecT computes y = Mᵀ x without materializing the transpose.
+// MulVecT computes y = Mᵀ x without materializing the transpose. The
+// parallel path scatters each row block into a private accumulator and
+// combines the accumulators in block order, so results are reproducible
+// for a fixed Parallelism setting (rounding may differ from the serial
+// order by ~1 ulp per combine).
 func (m *Matrix) MulVecT(x, y []float64) []float64 {
 	if len(x) != m.rows {
 		panic("sparse: MulVecT dimension mismatch")
@@ -166,10 +182,50 @@ func (m *Matrix) MulVecT(x, y []float64) []float64 {
 	} else if len(y) != m.cols {
 		panic("sparse: MulVecT output length mismatch")
 	}
-	for i := range y {
-		y[i] = 0
+	// The parallel path pays O(workers·cols) for the per-block
+	// accumulators and their combine, so besides the usual threshold it
+	// requires the nnz work to dominate that dimension-proportional
+	// overhead (wide, hollow matrices — e.g. per-cluster row
+	// restrictions over a full attribute space — stay serial).
+	w := effectiveWorkers()
+	if serialDispatch(w, len(m.vals), m.cols, m.rows) {
+		m.mulVecTRange(x, y, 0, m.rows, true)
+		return y
 	}
-	for r := 0; r < m.rows; r++ {
+	// One nnz-balanced block per worker (not oversubscribed: each block
+	// carries a cols-sized accumulator, recycled via scratchPool).
+	bounds := m.rowBlockBounds(min(w, m.rows))
+	blocks := len(bounds) - 1
+	partial := make([][]float64, blocks)
+	runTasks(blocks, w, func(b int) {
+		buf := getScratch(m.cols)
+		m.mulVecTRange(x, buf, bounds[b], bounds[b+1], false)
+		partial[b] = buf
+	})
+	ParRange(m.cols, blocks*m.cols, func(lo, hi int) {
+		for c := lo; c < hi; c++ {
+			s := 0.0
+			for b := 0; b < blocks; b++ {
+				s += partial[b][c]
+			}
+			y[c] = s
+		}
+	})
+	for _, buf := range partial {
+		putScratch(buf)
+	}
+	return y
+}
+
+// mulVecTRange accumulates rows [lo, hi) of Mᵀ x into y; when zero is
+// set, y is cleared first.
+func (m *Matrix) mulVecTRange(x, y []float64, lo, hi int, zero bool) {
+	if zero {
+		for i := range y {
+			y[i] = 0
+		}
+	}
+	for r := lo; r < hi; r++ {
 		xr := x[r]
 		if xr == 0 {
 			continue
@@ -178,10 +234,14 @@ func (m *Matrix) MulVecT(x, y []float64) []float64 {
 			y[m.colIdx[i]] += m.vals[i] * xr
 		}
 	}
-	return y
 }
 
-// Transpose returns Mᵀ as a new CSR matrix.
+// Transpose returns Mᵀ as a new CSR matrix. The parallel path runs the
+// classic two-pass algorithm with per-block column counters: block b's
+// entries for destination row c land at offset rowPtr[c] + Σ_{b'<b}
+// counts[b'][c], which preserves the serial (source-row) order within
+// every destination row — the output is bitwise identical to the serial
+// path.
 func (m *Matrix) Transpose() *Matrix {
 	t := &Matrix{
 		rows:   m.cols,
@@ -190,6 +250,50 @@ func (m *Matrix) Transpose() *Matrix {
 		colIdx: make([]int, len(m.colIdx)),
 		vals:   make([]float64, len(m.vals)),
 	}
+	// Like MulVecT, the parallel path carries O(workers·cols) counter
+	// overhead, so wide hollow matrices stay on the serial algorithm.
+	w := effectiveWorkers()
+	if serialDispatch(w, len(m.vals), m.cols, m.rows) {
+		m.transposeSerial(t)
+		return t
+	}
+	bounds := m.rowBlockBounds(min(w, m.rows))
+	blocks := len(bounds) - 1
+	counts := make([][]int, blocks)
+	runTasks(blocks, w, func(b int) {
+		cnt := make([]int, m.cols)
+		for i := m.rowPtr[bounds[b]]; i < m.rowPtr[bounds[b+1]]; i++ {
+			cnt[m.colIdx[i]]++
+		}
+		counts[b] = cnt
+	})
+	// One serial O(blocks·cols) pass builds the row pointer and turns
+	// counts[b] into block b's write cursors in place.
+	for c := 0; c < m.cols; c++ {
+		off := t.rowPtr[c]
+		for b := 0; b < blocks; b++ {
+			n := counts[b][c]
+			counts[b][c] = off
+			off += n
+		}
+		t.rowPtr[c+1] = off
+	}
+	runTasks(blocks, w, func(b int) {
+		next := counts[b]
+		for r := bounds[b]; r < bounds[b+1]; r++ {
+			for i := m.rowPtr[r]; i < m.rowPtr[r+1]; i++ {
+				c := m.colIdx[i]
+				pos := next[c]
+				next[c]++
+				t.colIdx[pos] = r
+				t.vals[pos] = m.vals[i]
+			}
+		}
+	})
+	return t
+}
+
+func (m *Matrix) transposeSerial(t *Matrix) {
 	for _, c := range m.colIdx {
 		t.rowPtr[c+1]++
 	}
@@ -206,12 +310,12 @@ func (m *Matrix) Transpose() *Matrix {
 			t.vals[pos] = m.vals[i]
 		}
 	}
-	return t
 }
 
 // RowNormalized returns a copy of M whose rows each sum to 1 (rows that
 // sum to zero are left all-zero). This is the row-stochastic transition
-// matrix used by random-walk style rankings.
+// matrix used by random-walk style rankings. Rows are normalized in
+// parallel blocks; output is bitwise identical to the serial loop.
 func (m *Matrix) RowNormalized() *Matrix {
 	n := &Matrix{
 		rows:   m.rows,
@@ -220,15 +324,17 @@ func (m *Matrix) RowNormalized() *Matrix {
 		colIdx: append([]int(nil), m.colIdx...),
 		vals:   append([]float64(nil), m.vals...),
 	}
-	for r := 0; r < m.rows; r++ {
-		s := m.RowSum(r)
-		if s == 0 {
-			continue
+	m.forRowBlocks(len(m.vals), func(lo, hi int) {
+		for r := lo; r < hi; r++ {
+			s := m.RowSum(r)
+			if s == 0 {
+				continue
+			}
+			for i := n.rowPtr[r]; i < n.rowPtr[r+1]; i++ {
+				n.vals[i] /= s
+			}
 		}
-		for i := n.rowPtr[r]; i < n.rowPtr[r+1]; i++ {
-			n.vals[i] /= s
-		}
-	}
+	})
 	return n
 }
 
@@ -247,38 +353,104 @@ func (m *Matrix) Scale(f float64) *Matrix {
 	return n
 }
 
-// Mul returns the sparse product M·B. Dimensions must agree.
+// mulPart is one row-block's slice of a sparse product.
+type mulPart struct {
+	colIdx []int
+	vals   []float64
+	rowNNZ []int // per-row output counts for rows [lo, hi)
+}
+
+// mulRange computes rows [lo, hi) of M·B with a dense stamped
+// accumulator (Gustavson's algorithm): O(flops) with no hashing, and
+// the accumulation order per output entry matches the serial loop
+// exactly, so parallel products are bitwise identical to serial ones.
+func (m *Matrix) mulRange(b *Matrix, lo, hi int) mulPart {
+	acc := make([]float64, b.cols)
+	// Stamps are r+1 over zero-initialized memory, so no O(cols) init
+	// pass is needed (row indices start at 0).
+	stamp := make([]int, b.cols)
+	touched := make([]int, 0, 256)
+	part := mulPart{rowNNZ: make([]int, hi-lo)}
+	for r := lo; r < hi; r++ {
+		touched = touched[:0]
+		for i := m.rowPtr[r]; i < m.rowPtr[r+1]; i++ {
+			mid := m.colIdx[i]
+			mv := m.vals[i]
+			for j := b.rowPtr[mid]; j < b.rowPtr[mid+1]; j++ {
+				c := b.colIdx[j]
+				if stamp[c] != r+1 {
+					stamp[c] = r + 1
+					acc[c] = 0
+					touched = append(touched, c)
+				}
+				acc[c] += mv * b.vals[j]
+			}
+		}
+		sort.Ints(touched)
+		for _, c := range touched {
+			if acc[c] != 0 {
+				part.colIdx = append(part.colIdx, c)
+				part.vals = append(part.vals, acc[c])
+				part.rowNNZ[r-lo]++
+			}
+		}
+	}
+	return part
+}
+
+// Mul returns the sparse product M·B. Dimensions must agree. Row blocks
+// of the output are computed independently on the worker pool and
+// stitched together in row order.
 func (m *Matrix) Mul(b *Matrix) *Matrix {
 	if m.cols != b.rows {
 		panic("sparse: Mul dimension mismatch")
 	}
 	out := &Matrix{rows: m.rows, cols: b.cols, rowPtr: make([]int, m.rows+1)}
-	acc := make(map[int]float64)
-	var keys []int
-	for r := 0; r < m.rows; r++ {
-		for k := range acc {
-			delete(acc, k)
-		}
-		for i := m.rowPtr[r]; i < m.rowPtr[r+1]; i++ {
-			mid := m.colIdx[i]
-			mv := m.vals[i]
-			for j := b.rowPtr[mid]; j < b.rowPtr[mid+1]; j++ {
-				acc[b.colIdx[j]] += mv * b.vals[j]
-			}
-		}
-		keys = keys[:0]
-		for k, v := range acc {
-			if v != 0 {
-				keys = append(keys, k)
-			}
-		}
-		sort.Ints(keys)
-		for _, k := range keys {
-			out.colIdx = append(out.colIdx, k)
-			out.vals = append(out.vals, acc[k])
-		}
-		out.rowPtr[r+1] = len(out.vals)
+	// Estimated flops: every nonzero of M expands into one of B's rows.
+	work := 0
+	if b.rows > 0 {
+		work = len(m.vals) * (1 + len(b.vals)/b.rows)
 	}
+	// Each parallel block carries cols-sized dense scratch, so wide
+	// products with little work stay serial (one scratch allocation).
+	w := effectiveWorkers()
+	if serialDispatch(w, work, b.cols, m.rows) {
+		part := m.mulRange(b, 0, m.rows)
+		out.colIdx, out.vals = part.colIdx, part.vals
+		for r, n := range part.rowNNZ {
+			out.rowPtr[r+1] = out.rowPtr[r] + n
+		}
+		return out
+	}
+	// One nnz-balanced block per worker, not oversubscribed: each
+	// mulRange call allocates cols-sized dense scratch, so extra blocks
+	// multiply allocation without improving balance.
+	bounds := m.rowBlockBounds(min(w, m.rows))
+	blocks := len(bounds) - 1
+	parts := make([]mulPart, blocks)
+	runTasks(blocks, w, func(bk int) {
+		parts[bk] = m.mulRange(b, bounds[bk], bounds[bk+1])
+	})
+	total := 0
+	for _, p := range parts {
+		total += len(p.vals)
+	}
+	out.colIdx = make([]int, total)
+	out.vals = make([]float64, total)
+	off := 0
+	offsets := make([]int, blocks)
+	for bk, p := range parts {
+		offsets[bk] = off
+		for i, n := range p.rowNNZ {
+			r := bounds[bk] + i
+			out.rowPtr[r+1] = out.rowPtr[r] + n
+		}
+		off += len(p.vals)
+	}
+	runTasks(blocks, w, func(bk int) {
+		copy(out.colIdx[offsets[bk]:], parts[bk].colIdx)
+		copy(out.vals[offsets[bk]:], parts[bk].vals)
+	})
 	return out
 }
 
@@ -325,35 +497,43 @@ func Norm2(v []float64) float64 {
 	return math.Sqrt(Dot(v, v))
 }
 
-// AXPY computes y += a*x in place.
+// AXPY computes y += a*x in place. Element-wise, so the parallel path
+// is bitwise identical to the serial one.
 func AXPY(a float64, x, y []float64) {
 	if len(x) != len(y) {
 		panic("sparse: AXPY length mismatch")
 	}
-	for i := range x {
-		y[i] += a * x[i]
-	}
+	ParRange(len(x), len(x), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			y[i] += a * x[i]
+		}
+	})
 }
 
 // ScaleVec multiplies v by a in place.
 func ScaleVec(a float64, v []float64) {
-	for i := range v {
-		v[i] *= a
-	}
+	ParRange(len(v), len(v), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			v[i] *= a
+		}
+	})
 }
 
 // MaxAbsDiff returns max_i |a_i - b_i|, the convergence test used by the
-// fixed-point iterations.
+// fixed-point iterations. Max is order-independent, so the parallel
+// reduction is exact.
 func MaxAbsDiff(a, b []float64) float64 {
 	if len(a) != len(b) {
 		panic("sparse: MaxAbsDiff length mismatch")
 	}
-	m := 0.0
-	for i := range a {
-		d := math.Abs(a[i] - b[i])
-		if d > m {
-			m = d
+	return ParReduceMax(len(a), len(a), func(lo, hi int) float64 {
+		m := 0.0
+		for i := lo; i < hi; i++ {
+			d := math.Abs(a[i] - b[i])
+			if d > m {
+				m = d
+			}
 		}
-	}
-	return m
+		return m
+	})
 }

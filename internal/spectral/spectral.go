@@ -59,20 +59,28 @@ func ClusterMatrix(rng *stats.RNG, w *sparse.Matrix, k int, opt Options) Result 
 	// Normalized adjacency S = D^{-1/2} (W + εI) D^{-1/2}; the small
 	// self-loop regularizes isolated nodes.
 	dinv := make([]float64, n)
-	for i := 0; i < n; i++ {
-		d := w.RowSum(i) + 1e-9
-		dinv[i] = 1 / math.Sqrt(d)
-	}
+	sparse.ParRange(n, w.NNZ(), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			d := w.RowSum(i) + 1e-9
+			dinv[i] = 1 / math.Sqrt(d)
+		}
+	})
 	mul := func(x, y []float64) {
-		// y = S x computed as dinv ⊙ (W (dinv ⊙ x)) + ε dinv² x
+		// y = S x computed as dinv ⊙ (W (dinv ⊙ x)) + ε dinv² x; the
+		// element-wise stages run on the sparse worker pool alongside
+		// the parallel MulVec.
 		tmp := make([]float64, n)
-		for i := range tmp {
-			tmp[i] = dinv[i] * x[i]
-		}
+		sparse.ParRange(n, n, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				tmp[i] = dinv[i] * x[i]
+			}
+		})
 		w.MulVec(tmp, y)
-		for i := range y {
-			y[i] = dinv[i]*y[i] + 1e-9*dinv[i]*dinv[i]*x[i]
-		}
+		sparse.ParRange(n, n, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				y[i] = dinv[i]*y[i] + 1e-9*dinv[i]*dinv[i]*x[i]
+			}
+		})
 	}
 	vecs := TopEigenvectors(rng, mul, n, k, opt.EigenIter, opt.Tolerance)
 	// Row-normalize the embedding.
