@@ -10,10 +10,12 @@
 package hinet_test
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"runtime"
 	"testing"
+	"time"
 
 	"hinet/internal/classify"
 	"hinet/internal/core"
@@ -32,6 +34,7 @@ import (
 	"hinet/internal/rank"
 	"hinet/internal/relational"
 	"hinet/internal/scan"
+	"hinet/internal/serve"
 	"hinet/internal/simrank"
 	"hinet/internal/sparse"
 	"hinet/internal/spectral"
@@ -625,5 +628,74 @@ func BenchmarkPathSimBatchTopK(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			ix.BatchTopK(queries, 10)
 		}
+	})
+}
+
+// --- serving layer: cold vs cached vs batched top-k ------------------
+
+// newBenchServer builds a serving stack over an 800-paper corpus.
+// cacheCap < 0 disables the result cache so every query pays the full
+// index scan; window > 0 turns on the micro-batching wait.
+func newBenchServer(b *testing.B, cacheCap int, window time.Duration) *serve.Server {
+	b.Helper()
+	srv := serve.New(serve.Options{
+		Seed:          1,
+		CacheCapacity: cacheCap,
+		BatchWindow:   window,
+		Models: serve.ModelConfig{Corpus: dblp.Config{
+			VenuesPerArea: 3, AuthorsPerArea: 60, TermsPerArea: 40,
+			SharedTerms: 20, Papers: 800,
+		}},
+	})
+	b.Cleanup(func() { _ = srv.Shutdown(context.Background()) })
+	return srv
+}
+
+// BenchmarkServeTopK serves the same hot query stream (an 8-id working
+// set, k=10) through the three serving paths: uncached sequential
+// singles (every query pays the full index scan, one batch of one at a
+// time), cache hits, and concurrent clients whose queries the
+// micro-batching queue coalesces — duplicates in a batch are computed
+// once (singleflight) and wide batches fan out over the sparse pool on
+// multi-core hosts. Cached and batched must beat uncached.
+func BenchmarkServeTopK(b *testing.B) {
+	const hotSet = 8
+	ctx := context.Background()
+	b.Run("uncached", func(b *testing.B) {
+		srv := newBenchServer(b, -1, 0)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := srv.TopK(ctx, i%hotSet, 10); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("cached", func(b *testing.B) {
+		srv := newBenchServer(b, 8192, 0)
+		for x := 0; x < hotSet; x++ { // warm the working set
+			if _, _, err := srv.TopK(ctx, x, 10); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := srv.TopK(ctx, i%hotSet, 10); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("batched", func(b *testing.B) {
+		srv := newBenchServer(b, -1, 0)
+		b.SetParallelism(32) // 32×GOMAXPROCS concurrent clients feed the queue
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			i := rand.Int()
+			for pb.Next() {
+				if _, _, err := srv.TopK(ctx, i%hotSet, 10); err != nil {
+					b.Fatal(err)
+				}
+				i++
+			}
+		})
 	})
 }

@@ -13,12 +13,19 @@
 //	truth      truth discovery on conflicting claims
 //	pathsim    top-k peer search on the DBLP APVPA meta-path
 //	dbnet      relational DB → information network conversion demo
+//	serve      online HTTP query server (snapshots, result cache, batched top-k)
+//
+// Unknown subcommands print usage and exit with status 2.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"hinet/internal/core"
 	"hinet/internal/dblp"
@@ -31,6 +38,7 @@ import (
 	"hinet/internal/rank"
 	"hinet/internal/relational"
 	"hinet/internal/scan"
+	"hinet/internal/serve"
 	"hinet/internal/stats"
 	"hinet/internal/truth"
 )
@@ -45,6 +53,11 @@ func main() {
 	seed := fs.Int64("seed", 1, "RNG seed")
 	k := fs.Int("k", 4, "clusters")
 	topN := fs.Int("top", 5, "top items to print")
+	addr := fs.String("addr", ":8080", "serve: listen address (\":0\" picks a free port)")
+	workers := fs.Int("workers", 0, "serve: sparse pool worker cap (0 = GOMAXPROCS)")
+	cacheCap := fs.Int("cache", 4096, "serve: result cache entries (-1 disables)")
+	window := fs.Duration("batch-window", 0, "serve: extra wait to widen top-k batches")
+	papers := fs.Int("papers", 0, "serve: corpus size in papers (0 = library default)")
 	_ = fs.Parse(os.Args[2:])
 
 	switch cmd {
@@ -64,14 +77,67 @@ func main() {
 		runPathSim(*seed, *topN)
 	case "dbnet":
 		runDBNet(*seed)
+	case "serve":
+		runServe(*seed, *k, *addr, *workers, *cacheCap, *window, *papers)
 	default:
+		fmt.Fprintf(os.Stderr, "hinet: unknown subcommand %q\n", cmd)
 		usage()
 		os.Exit(2)
 	}
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: hinet <rankclus|netclus|pagerank|scan|stats|truth|pathsim|dbnet> [-seed N] [-k K] [-top N]`)
+	fmt.Fprint(os.Stderr, `usage: hinet <subcommand> [-seed N] [-k K] [-top N]
+
+subcommands:
+  rankclus   cluster+rank DBLP venues (RankClus)
+  netclus    net-clusters over the DBLP star network (NetClus)
+  pagerank   PageRank / HITS on a synthetic web graph
+  scan       SCAN structural clustering of a planted partition
+  stats      network measurements of generator models
+  truth      truth discovery on conflicting claims
+  pathsim    top-k peer search on the DBLP APVPA meta-path
+  dbnet      relational DB -> information network conversion demo
+  serve      online HTTP query server (snapshots, result cache, batched top-k)
+             [-addr A] [-workers N] [-cache N] [-batch-window D] [-papers N]
+`)
+}
+
+func runServe(seed int64, k int, addr string, workers, cacheCap int, window time.Duration, papers int) {
+	opts := serve.Options{
+		Addr:          addr,
+		Seed:          seed,
+		Models:        serve.ModelConfig{K: k},
+		CacheCapacity: cacheCap,
+		BatchWindow:   window,
+		Workers:       workers,
+	}
+	if papers > 0 {
+		opts.Models.Corpus.Papers = papers
+	}
+	fmt.Printf("building snapshot (seed %d)...\n", seed)
+	s := serve.New(opts)
+	snap := s.Snapshot()
+	fmt.Printf("snapshot epoch %d built in %s (%d authors, pathsim nnz %d)\n",
+		snap.Epoch, snap.BuildTime.Round(time.Millisecond),
+		snap.PathSim.Dim(), snap.PathSim.NNZ())
+	bound, err := s.Start()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "hinet serve: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("listening on http://%s (try /healthz, /v1/pathsim/topk?id=0&k=5)\n", bound)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Println("shutting down...")
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		fmt.Fprintf(os.Stderr, "hinet serve: shutdown: %v\n", err)
+		os.Exit(1)
+	}
 }
 
 func runRankClus(seed int64, k, topN int) {
@@ -124,7 +190,7 @@ func runPageRank(seed int64, topN int) {
 	fmt.Printf("BA graph n=%d m=%d: PageRank converged in %d iters, HITS in %d\n",
 		g.N(), g.M(), pr.Iterations, ht.Iterations)
 	fmt.Print("top PageRank nodes:")
-	for _, v := range stats.TopK(pr.Scores, topN) {
+	for _, v := range pr.TopK(topN) {
 		fmt.Printf(" %d(%.4f)", v, pr.Scores[v])
 	}
 	fmt.Println()

@@ -7,7 +7,9 @@
 // and graph the network representations, and the remaining packages
 // the reproduced techniques — RankClus, NetClus, PathSim, SimRank,
 // LinkClus, SCAN, CrossMine, CrossClus, DISTINCT, TruthFinder,
-// network OLAP and transductive classification. Entry points are
+// network OLAP and transductive classification. internal/serve layers
+// an online query service on top (model snapshots, result caching,
+// micro-batched top-k; run it with `hinet serve`). Entry points are
 // cmd/hinet, cmd/experiments and the walkthroughs in examples/.
 //
 // This file only carries the module-level documentation; the root

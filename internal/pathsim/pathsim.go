@@ -12,6 +12,7 @@
 package pathsim
 
 import (
+	"math/bits"
 	"sort"
 
 	"hinet/internal/hin"
@@ -19,12 +20,24 @@ import (
 )
 
 // Index is a prepared PathSim index for one symmetric meta path: the
-// commuting matrix plus its diagonal.
+// commuting matrix plus its diagonal. Build it once (the commuting
+// matrix product is the expensive part) and answer any number of Sim /
+// TopK / BatchTopK queries against it concurrently — all query methods
+// are read-only, so an Index is safe for unsynchronized sharing, which
+// is how the serving layer (internal/serve) holds one per snapshot.
 type Index struct {
 	Path hin.MetaPath
 	M    *sparse.Matrix
 	diag []float64
 }
+
+// Dim returns the number of objects the index covers (the order of the
+// commuting matrix).
+func (ix *Index) Dim() int { return ix.M.Rows() }
+
+// NNZ returns the stored nonzeros of the commuting matrix — the memory
+// and scan cost the prebuilt index pays to make queries row-local.
+func (ix *Index) NNZ() int { return ix.M.NNZ() }
 
 // NewIndex builds the commuting matrix for a symmetric meta path.
 func NewIndex(n *hin.Network, path hin.MetaPath) *Index {
@@ -90,6 +103,9 @@ func (ix *Index) TopK(x, k int) []Pair {
 // queries out over the shared sparse worker pool. Queries only read the
 // immutable commuting matrix, so they parallelize perfectly; this is
 // the bulk entry point for serving many similarity queries at once.
+// The work estimate includes the per-query sort (≈ m·log m on the row
+// population m), not just the row scan, so medium batches of dense-row
+// queries cross the pool's serial threshold as their real cost warrants.
 func (ix *Index) BatchTopK(xs []int, k int) [][]Pair {
 	out := make([][]Pair, len(xs))
 	rows := ix.M.Rows()
@@ -97,7 +113,8 @@ func (ix *Index) BatchTopK(xs []int, k int) [][]Pair {
 	if rows > 0 {
 		avg = ix.M.NNZ() / rows
 	}
-	sparse.ParRange(len(xs), len(xs)*(1+avg), func(lo, hi int) {
+	perQuery := (1 + avg) * (1 + bits.Len(uint(avg)))
+	sparse.ParRange(len(xs), len(xs)*perQuery, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			out[i] = ix.TopK(xs[i], k)
 		}

@@ -199,3 +199,13 @@ func TestBatchTopKMatchesTopK(t *testing.T) {
 	}()
 	check() // forced parallel
 }
+
+func TestIndexAccessors(t *testing.T) {
+	ix := NewIndex(toyNet(), apvpa)
+	if ix.Dim() != 4 {
+		t.Errorf("Dim = %d, want 4", ix.Dim())
+	}
+	if ix.NNZ() != ix.M.NNZ() || ix.NNZ() == 0 {
+		t.Errorf("NNZ = %d (matrix %d)", ix.NNZ(), ix.M.NNZ())
+	}
+}

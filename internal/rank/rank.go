@@ -15,6 +15,7 @@ import (
 	"math"
 
 	"hinet/internal/sparse"
+	"hinet/internal/stats"
 )
 
 // Options configures the fixed-point iterations.
@@ -43,6 +44,10 @@ type Result struct {
 	Iterations int
 	Converged  bool
 }
+
+// TopK returns the ids of the k highest-scoring nodes, descending
+// (ties by lower id; k is clamped to [0, node count]).
+func (r Result) TopK(k int) []int { return stats.TopK(r.Scores, k) }
 
 // PageRank computes the stationary distribution of the damped random
 // walk on adj (a possibly weighted, directed adjacency matrix whose
@@ -127,6 +132,13 @@ type HITSResult struct {
 	Iterations int
 	Converged  bool
 }
+
+// TopAuthorities returns the ids of the k highest-authority nodes,
+// descending.
+func (h HITSResult) TopAuthorities(k int) []int { return stats.TopK(h.Authority, k) }
+
+// TopHubs returns the ids of the k highest-hub nodes, descending.
+func (h HITSResult) TopHubs(k int) []int { return stats.TopK(h.Hub, k) }
 
 // HITS computes hub and authority scores by the mutual-reinforcement
 // iteration a ← Aᵀh, h ← Aa with L2 normalization each round.

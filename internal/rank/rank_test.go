@@ -284,3 +284,23 @@ func TestPageRankOnGraphAdjacency(t *testing.T) {
 		t.Error("middle of path should outrank endpoint")
 	}
 }
+
+func TestResultTopKHelpers(t *testing.T) {
+	r := Result{Scores: []float64{0.1, 0.5, 0.2, 0.4}}
+	if got := r.TopK(2); got[0] != 1 || got[1] != 3 {
+		t.Errorf("TopK(2) = %v", got)
+	}
+	if got := r.TopK(10); len(got) != 4 {
+		t.Errorf("TopK should clamp, got %v", got)
+	}
+	if got := r.TopK(-1); len(got) != 0 {
+		t.Errorf("TopK(-1) should clamp to empty, got %v", got)
+	}
+	h := HITSResult{Authority: []float64{0.9, 0.1}, Hub: []float64{0.1, 0.9}}
+	if got := h.TopAuthorities(1); got[0] != 0 {
+		t.Errorf("TopAuthorities = %v", got)
+	}
+	if got := h.TopHubs(1); got[0] != 1 {
+		t.Errorf("TopHubs = %v", got)
+	}
+}

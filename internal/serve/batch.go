@@ -1,0 +1,232 @@
+// Micro-batching queue for top-k similarity queries. Concurrent
+// requests funnel into one dispatcher goroutine that coalesces them
+// into a single pathsim.BatchTopK call, which fans the batch out over
+// the sparse worker pool. Coalescing is "natural" by default: while one
+// batch computes, new arrivals pile up in the queue and form the next
+// batch, so an idle server adds no latency and a loaded server batches
+// automatically. An optional window keeps a batch open a little longer
+// to trade first-query latency for wider batches.
+
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hinet/internal/pathsim"
+)
+
+var errShutdown = errors.New("serve: server is shutting down")
+
+type topKReq struct {
+	x, k int
+	out  chan topKResp
+}
+
+type topKResp struct {
+	pairs []pathsim.Pair
+	epoch int64
+	batch int // size of the coalesced batch this query rode in
+	err   error
+}
+
+// batcher owns the queue and the single dispatcher goroutine.
+type batcher struct {
+	store    *Store
+	queue    chan topKReq
+	maxBatch int
+	window   time.Duration
+	quit     chan struct{}
+	done     chan struct{}
+	stopOnce sync.Once
+
+	batches atomic.Uint64 // BatchTopK calls issued
+	queries atomic.Uint64 // requests answered through batches
+	unique  atomic.Uint64 // distinct ids actually computed (post-dedup)
+	largest atomic.Int64  // widest batch observed (in requests)
+}
+
+func newBatcher(store *Store, maxBatch int, window time.Duration) *batcher {
+	if maxBatch <= 0 {
+		maxBatch = 64
+	}
+	b := &batcher{
+		store:    store,
+		queue:    make(chan topKReq, 4*maxBatch),
+		maxBatch: maxBatch,
+		window:   window,
+		quit:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+	go b.run()
+	return b
+}
+
+// TopK submits one query and blocks until its batch is answered, the
+// context is canceled, or the batcher shuts down.
+func (b *batcher) TopK(ctx context.Context, x, k int) (topKResp, error) {
+	if err := ctx.Err(); err != nil {
+		return topKResp{}, err
+	}
+	out := make(chan topKResp, 1)
+	select {
+	case b.queue <- topKReq{x: x, k: k, out: out}:
+	case <-b.quit:
+		return topKResp{}, errShutdown
+	case <-ctx.Done():
+		return topKResp{}, ctx.Err()
+	}
+	select {
+	case resp := <-out:
+		return resp, resp.err
+	case <-ctx.Done():
+		// The dispatcher will still complete the query into the
+		// buffered out channel; nothing leaks.
+		return topKResp{}, ctx.Err()
+	case <-b.quit:
+		// The dispatcher may already be gone (the enqueue above can
+		// win a race against a closed quit); don't wait on a reply
+		// that will never come.
+		return topKResp{}, errShutdown
+	}
+}
+
+// stop ends the dispatcher and fails any queued requests. Callers must
+// stop accepting new TopK submissions first (the HTTP server is drained
+// before stop runs).
+func (b *batcher) stop() {
+	b.stopOnce.Do(func() { close(b.quit) })
+	<-b.done
+}
+
+func (b *batcher) run() {
+	defer close(b.done)
+	for {
+		select {
+		case <-b.quit:
+			b.drain()
+			return
+		case first := <-b.queue:
+			batch := append(make([]topKReq, 0, b.maxBatch), first)
+			b.flush(b.fill(batch))
+		}
+	}
+}
+
+// fill widens the batch: first a greedy drain of everything queued,
+// then a cooperative-yield phase so clients that are runnable but not
+// yet scheduled (typically ones just woken by the previous flush) get
+// to enqueue — on an idle server the yield is a near no-op, under load
+// it is what lets batches form on few-core hosts, where the scheduler's
+// direct handoff would otherwise wake the dispatcher after every single
+// enqueue. Finally, if a window is configured, the batch stays open up
+// to window for stragglers.
+func (b *batcher) fill(batch []topKReq) []topKReq {
+	batch = b.drainInto(batch)
+	for i := 0; i < 2 && len(batch) < b.maxBatch; i++ {
+		n := len(batch)
+		runtime.Gosched()
+		batch = b.drainInto(batch)
+		if len(batch) == n {
+			break
+		}
+	}
+	if b.window <= 0 || len(batch) >= b.maxBatch {
+		return batch
+	}
+	timer := time.NewTimer(b.window)
+	defer timer.Stop()
+	for len(batch) < b.maxBatch {
+		select {
+		case r := <-b.queue:
+			batch = append(batch, r)
+		case <-timer.C:
+			return batch
+		case <-b.quit:
+			return batch
+		}
+	}
+	return batch
+}
+
+// drainInto moves everything currently queued into batch, up to the
+// batch cap, without blocking.
+func (b *batcher) drainInto(batch []topKReq) []topKReq {
+	for len(batch) < b.maxBatch {
+		select {
+		case r := <-b.queue:
+			batch = append(batch, r)
+		default:
+			return batch
+		}
+	}
+	return batch
+}
+
+// flush answers one coalesced batch from the current snapshot. Requests
+// whose id falls outside the snapshot get an error; the rest deduplicate
+// by id (concurrent askers of the same object share one computation,
+// singleflight-style) and run as one BatchTopK call at the widest
+// requested k, trimmed back to each request's own k on delivery.
+func (b *batcher) flush(batch []topKReq) {
+	snap := b.store.Current()
+	if snap == nil {
+		for _, r := range batch {
+			r.out <- topKResp{err: errors.New("serve: no snapshot available")}
+		}
+		return
+	}
+	n := snap.PathSim.Dim()
+	xs := make([]int, 0, len(batch))
+	slot := make(map[int]int, len(batch)) // id → index in xs
+	live := make([]topKReq, 0, len(batch))
+	kmax := 0
+	for _, r := range batch {
+		if r.x < 0 || r.x >= n {
+			r.out <- topKResp{err: fmt.Errorf("serve: id %d out of range [0,%d)", r.x, n)}
+			continue
+		}
+		if r.k > kmax {
+			kmax = r.k
+		}
+		if _, ok := slot[r.x]; !ok {
+			slot[r.x] = len(xs)
+			xs = append(xs, r.x)
+		}
+		live = append(live, r)
+	}
+	if len(live) == 0 {
+		return
+	}
+	res := snap.PathSim.BatchTopK(xs, kmax)
+	b.batches.Add(1)
+	b.queries.Add(uint64(len(live)))
+	b.unique.Add(uint64(len(xs)))
+	if w := int64(len(live)); w > b.largest.Load() {
+		b.largest.Store(w)
+	}
+	for _, r := range live {
+		pairs := res[slot[r.x]]
+		if r.k < len(pairs) {
+			pairs = pairs[:r.k]
+		}
+		r.out <- topKResp{pairs: pairs, epoch: snap.Epoch, batch: len(live)}
+	}
+}
+
+// drain fails everything still queued at shutdown.
+func (b *batcher) drain() {
+	for {
+		select {
+		case r := <-b.queue:
+			r.out <- topKResp{err: errShutdown}
+		default:
+			return
+		}
+	}
+}

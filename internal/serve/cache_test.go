@@ -1,0 +1,81 @@
+package serve
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestCachePutGetEvict(t *testing.T) {
+	c := NewCache(2, 1)
+	c.Put("a", 1)
+	c.Put("b", 2)
+	if v, ok := c.Get("a"); !ok || v.(int) != 1 {
+		t.Fatal("a missing")
+	}
+	c.Put("c", 3) // "b" is now LRU and must go
+	if _, ok := c.Get("b"); ok {
+		t.Fatal("b survived eviction")
+	}
+	for _, k := range []string{"a", "c"} {
+		if _, ok := c.Get(k); !ok {
+			t.Fatalf("%s evicted wrongly", k)
+		}
+	}
+	if c.Len() != 2 {
+		t.Fatalf("Len = %d", c.Len())
+	}
+}
+
+func TestCacheUpdateExisting(t *testing.T) {
+	c := NewCache(4, 2)
+	c.Put("k", 1)
+	c.Put("k", 2)
+	if c.Len() != 1 {
+		t.Fatalf("Len = %d", c.Len())
+	}
+	if v, _ := c.Get("k"); v.(int) != 2 {
+		t.Fatalf("stale value %v", v)
+	}
+}
+
+func TestCacheDisabledNil(t *testing.T) {
+	c := NewCache(0, 8)
+	if c != nil {
+		t.Fatal("capacity 0 should disable the cache")
+	}
+	c.Put("a", 1) // all nil-receiver calls must be safe no-ops
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("nil cache hit")
+	}
+	if c.Len() != 0 || c.Stats() != (CacheStats{}) {
+		t.Fatal("nil cache has state")
+	}
+}
+
+func TestCacheShardedStats(t *testing.T) {
+	c := NewCache(64, 8)
+	for i := 0; i < 100; i++ {
+		c.Put(fmt.Sprintf("key-%d", i), i)
+	}
+	if n := c.Len(); n == 0 || n > 64 {
+		t.Fatalf("Len = %d, want (0, 64]", n)
+	}
+	hits, misses := 0, 0
+	for i := 0; i < 100; i++ {
+		if _, ok := c.Get(fmt.Sprintf("key-%d", i)); ok {
+			hits++
+		} else {
+			misses++
+		}
+	}
+	st := c.Stats()
+	if st.Hits != uint64(hits) || st.Misses != uint64(misses) {
+		t.Fatalf("stats %+v, counted %d/%d", st, hits, misses)
+	}
+	if st.Shards != 8 || st.Entries != c.Len() {
+		t.Fatalf("stats %+v", st)
+	}
+	if hits == 0 {
+		t.Fatal("nothing was retained")
+	}
+}

@@ -1,0 +1,93 @@
+// Per-endpoint serving counters and the /metrics exposition. The
+// registry's endpoint set is fixed at construction, so the hot path is
+// pure atomics — no locks, no map writes. Exposition is Prometheus
+// text format assembled by hand (the repo is stdlib-only).
+
+package serve
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync/atomic"
+	"time"
+
+	"hinet/internal/sparse"
+)
+
+// endpointStats counts one endpoint's traffic.
+type endpointStats struct {
+	requests atomic.Uint64
+	errors   atomic.Uint64
+	latency  atomic.Int64 // cumulative nanoseconds
+}
+
+func (e *endpointStats) observe(code int, d time.Duration) {
+	e.requests.Add(1)
+	if code >= 400 {
+		e.errors.Add(1)
+	}
+	e.latency.Add(int64(d))
+}
+
+// metrics is the fixed per-endpoint registry.
+type metrics struct {
+	endpoints map[string]*endpointStats
+}
+
+func newMetrics(endpoints ...string) *metrics {
+	m := &metrics{endpoints: make(map[string]*endpointStats, len(endpoints))}
+	for _, e := range endpoints {
+		m.endpoints[e] = &endpointStats{}
+	}
+	return m
+}
+
+func (m *metrics) get(endpoint string) *endpointStats {
+	if st, ok := m.endpoints[endpoint]; ok {
+		return st
+	}
+	panic("serve: endpoint not registered: " + endpoint)
+}
+
+// writeMetrics renders the Prometheus text exposition for /metrics:
+// snapshot identity, per-endpoint request/error/latency counters, cache
+// hit rates, and batching effectiveness.
+func (s *Server) writeMetrics(w io.Writer) {
+	if snap := s.store.Current(); snap != nil {
+		fmt.Fprintf(w, "hinet_snapshot_epoch %d\n", snap.Epoch)
+		fmt.Fprintf(w, "hinet_snapshot_seed %d\n", snap.Seed)
+		fmt.Fprintf(w, "hinet_snapshot_build_seconds %g\n", snap.BuildTime.Seconds())
+		types := snap.Corpus.Net.Types()
+		sort.Slice(types, func(i, j int) bool { return types[i] < types[j] })
+		for _, t := range types {
+			fmt.Fprintf(w, "hinet_snapshot_objects{type=%q} %d\n", string(t), snap.Corpus.Net.Count(t))
+		}
+		fmt.Fprintf(w, "hinet_pathsim_index_nnz %d\n", snap.PathSim.NNZ())
+	}
+
+	names := make([]string, 0, len(s.met.endpoints))
+	for e := range s.met.endpoints {
+		names = append(names, e)
+	}
+	sort.Strings(names)
+	for _, e := range names {
+		st := s.met.endpoints[e]
+		fmt.Fprintf(w, "hinet_http_requests_total{endpoint=%q} %d\n", e, st.requests.Load())
+		fmt.Fprintf(w, "hinet_http_errors_total{endpoint=%q} %d\n", e, st.errors.Load())
+		fmt.Fprintf(w, "hinet_http_latency_seconds_sum{endpoint=%q} %g\n", e,
+			time.Duration(st.latency.Load()).Seconds())
+	}
+
+	cs := s.cache.Stats()
+	fmt.Fprintf(w, "hinet_cache_hits_total %d\n", cs.Hits)
+	fmt.Fprintf(w, "hinet_cache_misses_total %d\n", cs.Misses)
+	fmt.Fprintf(w, "hinet_cache_entries %d\n", cs.Entries)
+
+	fmt.Fprintf(w, "hinet_topk_batches_total %d\n", s.batch.batches.Load())
+	fmt.Fprintf(w, "hinet_topk_batched_queries_total %d\n", s.batch.queries.Load())
+	fmt.Fprintf(w, "hinet_topk_unique_queries_total %d\n", s.batch.unique.Load())
+	fmt.Fprintf(w, "hinet_topk_largest_batch %d\n", s.batch.largest.Load())
+
+	fmt.Fprintf(w, "hinet_pool_workers %d\n", sparse.Parallelism(0))
+}

@@ -1,0 +1,486 @@
+// Package serve is the online query-serving subsystem: it turns the
+// library's batch kernels into a long-running HTTP JSON service, the
+// paper's "mine knowledge interactively" reading of ranking, clustering
+// and similarity search (§2, §4, §7b as query-time primitives).
+//
+// Three pieces cooperate:
+//
+//   - a snapshot Store (snapshot.go) materializes immutable model
+//     artifacts — PageRank/HITS vectors, RankClus and NetClus cluster
+//     models, a prebuilt PathSim index — and swaps generations
+//     atomically, so rebuilds never block queries;
+//   - a sharded LRU Cache (cache.go) answers hot queries from memory,
+//     keyed by (snapshot epoch, query) so a swap invalidates implicitly;
+//   - a micro-batching queue (batch.go) coalesces concurrent top-k
+//     queries into single pathsim.BatchTopK calls that fan out over the
+//     shared sparse worker pool.
+//
+// Endpoints: /healthz, /metrics, /v1/stats, /v1/rank, /v1/clusters,
+// /v1/pathsim/topk, and POST /v1/rebuild. See docs/ARCHITECTURE.md
+// ("Serving layer") and the README quickstart.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"strconv"
+	"time"
+
+	"hinet/internal/dblp"
+	"hinet/internal/eval"
+	"hinet/internal/hin"
+	"hinet/internal/pathsim"
+	"hinet/internal/sparse"
+)
+
+// Options configures a Server.
+type Options struct {
+	Addr   string      // listen address (default ":8080")
+	Seed   int64       // seed of the startup snapshot (default 1)
+	Models ModelConfig // snapshot contents (corpus size, cluster count)
+
+	CacheCapacity int           // result cache entries; 0 = 4096, < 0 disables
+	CacheShards   int           // cache shards (default 16)
+	MaxBatch      int           // top-k coalescing cap (default 64)
+	BatchWindow   time.Duration // extra wait to widen batches (default 0: natural coalescing)
+	Workers       int           // sparse pool worker cap (0 = leave as configured)
+	MaxConcurrent int           // concurrent heavy queries admitted (default 4×workers)
+}
+
+func (o Options) withDefaults() Options {
+	if o.Addr == "" {
+		o.Addr = ":8080"
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.CacheCapacity == 0 {
+		o.CacheCapacity = 4096
+	}
+	if o.CacheShards == 0 {
+		o.CacheShards = 16
+	}
+	if o.MaxBatch == 0 {
+		o.MaxBatch = 64
+	}
+	return o
+}
+
+// Server wires the store, cache and batcher behind an http.Handler.
+type Server struct {
+	opts  Options
+	store *Store
+	cache *Cache
+	batch *batcher
+	met   *metrics
+	sem   chan struct{}
+	mux   *http.ServeMux
+	hs    *http.Server
+	ln    net.Listener
+}
+
+// New builds a server and materializes its first snapshot synchronously,
+// so the returned server is immediately healthy. Call Shutdown to
+// release the batcher goroutine.
+func New(opts Options) *Server {
+	opts = opts.withDefaults()
+	if opts.Workers > 0 {
+		sparse.Parallelism(opts.Workers)
+	}
+	if opts.MaxConcurrent == 0 {
+		opts.MaxConcurrent = 4 * sparse.Parallelism(0)
+	}
+	s := &Server{
+		opts:  opts,
+		store: NewStore(opts.Models),
+		cache: NewCache(opts.CacheCapacity, opts.CacheShards),
+		sem:   make(chan struct{}, opts.MaxConcurrent),
+		mux:   http.NewServeMux(),
+	}
+	s.store.Rebuild(opts.Seed)
+	s.batch = newBatcher(s.store, opts.MaxBatch, opts.BatchWindow)
+	s.met = newMetrics(
+		"/healthz", "/metrics", "/v1/stats", "/v1/rank",
+		"/v1/clusters", "/v1/pathsim/topk", "/v1/rebuild",
+	)
+	s.route("/healthz", false, s.handleHealthz)
+	s.route("/metrics", false, s.handleMetrics)
+	s.route("/v1/stats", false, s.handleStats)
+	s.route("/v1/rank", false, s.handleRank)
+	s.route("/v1/clusters", false, s.handleClusters)
+	s.route("/v1/pathsim/topk", true, s.handleTopK)
+	s.route("/v1/rebuild", true, s.handleRebuild)
+	return s
+}
+
+// Handler returns the HTTP handler (for tests and embedding).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Snapshot returns the live snapshot.
+func (s *Server) Snapshot() *Snapshot { return s.store.Current() }
+
+// Start listens on opts.Addr (":0" picks a free port) and serves in a
+// background goroutine. It returns the bound address.
+func (s *Server) Start() (string, error) {
+	ln, err := net.Listen("tcp", s.opts.Addr)
+	if err != nil {
+		return "", err
+	}
+	s.ln = ln
+	s.hs = &http.Server{Handler: s.mux}
+	go func() { _ = s.hs.Serve(ln) }()
+	return ln.Addr().String(), nil
+}
+
+// Shutdown drains in-flight HTTP requests (bounded by ctx), then stops
+// the batching queue. Safe to call whether or not Start was used.
+func (s *Server) Shutdown(ctx context.Context) error {
+	var err error
+	if s.hs != nil {
+		err = s.hs.Shutdown(ctx)
+	}
+	s.batch.stop()
+	return err
+}
+
+// route registers an instrumented handler. Heavy endpoints additionally
+// pass through the admission semaphore, bounding concurrent expensive
+// work independently of the sparse pool's own worker cap.
+func (s *Server) route(pattern string, heavy bool, h http.HandlerFunc) {
+	st := s.met.get(pattern)
+	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		rec := &statusRecorder{ResponseWriter: w, code: http.StatusOK}
+		if heavy {
+			select {
+			case s.sem <- struct{}{}:
+				defer func() { <-s.sem }()
+			case <-r.Context().Done():
+				// The only way out of the wait is the client going
+				// away — report that, not overload.
+				httpError(rec, http.StatusServiceUnavailable, "request canceled while queued for admission")
+				st.observe(rec.code, time.Since(start))
+				return
+			}
+		}
+		h(rec, r)
+		st.observe(rec.code, time.Since(start))
+	})
+}
+
+type statusRecorder struct {
+	http.ResponseWriter
+	code int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.code = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func httpError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// intParam parses an integer query parameter with a default.
+func intParam(r *http.Request, name string, def int) (int, error) {
+	v := r.URL.Query().Get(name)
+	if v == "" {
+		return def, nil
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil {
+		return 0, fmt.Errorf("parameter %q: %v", name, err)
+	}
+	return n, nil
+}
+
+// scoredObject is one (id, name, score) row of a JSON answer.
+type scoredObject struct {
+	ID    int     `json:"id"`
+	Name  string  `json:"name"`
+	Score float64 `json:"score"`
+}
+
+// topK is the shared cache→batcher query path, also driven directly by
+// the serving benchmarks. It returns the answer, the epoch it came
+// from, and whether it was a cache hit.
+func (s *Server) topK(ctx context.Context, x, k int) ([]pathsim.Pair, int64, bool, error) {
+	snap := s.store.Current()
+	if snap == nil {
+		return nil, 0, false, fmt.Errorf("no snapshot available")
+	}
+	key := topKKey(snap.Epoch, x, k)
+	if v, ok := s.cache.Get(key); ok {
+		return v.([]pathsim.Pair), snap.Epoch, true, nil
+	}
+	resp, err := s.batch.TopK(ctx, x, k)
+	if err != nil {
+		return nil, 0, false, err
+	}
+	// Key on the epoch the batch actually ran against: if a rebuild
+	// raced between the cache probe and the flush, this never files a
+	// new-epoch answer under the old epoch's key (or vice versa).
+	s.cache.Put(topKKey(resp.epoch, x, k), resp.pairs)
+	return resp.pairs, resp.epoch, false, nil
+}
+
+// TopK is the exported form of the cached, batched query path.
+func (s *Server) TopK(ctx context.Context, x, k int) ([]pathsim.Pair, bool, error) {
+	pairs, _, hit, err := s.topK(ctx, x, k)
+	return pairs, hit, err
+}
+
+func topKKey(epoch int64, x, k int) string {
+	return fmt.Sprintf("topk|%d|%d|%d", epoch, x, k)
+}
+
+// --- handlers --------------------------------------------------------
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.store.Current() == nil {
+		httpError(w, http.StatusServiceUnavailable, "no snapshot")
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.writeMetrics(w)
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	snap := s.store.Current()
+	if snap == nil {
+		httpError(w, http.StatusServiceUnavailable, "no snapshot")
+		return
+	}
+	objects := map[string]int{}
+	for _, t := range snap.Corpus.Net.Types() {
+		objects[string(t)] = snap.Corpus.Net.Count(t)
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"epoch":         snap.Epoch,
+		"seed":          snap.Seed,
+		"built_at":      snap.BuiltAt.UTC().Format(time.RFC3339Nano),
+		"build_seconds": snap.BuildTime.Seconds(),
+		"objects":       objects,
+		"pathsim": map[string]int{
+			"dim": snap.PathSim.Dim(),
+			"nnz": snap.PathSim.NNZ(),
+		},
+		"cache": s.cache.Stats(),
+		"batch": map[string]uint64{
+			"batches": s.batch.batches.Load(),
+			"queries": s.batch.queries.Load(),
+			"unique":  s.batch.unique.Load(),
+			"largest": uint64(s.batch.largest.Load()),
+		},
+		"workers":        sparse.Parallelism(0),
+		"max_concurrent": cap(s.sem),
+	})
+}
+
+func (s *Server) handleRank(w http.ResponseWriter, r *http.Request) {
+	snap := s.store.Current()
+	if snap == nil {
+		httpError(w, http.StatusServiceUnavailable, "no snapshot")
+		return
+	}
+	top, err := intParam(r, "top", 10)
+	if err != nil || top < 0 {
+		httpError(w, http.StatusBadRequest, "top must be a non-negative integer")
+		return
+	}
+	metric := r.URL.Query().Get("metric")
+	if metric == "" {
+		metric = "pagerank"
+	}
+	var scores []float64
+	var ids []int
+	var iters int
+	var converged bool
+	switch metric {
+	case "pagerank":
+		scores, iters, converged = snap.PageRank.Scores, snap.PageRank.Iterations, snap.PageRank.Converged
+		ids = snap.PageRank.TopK(top)
+	case "authority":
+		scores, iters, converged = snap.HITS.Authority, snap.HITS.Iterations, snap.HITS.Converged
+		ids = snap.HITS.TopAuthorities(top)
+	case "hub":
+		scores, iters, converged = snap.HITS.Hub, snap.HITS.Iterations, snap.HITS.Converged
+		ids = snap.HITS.TopHubs(top)
+	default:
+		httpError(w, http.StatusBadRequest, "unknown metric %q (want pagerank|authority|hub)", metric)
+		return
+	}
+	rows := make([]scoredObject, 0, len(ids))
+	for _, id := range ids {
+		rows = append(rows, scoredObject{ID: id, Name: snap.Corpus.Net.Name(dblp.TypeAuthor, id), Score: scores[id]})
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"metric":     metric,
+		"graph":      pathAPA.String(),
+		"epoch":      snap.Epoch,
+		"iterations": iters,
+		"converged":  converged,
+		"top":        rows,
+	})
+}
+
+func (s *Server) handleClusters(w http.ResponseWriter, r *http.Request) {
+	snap := s.store.Current()
+	if snap == nil {
+		httpError(w, http.StatusServiceUnavailable, "no snapshot")
+		return
+	}
+	top, err := intParam(r, "top", 5)
+	if err != nil || top < 0 {
+		httpError(w, http.StatusBadRequest, "top must be a non-negative integer")
+		return
+	}
+	algo := r.URL.Query().Get("algo")
+	if algo == "" {
+		algo = "rankclus"
+	}
+	c := snap.Corpus
+	switch algo {
+	case "rankclus":
+		m := snap.RankClus
+		clusters := make([]map[string]any, m.K)
+		for k := 0; k < m.K; k++ {
+			venues := make([]scoredObject, 0, top)
+			for _, v := range m.TopX(k, top) {
+				venues = append(venues, scoredObject{ID: v, Name: c.Net.Name(dblp.TypeVenue, v), Score: m.RankX[k][v]})
+			}
+			authors := make([]scoredObject, 0, top)
+			for _, a := range m.TopY(k, top) {
+				authors = append(authors, scoredObject{ID: a, Name: c.Net.Name(dblp.TypeAuthor, a), Score: m.RankY[k][a]})
+			}
+			clusters[k] = map[string]any{"id": k, "venues": venues, "authors": authors}
+		}
+		writeJSON(w, http.StatusOK, map[string]any{
+			"algo":     algo,
+			"epoch":    snap.Epoch,
+			"k":        m.K,
+			"nmi":      eval.NMI(c.VenueArea, m.Assign),
+			"clusters": clusters,
+		})
+	case "netclus":
+		m := snap.NetClus
+		// Attribute-type order matches Corpus.Star: author, venue, term.
+		attrs := []struct {
+			idx int
+			t   hin.Type
+		}{{0, dblp.TypeAuthor}, {1, dblp.TypeVenue}, {2, dblp.TypeTerm}}
+		clusters := make([]map[string]any, m.K)
+		for k := 0; k < m.K; k++ {
+			entry := map[string]any{"id": k}
+			for _, at := range attrs {
+				rows := make([]scoredObject, 0, top)
+				for _, o := range m.TopAttr(at.idx, k, top) {
+					rows = append(rows, scoredObject{ID: o, Name: c.Net.Name(at.t, o), Score: m.RankDist[at.idx][k][o]})
+				}
+				entry[string(at.t)+"s"] = rows
+			}
+			clusters[k] = entry
+		}
+		writeJSON(w, http.StatusOK, map[string]any{
+			"algo":      algo,
+			"epoch":     snap.Epoch,
+			"k":         m.K,
+			"nmi_paper": eval.NMI(c.PaperArea, m.AssignCenter),
+			"nmi_venue": eval.NMI(c.VenueArea, m.AssignAttr(1)),
+			"clusters":  clusters,
+		})
+	default:
+		httpError(w, http.StatusBadRequest, "unknown algo %q (want rankclus|netclus)", algo)
+	}
+}
+
+func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
+	snap := s.store.Current()
+	if snap == nil {
+		httpError(w, http.StatusServiceUnavailable, "no snapshot")
+		return
+	}
+	k, err := intParam(r, "k", 10)
+	if err != nil || k < 1 {
+		httpError(w, http.StatusBadRequest, "k must be a positive integer")
+		return
+	}
+	x := -1
+	if name := r.URL.Query().Get("author"); name != "" {
+		if x = snap.Corpus.Net.Lookup(dblp.TypeAuthor, name); x < 0 {
+			httpError(w, http.StatusNotFound, "unknown author %q", name)
+			return
+		}
+	} else {
+		x, err = intParam(r, "id", -1)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+	}
+	if x < 0 || x >= snap.PathSim.Dim() {
+		httpError(w, http.StatusBadRequest, "need id in [0,%d) or author=<name>", snap.PathSim.Dim())
+		return
+	}
+	pairs, epoch, hit, err := s.topK(r.Context(), x, k)
+	if err != nil {
+		httpError(w, http.StatusServiceUnavailable, "%v", err)
+		return
+	}
+	source := "batch"
+	if hit {
+		source = "cache"
+	}
+	results := make([]scoredObject, len(pairs))
+	for i, p := range pairs {
+		results[i] = scoredObject{ID: p.ID, Name: snap.Corpus.Net.Name(dblp.TypeAuthor, p.ID), Score: p.Score}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"query":   map[string]any{"id": x, "name": snap.Corpus.Net.Name(dblp.TypeAuthor, x)},
+		"path":    snap.PathSim.Path.String(),
+		"k":       k,
+		"epoch":   epoch,
+		"source":  source,
+		"results": results,
+	})
+}
+
+func (s *Server) handleRebuild(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "rebuild requires POST")
+		return
+	}
+	cur := s.store.Current()
+	def := s.opts.Seed + 1
+	if cur != nil {
+		def = cur.Seed + 1
+	}
+	seed, err := intParam(r, "seed", int(def))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	snap := s.store.Rebuild(int64(seed))
+	writeJSON(w, http.StatusOK, map[string]any{
+		"epoch":         snap.Epoch,
+		"seed":          snap.Seed,
+		"build_seconds": snap.BuildTime.Seconds(),
+	})
+}

@@ -1,0 +1,109 @@
+// Snapshot store: the offline half of the serving subsystem. A
+// Snapshot is one immutable generation of model artifacts — ranking
+// vectors, cluster models, and a prebuilt PathSim index — materialized
+// from a single corpus build. The Store owns the live snapshot behind
+// an atomic pointer: queries read it wait-free, rebuilds construct a
+// whole new generation off to the side and swap it in atomically, so a
+// rebuild never blocks or corrupts in-flight queries. Each generation
+// carries a monotonically increasing epoch; the result cache keys on it,
+// so a swap implicitly invalidates every cached answer.
+
+package serve
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hinet/internal/core"
+	"hinet/internal/dblp"
+	"hinet/internal/hin"
+	"hinet/internal/netclus"
+	"hinet/internal/pathsim"
+	"hinet/internal/rank"
+	"hinet/internal/stats"
+)
+
+// Meta paths materialized at snapshot build time: APVPA (shared-venue
+// peers, the PathSim index) and APA (co-authorship, the square graph
+// PageRank and HITS run on).
+var (
+	pathAPVPA = hin.MetaPath{dblp.TypeAuthor, dblp.TypePaper, dblp.TypeVenue, dblp.TypePaper, dblp.TypeAuthor}
+	pathAPA   = hin.MetaPath{dblp.TypeAuthor, dblp.TypePaper, dblp.TypeAuthor}
+)
+
+// Snapshot is one immutable generation of serving artifacts. Nothing
+// in it is mutated after Rebuild returns; handlers and the batcher may
+// read it from any goroutine without locking.
+type Snapshot struct {
+	Epoch     int64         // generation counter, starts at 1
+	Seed      int64         // RNG seed the corpus and models were built from
+	BuiltAt   time.Time     // wall-clock time of the build
+	BuildTime time.Duration // how long materialization took
+
+	Corpus   *dblp.Corpus    // network + names + ground-truth areas
+	PageRank rank.Result     // PageRank over the co-author (APA) graph
+	HITS     rank.HITSResult // HITS over the same graph
+	RankClus *core.Model     // venue clusters (venue×author bipartite)
+	NetClus  *netclus.Model  // net-clusters of the paper star network
+	PathSim  *pathsim.Index  // prebuilt APVPA similarity index
+}
+
+// ModelConfig controls what a snapshot materializes.
+type ModelConfig struct {
+	Corpus   dblp.Config // corpus size/separability (zero value = library defaults)
+	K        int         // cluster count for RankClus/NetClus (0 = number of corpus areas)
+	Restarts int         // random restarts per clustering model (0 = 1)
+}
+
+// Store holds the live snapshot and serializes rebuilds.
+type Store struct {
+	cfg   ModelConfig
+	cur   atomic.Pointer[Snapshot]
+	epoch atomic.Int64
+	mu    sync.Mutex // one rebuild at a time
+}
+
+// NewStore returns an empty store; call Rebuild to materialize the
+// first snapshot.
+func NewStore(cfg ModelConfig) *Store { return &Store{cfg: cfg} }
+
+// Current returns the live snapshot, or nil before the first Rebuild.
+func (s *Store) Current() *Snapshot { return s.cur.Load() }
+
+// Rebuild materializes a fresh snapshot from seed and atomically swaps
+// it in as the live generation. Concurrent queries keep reading the old
+// snapshot until the swap; concurrent Rebuild calls run one at a time.
+func (s *Store) Rebuild(seed int64) *Snapshot {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+
+	start := time.Now()
+	c := dblp.Generate(stats.NewRNG(seed), s.cfg.Corpus)
+	k := s.cfg.K
+	if k == 0 {
+		k = c.Areas()
+	}
+	restarts := s.cfg.Restarts
+	if restarts == 0 {
+		restarts = 1
+	}
+
+	coauthor := c.Net.CommutingMatrix(pathAPA)
+	snap := &Snapshot{
+		Seed:     seed,
+		BuiltAt:  start,
+		Corpus:   c,
+		PageRank: rank.PageRank(coauthor, rank.Options{}),
+		HITS:     rank.HITS(coauthor, rank.Options{}),
+		RankClus: core.Run(stats.NewRNG(seed+1), c.VenueAuthorBipartite(),
+			core.Options{K: k, Method: core.AuthorityRanking, Restarts: restarts}),
+		NetClus: netclus.Run(stats.NewRNG(seed+2), c.Star(),
+			netclus.Options{K: k, Restarts: restarts}),
+		PathSim: pathsim.NewIndex(c.Net, pathAPVPA),
+	}
+	snap.BuildTime = time.Since(start)
+	snap.Epoch = s.epoch.Add(1)
+	s.cur.Store(snap)
+	return snap
+}

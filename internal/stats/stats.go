@@ -297,10 +297,13 @@ func ArgMax(xs []float64) int {
 }
 
 // TopK returns the indices of the k largest values in xs, descending.
-// Ties break by lower index. k is clamped to len(xs).
+// Ties break by lower index. k is clamped to [0, len(xs)].
 func TopK(xs []float64, k int) []int {
 	if k > len(xs) {
 		k = len(xs)
+	}
+	if k < 0 {
+		k = 0
 	}
 	idx := make([]int, len(xs))
 	for i := range idx {
