@@ -11,7 +11,7 @@
 //	scan       SCAN structural clustering of a planted partition
 //	stats      network measurements of generator models
 //	truth      truth discovery on conflicting claims
-//	pathsim    top-k peer search on the DBLP APVPA meta-path
+//	pathsim    top-k peer search on a DBLP meta-path (-path A-P-V-P-A)
 //	dbnet      relational DB → information network conversion demo
 //	serve      online HTTP query server (snapshots, result cache, batched top-k)
 //
@@ -58,6 +58,7 @@ func main() {
 	cacheCap := fs.Int("cache", 4096, "serve: result cache entries (-1 disables)")
 	window := fs.Duration("batch-window", 0, "serve: extra wait to widen top-k batches")
 	papers := fs.Int("papers", 0, "serve: corpus size in papers (0 = library default)")
+	pathSpec := fs.String("path", "A-P-V-P-A", "pathsim: symmetric meta-path over the DBLP schema (e.g. A-P-A)")
 	_ = fs.Parse(os.Args[2:])
 
 	switch cmd {
@@ -74,7 +75,7 @@ func main() {
 	case "truth":
 		runTruth(*seed)
 	case "pathsim":
-		runPathSim(*seed, *topN)
+		runPathSim(*seed, *topN, *pathSpec)
 	case "dbnet":
 		runDBNet(*seed)
 	case "serve":
@@ -96,7 +97,7 @@ subcommands:
   scan       SCAN structural clustering of a planted partition
   stats      network measurements of generator models
   truth      truth discovery on conflicting claims
-  pathsim    top-k peer search on the DBLP APVPA meta-path
+  pathsim    top-k peer search on a DBLP meta-path [-path A-P-V-P-A]
   dbnet      relational DB -> information network conversion demo
   serve      online HTTP query server (snapshots, result cache, batched top-k)
              [-addr A] [-workers N] [-cache N] [-batch-window D] [-papers N]
@@ -249,19 +250,41 @@ func runTruth(seed int64) {
 		s.Accuracy(truth.MajorityVote(s.Net)))
 }
 
-func runPathSim(seed int64, topN int) {
+func runPathSim(seed int64, topN int, spec string) {
 	c := dblp.Generate(stats.NewRNG(seed), dblp.Config{})
-	ix := pathsim.NewIndex(c.Net, hin.MetaPath{dblp.TypeAuthor, dblp.TypePaper, dblp.TypeVenue, dblp.TypePaper, dblp.TypeAuthor})
-	pa := c.Net.Relation(dblp.TypePaper, dblp.TypeAuthor)
-	deg := make([]float64, c.Net.Count(dblp.TypeAuthor))
-	for p := 0; p < pa.Rows(); p++ {
-		pa.Row(p, func(a int, v float64) { deg[a] += v })
+	path, err := c.Net.ParseMetaPath(spec)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "hinet pathsim: %v\n", err)
+		os.Exit(1)
+	}
+	if plan, err := c.Net.PathEngine().Plan(pathStrings(path)); err == nil {
+		fmt.Printf("plan: %s\n", plan)
+	}
+	ix, err := pathsim.NewIndexE(c.Net, path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "hinet pathsim: %v\n", err)
+		os.Exit(1)
+	}
+	// Query the busiest object of the path's endpoint type.
+	endpoint := path[0]
+	rel := c.Net.Relation(endpoint, path[1])
+	deg := make([]float64, c.Net.Count(endpoint))
+	for o := 0; o < rel.Rows(); o++ {
+		deg[o] = rel.RowSum(o)
 	}
 	q := stats.ArgMax(deg)
-	fmt.Printf("PathSim APVPA peers of %s:\n", c.Net.Name(dblp.TypeAuthor, q))
+	fmt.Printf("PathSim %s peers of %s:\n", path.String(), c.Net.Name(endpoint, q))
 	for _, p := range ix.TopK(q, topN) {
-		fmt.Printf("  %-28s %.4f\n", c.Net.Name(dblp.TypeAuthor, p.ID), p.Score)
+		fmt.Printf("  %-28s %.4f\n", c.Net.Name(endpoint, p.ID), p.Score)
 	}
+}
+
+func pathStrings(p hin.MetaPath) []string {
+	out := make([]string, len(p))
+	for i, t := range p {
+		out[i] = string(t)
+	}
+	return out
 }
 
 func runDBNet(seed int64) {

@@ -211,7 +211,10 @@ func (c *Corpus) Star() *hin.Star {
 
 // VenueAuthorBipartite returns the RankClus view: the venue×author
 // weight matrix counting papers, as extracted by the conference–author
-// bi-typed network of the EDBT'09 study.
+// bi-typed network of the EDBT'09 study. The product runs through the
+// network's meta-path engine, which canonicalizes V-P-A to A-P-V — the
+// half-path of the serving layer's APVPA index — so a snapshot build
+// computes that product exactly once.
 func (c *Corpus) VenueAuthorBipartite() *hin.Bipartite {
 	m := c.Net.CommutingMatrix(hin.MetaPath{TypeVenue, TypePaper, TypeAuthor})
 	return &hin.Bipartite{X: TypeVenue, Y: TypeAuthor, W: m}

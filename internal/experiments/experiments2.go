@@ -232,10 +232,12 @@ func E12PathSim(seed int64) []Row {
 	path := hin.MetaPath{dblp.TypeAuthor, dblp.TypePaper, dblp.TypeVenue, dblp.TypePaper, dblp.TypeAuthor}
 	ix := pathsim.NewIndex(c.Net, path)
 
-	// Author–author random-walk graph for PPR along the same path.
-	m := c.Net.CommutingMatrix(path)
+	// Author–author random-walk graph for PPR along the same path: the
+	// index already materialized the commuting matrix, reuse it.
+	m := ix.M
 
-	// SimRank on author–venue bipartite (APV collapsed).
+	// SimRank on author–venue bipartite (APV collapsed) — the engine
+	// hands back APVPA's cached half-path product.
 	av := c.Net.CommutingMatrix(hin.MetaPath{dblp.TypeAuthor, dblp.TypePaper, dblp.TypeVenue})
 	sr := simrank.Bipartite(av, simrank.Options{MaxIter: 5}).SX
 

@@ -17,8 +17,10 @@ package hin
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"hinet/internal/graph"
+	"hinet/internal/metapath"
 	"hinet/internal/sparse"
 )
 
@@ -49,6 +51,14 @@ type Network struct {
 	names    map[Type][]string
 	index    map[Type]map[string]int
 	relation map[relationKey][]link
+
+	// version counts structural mutations; the meta-path engine's
+	// materialization cache is invalidated whenever it moves, so a
+	// network edit after a CommutingMatrix call can never serve stale
+	// products.
+	version int64
+	engMu   sync.Mutex
+	eng     *metapath.Engine
 }
 
 // NewNetwork returns an empty network.
@@ -65,6 +75,7 @@ func (n *Network) AddType(t Type) {
 	if _, ok := n.names[t]; ok {
 		return
 	}
+	n.version++
 	n.types = append(n.types, t)
 	n.names[t] = nil
 	n.index[t] = make(map[string]int)
@@ -81,6 +92,7 @@ func (n *Network) AddObject(t Type, name string) int {
 		return id
 	}
 	id := len(n.names[t])
+	n.version++
 	n.names[t] = append(n.names[t], name)
 	n.index[t][name] = id
 	return id
@@ -91,6 +103,7 @@ func (n *Network) AddObject(t Type, name string) int {
 func (n *Network) AddAnonymous(t Type, count int) int {
 	n.AddType(t)
 	first := len(n.names[t])
+	n.version++
 	for i := 0; i < count; i++ {
 		name := fmt.Sprintf("%s#%d", t, first+i)
 		n.names[t] = append(n.names[t], name)
@@ -123,6 +136,7 @@ func (n *Network) AddLink(src Type, srcID int, dst Type, dstID int, w float64) {
 	if srcID < 0 || srcID >= n.Count(src) || dstID < 0 || dstID >= n.Count(dst) {
 		panic(fmt.Sprintf("hin: link (%s,%d)-(%s,%d) out of range", src, srcID, dst, dstID))
 	}
+	n.version++
 	n.relation[relationKey{src, dst}] = append(n.relation[relationKey{src, dst}], link{srcID, dstID, w})
 }
 
@@ -213,16 +227,27 @@ type Star struct {
 // Star extracts the star-schema view centered on center; attrs lists the
 // attribute types in presentation order. It panics if a relation is
 // entirely absent, since the star schema requires every attribute type to
-// touch the center.
+// touch the center. StarE is the non-panicking form for untrusted input.
 func (n *Network) Star(center Type, attrs ...Type) *Star {
+	s, err := n.StarE(center, attrs...)
+	if err != nil {
+		panic("hin: " + err.Error())
+	}
+	return s
+}
+
+// StarE extracts the star-schema view, returning an error (instead of
+// panicking like Star) when an attribute type has no relation to the
+// center.
+func (n *Network) StarE(center Type, attrs ...Type) (*Star, error) {
 	s := &Star{Center: center, Attributes: append([]Type(nil), attrs...)}
 	for _, a := range attrs {
 		if !n.HasRelation(center, a) {
-			panic(fmt.Sprintf("hin: star schema missing relation %s-%s", center, a))
+			return nil, fmt.Errorf("star schema missing relation %s-%s", center, a)
 		}
 		s.Rel = append(s.Rel, n.Relation(center, a))
 	}
-	return s
+	return s, nil
 }
 
 // MetaPath is a sequence of types describing a composite relation, e.g.
@@ -251,28 +276,120 @@ func (p MetaPath) Symmetric() bool {
 	return true
 }
 
-// CommutingMatrix returns the product of relation matrices along the
-// path: M = W(t0,t1) · W(t1,t2) · … . Paths must have length ≥ 2.
-func (n *Network) CommutingMatrix(p MetaPath) *sparse.Matrix {
-	if len(p) < 2 {
-		panic("hin: meta path needs at least two types")
+// netSource adapts the network into the metapath engine's Source view
+// (plain string type names, so internal/metapath needs no hin import).
+type netSource struct{ n *Network }
+
+func (s netSource) Types() []string {
+	out := make([]string, len(s.n.types))
+	for i, t := range s.n.types {
+		out[i] = string(t)
 	}
-	m := n.Relation(p[0], p[1])
-	for i := 1; i < len(p)-1; i++ {
-		m = m.Mul(n.Relation(p[i], p[i+1]))
+	return out
+}
+
+func (s netSource) HasType(t string) bool {
+	_, ok := s.n.names[Type(t)]
+	return ok
+}
+
+func (s netSource) Count(t string) int { return s.n.Count(Type(t)) }
+
+func (s netSource) HasRelation(a, b string) bool { return s.n.HasRelation(Type(a), Type(b)) }
+
+func (s netSource) Relation(a, b string) *sparse.Matrix { return s.n.Relation(Type(a), Type(b)) }
+
+// PathEngine returns the network's meta-path engine — the planner and
+// materialization cache every CommutingMatrix/Projection call runs
+// through. The engine is created lazily and its cache is invalidated
+// whenever the network has been mutated since the previous call, so it
+// is always safe to hold onto. Concurrent PathEngine/Commute calls are
+// safe; mutating the network concurrently with queries is not (and
+// never was).
+func (n *Network) PathEngine() *metapath.Engine {
+	n.engMu.Lock()
+	if n.eng == nil {
+		n.eng = metapath.New(netSource{n})
+	}
+	e := n.eng
+	n.engMu.Unlock()
+	e.SyncEpoch(n.version)
+	return e
+}
+
+// ParseMetaPath resolves a spec like "A-P-V-P-A" or
+// "author-paper-author" against the network's registered types and
+// validates it against the schema. Tokens match a type exactly,
+// case-insensitively, or by unique case-insensitive prefix.
+func (n *Network) ParseMetaPath(spec string) (MetaPath, error) {
+	path, err := n.PathEngine().ParsePath(spec)
+	if err != nil {
+		return nil, err
+	}
+	return toMetaPath(path), nil
+}
+
+func toMetaPath(path []string) MetaPath {
+	p := make(MetaPath, len(path))
+	for i, t := range path {
+		p[i] = Type(t)
+	}
+	return p
+}
+
+func fromMetaPath(p MetaPath) []string {
+	out := make([]string, len(p))
+	for i, t := range p {
+		out[i] = string(t)
+	}
+	return out
+}
+
+// CommutingMatrix returns the product of relation matrices along the
+// path: M = W(t0,t1) · W(t1,t2) · … . Paths must have length ≥ 2. The
+// product is evaluated by the meta-path engine — planned association
+// order, Gram factorization of symmetric paths, cached intermediates —
+// so repeated or overlapping paths cost far less than their naive
+// products. It panics on malformed paths; CommutingMatrixE returns an
+// error instead.
+func (n *Network) CommutingMatrix(p MetaPath) *sparse.Matrix {
+	m, err := n.CommutingMatrixE(p)
+	if err != nil {
+		panic("hin: " + err.Error())
 	}
 	return m
+}
+
+// CommutingMatrixE is the non-panicking CommutingMatrix: malformed
+// paths (too short, unknown types, missing schema relations) come back
+// as errors, which is what the serving layer needs to turn client input
+// into 400s rather than crashes.
+func (n *Network) CommutingMatrixE(p MetaPath) (*sparse.Matrix, error) {
+	return n.PathEngine().Commute(fromMetaPath(p))
 }
 
 // Projection builds the homogeneous weighted graph on type p[0] induced
 // by a symmetric meta-path: nodes are the objects of p[0]; edge weights
 // are the off-diagonal entries of the commuting matrix. Labels carry the
-// object names.
+// object names. It panics on invalid paths; ProjectionE returns an
+// error instead.
 func (n *Network) Projection(p MetaPath) *graph.Graph {
-	if !p.Symmetric() || p[0] != p[len(p)-1] {
-		panic("hin: projection requires a symmetric meta path")
+	g, err := n.ProjectionE(p)
+	if err != nil {
+		panic("hin: " + err.Error())
 	}
-	m := n.CommutingMatrix(p)
+	return g
+}
+
+// ProjectionE is the non-panicking Projection.
+func (n *Network) ProjectionE(p MetaPath) (*graph.Graph, error) {
+	if len(p) == 0 || !p.Symmetric() || p[0] != p[len(p)-1] {
+		return nil, fmt.Errorf("projection requires a symmetric meta path, got %q", p.String())
+	}
+	m, err := n.CommutingMatrixE(p)
+	if err != nil {
+		return nil, err
+	}
 	g := graph.New(n.Count(p[0]), false)
 	for id := 0; id < n.Count(p[0]); id++ {
 		g.SetLabel(id, n.Name(p[0], id))
@@ -284,7 +401,7 @@ func (n *Network) Projection(p MetaPath) *graph.Graph {
 			}
 		})
 	}
-	return g
+	return g, nil
 }
 
 // Homogeneous converts the whole network into one untyped directed graph

@@ -182,6 +182,116 @@ func TestProjectionRequiresSymmetry(t *testing.T) {
 	n.Projection(MetaPath{"author", "paper", "venue"})
 }
 
+// TestErrorVariants pins the non-panicking boundary: every …E variant
+// returns descriptive errors for the inputs the wrappers panic on.
+func TestErrorVariants(t *testing.T) {
+	n := tinyDBLP()
+	if _, err := n.CommutingMatrixE(MetaPath{"author"}); err == nil {
+		t.Error("short path accepted")
+	}
+	if _, err := n.CommutingMatrixE(MetaPath{"author", "nosuch"}); err == nil {
+		t.Error("unknown type accepted")
+	}
+	if _, err := n.CommutingMatrixE(MetaPath{"author", "venue"}); err == nil {
+		t.Error("schema-less hop accepted")
+	}
+	if _, err := n.ProjectionE(MetaPath{"author", "paper", "venue"}); err == nil {
+		t.Error("asymmetric projection accepted")
+	}
+	if _, err := n.ProjectionE(nil); err == nil {
+		t.Error("empty projection accepted")
+	}
+	if _, err := n.StarE("paper", "author", "term"); err == nil {
+		t.Error("missing star relation accepted")
+	}
+	m, err := n.CommutingMatrixE(MetaPath{"author", "paper", "author"})
+	if err != nil || m.At(0, 1) != 1 {
+		t.Fatalf("valid path: %v, %v", m, err)
+	}
+}
+
+func TestCommutingMatrixShortPathPanics(t *testing.T) {
+	n := tinyDBLP()
+	defer func() {
+		if recover() == nil {
+			t.Error("short path should panic through the wrapper")
+		}
+	}()
+	n.CommutingMatrix(MetaPath{"author"})
+}
+
+func TestParseMetaPath(t *testing.T) {
+	n := tinyDBLP()
+	p, err := n.ParseMetaPath("a-p-a")
+	if err != nil || p.String() != "author-paper-author" {
+		t.Fatalf("ParseMetaPath = %v, %v", p, err)
+	}
+	if _, err := n.ParseMetaPath("a-x-a"); err == nil {
+		t.Error("unknown token accepted")
+	}
+	if _, err := n.ParseMetaPath("a-v"); err == nil {
+		t.Error("schema-less hop accepted")
+	}
+}
+
+// TestEngineInvalidationOnMutation pins the epoch contract: a network
+// edit after a CommutingMatrix call must invalidate the engine's
+// materialization cache, never serve the stale product.
+func TestEngineInvalidationOnMutation(t *testing.T) {
+	n := tinyDBLP()
+	apa := MetaPath{"author", "paper", "author"}
+	before := n.CommutingMatrix(apa)
+	if before.At(0, 1) != 1 {
+		t.Fatalf("baseline co-author count = %v", before.At(0, 1))
+	}
+	// bob joins p0, which alice wrote: the pair now shares two papers.
+	n.AddLink("paper", 0, "author", 1, 1)
+	after := n.CommutingMatrix(apa)
+	if after.At(0, 1) != 2 {
+		t.Fatalf("post-mutation co-author count = %v, want 2 (stale cache?)", after.At(0, 1))
+	}
+	// Unchanged network: the same materialization comes back.
+	if again := n.CommutingMatrix(apa); again != after {
+		t.Error("unchanged network should serve the cached matrix")
+	}
+}
+
+// TestCommutingMatrixMatchesNaive is the hin-level equivalence check:
+// the engine's planned/Gram evaluation must equal the strict
+// left-to-right product of Relation matrices (exactly — tinyDBLP's
+// weights are integers).
+func TestCommutingMatrixMatchesNaive(t *testing.T) {
+	n := tinyDBLP()
+	paths := []MetaPath{
+		{"author", "paper", "author"},
+		{"author", "paper", "venue"},
+		{"venue", "paper", "author"},
+		{"author", "paper", "venue", "paper", "author"},
+		{"venue", "paper", "author", "paper", "venue"},
+		{"paper", "author", "paper", "venue", "paper"},
+	}
+	for _, p := range paths {
+		naive := n.Relation(p[0], p[1])
+		for i := 1; i < len(p)-1; i++ {
+			naive = naive.Mul(n.Relation(p[i], p[i+1]))
+		}
+		got := n.CommutingMatrix(p)
+		if got.Rows() != naive.Rows() || got.Cols() != naive.Cols() || got.NNZ() != naive.NNZ() {
+			t.Fatalf("%s: shape/nnz mismatch", p.String())
+		}
+		for r := 0; r < got.Rows(); r++ {
+			for c := 0; c < got.Cols(); c++ {
+				if got.At(r, c) != naive.At(r, c) {
+					t.Fatalf("%s: (%d,%d) = %v, want %v", p.String(), r, c, got.At(r, c), naive.At(r, c))
+				}
+			}
+		}
+	}
+	if st := n.PathEngine().Stats(); st.Grams == 0 {
+		t.Fatalf("symmetric paths did not exercise Gram: %+v", st)
+	}
+}
+
 func TestHomogeneousView(t *testing.T) {
 	n := tinyDBLP()
 	g, offset := n.Homogeneous()

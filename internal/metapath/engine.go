@@ -1,0 +1,316 @@
+// Package metapath is the meta-path compilation and materialization
+// engine: it turns meta-path specs (strings like "A-P-V-P-A" or typed
+// sequences) into commuting matrices the cheap way.
+//
+// Meta-paths are the paper's central query primitive — PathSim,
+// projections and the bipartite/star views all reduce to products of
+// relation matrices along a type sequence — and computing those
+// products is the scalability bottleneck of the whole family (Shi et
+// al.'s HIN survey). The engine attacks the cost three ways:
+//
+//   - a cost-based planner (plan.go) picks the sparse matrix-chain
+//     association order by dynamic programming over nnz/flop estimates,
+//     instead of multiplying strictly left-to-right;
+//   - symmetric paths are factored through a half-path Gram product
+//     (M = H·Hᵀ via the fused sparse.Matrix.Gram kernel), computing
+//     half the path and half the final product's multiply work;
+//   - an epoch-aware materialization cache canonicalizes sub-paths (a
+//     path and its reverse share one entry, reached by a cheap
+//     transpose) and reuses every intermediate across queries.
+//
+// The engine sees the network through the Source interface, so this
+// package depends only on internal/sparse; internal/hin adapts its
+// Network into a Source and owns one engine per network (see
+// Network.PathEngine), which is how every CommutingMatrix call site in
+// the repository shares one cache.
+package metapath
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"hinet/internal/sparse"
+)
+
+// Source is the network view the engine plans against. Type names are
+// plain strings so implementations outside internal/hin (tests,
+// adapters) stay trivial.
+type Source interface {
+	// Types lists the object type names in registration order.
+	Types() []string
+	// HasType reports whether t is a registered type.
+	HasType(t string) bool
+	// Count returns the number of objects of type t.
+	Count(t string) int
+	// HasRelation reports whether any links exist between the two
+	// types, in either orientation.
+	HasRelation(a, b string) bool
+	// Relation returns the weighted a×b adjacency matrix. The engine
+	// relies on Relation(a, b) being the exact transpose of
+	// Relation(b, a) whenever a != b.
+	Relation(a, b string) *sparse.Matrix
+}
+
+// maxEntries bounds the materialization cache. Beyond it, new paths are
+// still answered but their matrices are not retained, so a server fed
+// adversarial path streams cannot grow memory without bound.
+const maxEntries = 256
+
+// entry is one cached materialization. ready is closed once m is set,
+// so concurrent askers of the same path share a single computation
+// (singleflight) instead of racing duplicate products.
+type entry struct {
+	ready chan struct{}
+	m     *sparse.Matrix
+}
+
+// Stats is a snapshot of the engine's counters.
+type Stats struct {
+	Epoch      int64 // cache generation (the owning network's version)
+	Entries    int   // materialized matrices currently cached
+	Hits       uint64
+	Misses     uint64
+	Products   uint64 // sparse products issued (planned splits)
+	Grams      uint64 // half-path Gram factorizations issued
+	Transposes uint64 // reversed-orientation answers derived by transpose
+}
+
+// Engine compiles, plans, materializes and caches meta-path commuting
+// matrices over one Source. All methods are safe for concurrent use;
+// computations for distinct paths proceed in parallel, and concurrent
+// requests for the same (sub-)path share one computation.
+type Engine struct {
+	src Source
+
+	mu      sync.Mutex
+	epoch   int64
+	entries map[string]*entry
+
+	hits       atomic.Uint64
+	misses     atomic.Uint64
+	products   atomic.Uint64
+	grams      atomic.Uint64
+	transposes atomic.Uint64
+}
+
+// New returns an engine over src with an empty cache at epoch 0.
+func New(src Source) *Engine {
+	return &Engine{src: src, entries: make(map[string]*entry)}
+}
+
+// SyncEpoch invalidates the cache if v differs from the engine's
+// current epoch (the owner calls this with its mutation counter, so a
+// network edit after materialization can never serve stale products).
+func (e *Engine) SyncEpoch(v int64) {
+	e.mu.Lock()
+	if v != e.epoch {
+		e.epoch = v
+		e.entries = make(map[string]*entry)
+	}
+	e.mu.Unlock()
+}
+
+// Reset drops every cached materialization (the benchmarks use this to
+// time cold planned evaluations).
+func (e *Engine) Reset() {
+	e.mu.Lock()
+	e.entries = make(map[string]*entry)
+	e.mu.Unlock()
+}
+
+// Stats returns the current counter values.
+func (e *Engine) Stats() Stats {
+	e.mu.Lock()
+	epoch, entries := e.epoch, len(e.entries)
+	e.mu.Unlock()
+	return Stats{
+		Epoch:      epoch,
+		Entries:    entries,
+		Hits:       e.hits.Load(),
+		Misses:     e.misses.Load(),
+		Products:   e.products.Load(),
+		Grams:      e.grams.Load(),
+		Transposes: e.transposes.Load(),
+	}
+}
+
+// Validate checks that path is a well-formed meta-path over the source
+// schema: at least two types, every type registered, and every adjacent
+// pair connected by a relation. It returns nil or a descriptive error —
+// never panics — making it the boundary that keeps malformed client
+// paths out of the kernels.
+func (e *Engine) Validate(path []string) error {
+	if len(path) < 2 {
+		return fmt.Errorf("metapath: path %q needs at least two types", join(path))
+	}
+	for _, t := range path {
+		if !e.src.HasType(t) {
+			return fmt.Errorf("metapath: unknown type %q (have %s)", t, strings.Join(e.src.Types(), ", "))
+		}
+	}
+	for i := 0; i+1 < len(path); i++ {
+		if !e.src.HasRelation(path[i], path[i+1]) {
+			return fmt.Errorf("metapath: schema has no %s-%s relation", path[i], path[i+1])
+		}
+	}
+	return nil
+}
+
+// Commute returns the commuting matrix of the meta-path: the product of
+// relation matrices along it, evaluated in planned order with Gram
+// factorization and sub-path reuse. The result must not be mutated (it
+// may be shared with other callers through the cache — sparse matrices
+// are immutable by convention).
+func (e *Engine) Commute(path []string) (*sparse.Matrix, error) {
+	if err := e.Validate(path); err != nil {
+		return nil, err
+	}
+	return e.matrix(path), nil
+}
+
+// matrix materializes a validated path through the cache.
+func (e *Engine) matrix(path []string) *sparse.Matrix {
+	canon, rev := canonicalize(path)
+	if !rev {
+		return e.cached(join(path), func() *sparse.Matrix { return e.compute(path) })
+	}
+	// Reversed orientation: materialize the canonical orientation, then
+	// derive this one by a cheap O(nnz) transpose — also cached, so
+	// repeated reverse queries are pure lookups.
+	return e.cached(join(path), func() *sparse.Matrix {
+		m := e.cached(join(canon), func() *sparse.Matrix { return e.compute(canon) })
+		e.transposes.Add(1)
+		return m.Transpose()
+	})
+}
+
+// cached runs compute under a singleflight entry for key. When the
+// cache is full, the value is computed but not retained.
+func (e *Engine) cached(key string, compute func() *sparse.Matrix) *sparse.Matrix {
+	e.mu.Lock()
+	if ent, ok := e.entries[key]; ok {
+		e.mu.Unlock()
+		<-ent.ready
+		if ent.m == nil {
+			// The computing goroutine panicked and withdrew the entry;
+			// retry against the refreshed map.
+			return e.cached(key, compute)
+		}
+		e.hits.Add(1)
+		return ent.m
+	}
+	e.misses.Add(1)
+	if len(e.entries) >= maxEntries {
+		e.mu.Unlock()
+		return compute()
+	}
+	ent := &entry{ready: make(chan struct{})}
+	e.entries[key] = ent
+	e.mu.Unlock()
+	defer func() {
+		if ent.m == nil {
+			// compute panicked: drop the entry so later calls retry, and
+			// release waiters (they observe the nil and recompute).
+			e.mu.Lock()
+			delete(e.entries, key)
+			e.mu.Unlock()
+		}
+		close(ent.ready)
+	}()
+	ent.m = compute()
+	return ent.m
+}
+
+// compute evaluates a validated path with the planner. Sub-chains
+// recurse through matrix(), so every intermediate lands in the cache
+// under its own canonical key and is shared across top-level paths
+// (e.g. A-P-V-P-A's half A-P-V also answers V-P-A requests).
+func (e *Engine) compute(path []string) *sparse.Matrix {
+	rels := len(path) - 1
+	if rels == 1 {
+		return e.src.Relation(path[0], path[1])
+	}
+	if gramEligible(path) {
+		h := e.matrix(path[: rels/2+1 : rels/2+1])
+		e.grams.Add(1)
+		return h.Gram()
+	}
+	k := e.bestSplit(path)
+	left := e.matrix(path[: k+2 : k+2])
+	right := e.matrix(path[k+1:])
+	e.products.Add(1)
+	return left.Mul(right)
+}
+
+// bestSplit returns the top-level split point (relations 0..k and
+// k+1..rels-1) chosen by the chain planner.
+func (e *Engine) bestSplit(path []string) int {
+	dims, nnz := e.leafStats(path)
+	dp := planChain(dims, nnz)
+	return dp.split[0][len(nnz)-1]
+}
+
+// leafStats materializes (through the cache) the relation matrices
+// along the path and returns the chain dimensions and per-leaf nonzero
+// counts the planner costs against.
+func (e *Engine) leafStats(path []string) (dims []int, nnz []float64) {
+	rels := len(path) - 1
+	dims = make([]int, rels+1)
+	nnz = make([]float64, rels)
+	for i, t := range path {
+		dims[i] = e.src.Count(t)
+	}
+	for i := 0; i < rels; i++ {
+		nnz[i] = float64(e.matrix(path[i : i+2 : i+2]).NNZ())
+	}
+	return dims, nnz
+}
+
+// gramEligible reports whether the path can be evaluated as H·Hᵀ of its
+// half-path product: a palindrome with an odd number of types (so the
+// relation count is even), and no adjacent repeated type — the Gram
+// identity needs every mirrored relation to be the exact transpose of
+// its partner, which Source.Relation guarantees only for distinct type
+// pairs (a homogeneous X-X relation need not be symmetric).
+func gramEligible(path []string) bool {
+	if len(path) < 3 || len(path)%2 == 0 {
+		return false
+	}
+	for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
+		if path[i] != path[j] {
+			return false
+		}
+	}
+	for i := 0; i+1 < len(path); i++ {
+		if path[i] == path[i+1] {
+			return false
+		}
+	}
+	return true
+}
+
+// canonicalize returns the cache orientation of a path: of the path and
+// its reverse, the lexicographically smaller key wins, so a path and
+// its reverse share one materialization (the other is a transpose
+// away). Paths with an adjacent repeated type are not canonicalized —
+// reversal is only transpose-equivalent when every relation along the
+// path joins two distinct types.
+func canonicalize(path []string) (canon []string, reversed bool) {
+	for i := 0; i+1 < len(path); i++ {
+		if path[i] == path[i+1] {
+			return path, false
+		}
+	}
+	rev := make([]string, len(path))
+	for i, t := range path {
+		rev[len(path)-1-i] = t
+	}
+	if join(rev) < join(path) {
+		return rev, true
+	}
+	return path, false
+}
+
+func join(path []string) string { return strings.Join(path, "-") }

@@ -1,0 +1,75 @@
+// Parsing meta-path specs. A spec is dash-separated type tokens
+// ("A-P-V-P-A", "author-paper-author", "a-P-Venue-p-A"); each token
+// resolves against the source's registered types by exact match,
+// case-insensitive match, or unique case-insensitive prefix — so the
+// single-letter shorthand of the paper's figures works whenever it is
+// unambiguous, and ambiguity is an error rather than a guess.
+
+package metapath
+
+import (
+	"fmt"
+	"strings"
+)
+
+// maxPathTypes bounds accepted spec length: long chains are almost
+// certainly hostile input (each extra hop multiplies serving cost), and
+// the bound keeps the planner's O(L³) tables trivial.
+const maxPathTypes = 16
+
+// ParsePath resolves a spec into a validated type sequence. Errors
+// name the offending token and the candidate types, so an HTTP 400 body
+// can be returned to clients verbatim.
+func (e *Engine) ParsePath(spec string) ([]string, error) {
+	tokens := strings.Split(spec, "-")
+	if len(tokens) > maxPathTypes {
+		return nil, fmt.Errorf("metapath: path %q has %d types (max %d)", spec, len(tokens), maxPathTypes)
+	}
+	types := e.src.Types()
+	path := make([]string, 0, len(tokens))
+	for _, tok := range tokens {
+		tok = strings.TrimSpace(tok)
+		if tok == "" {
+			return nil, fmt.Errorf("metapath: empty type token in %q", spec)
+		}
+		t, err := resolveType(types, tok)
+		if err != nil {
+			return nil, err
+		}
+		path = append(path, t)
+	}
+	if err := e.Validate(path); err != nil {
+		return nil, err
+	}
+	return path, nil
+}
+
+// resolveType maps one token to a registered type name.
+func resolveType(types []string, tok string) (string, error) {
+	for _, t := range types {
+		if t == tok {
+			return t, nil
+		}
+	}
+	lower := strings.ToLower(tok)
+	var exact, prefix []string
+	for _, t := range types {
+		lt := strings.ToLower(t)
+		if lt == lower {
+			exact = append(exact, t)
+		} else if strings.HasPrefix(lt, lower) {
+			prefix = append(prefix, t)
+		}
+	}
+	switch {
+	case len(exact) == 1:
+		return exact[0], nil
+	case len(exact) > 1:
+		return "", fmt.Errorf("metapath: type %q is ambiguous (matches %s)", tok, strings.Join(exact, ", "))
+	case len(prefix) == 1:
+		return prefix[0], nil
+	case len(prefix) > 1:
+		return "", fmt.Errorf("metapath: type %q is ambiguous (matches %s)", tok, strings.Join(prefix, ", "))
+	}
+	return "", fmt.Errorf("metapath: unknown type %q (have %s)", tok, strings.Join(types, ", "))
+}

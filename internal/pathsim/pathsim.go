@@ -12,6 +12,7 @@
 package pathsim
 
 import (
+	"fmt"
 	"math/bits"
 	"sort"
 
@@ -39,26 +40,62 @@ func (ix *Index) Dim() int { return ix.M.Rows() }
 // and scan cost the prebuilt index pays to make queries row-local.
 func (ix *Index) NNZ() int { return ix.M.NNZ() }
 
-// NewIndex builds the commuting matrix for a symmetric meta path.
+// NewIndex builds the commuting matrix for a symmetric meta path via
+// the network's meta-path engine (planned order, Gram factorization,
+// cached intermediates). It panics on invalid paths; NewIndexE returns
+// an error instead.
 func NewIndex(n *hin.Network, path hin.MetaPath) *Index {
-	if !path.Symmetric() || len(path) < 3 {
-		panic("pathsim: meta path must be symmetric with length >= 3")
+	ix, err := NewIndexE(n, path)
+	if err != nil {
+		panic("pathsim: " + err.Error())
 	}
-	m := n.CommutingMatrix(path)
-	return &Index{Path: path, M: m, diag: m.Diagonal()}
+	return ix
+}
+
+// NewIndexE is the non-panicking NewIndex: the constructor the serving
+// layer uses to turn client-supplied meta-paths into indexes (or 400s).
+func NewIndexE(n *hin.Network, path hin.MetaPath) (*Index, error) {
+	if !path.Symmetric() || len(path) < 3 {
+		return nil, fmt.Errorf("meta path must be symmetric with length >= 3, got %q", path.String())
+	}
+	m, err := n.CommutingMatrixE(path)
+	if err != nil {
+		return nil, err
+	}
+	return &Index{Path: path, M: m, diag: m.Diagonal()}, nil
 }
 
 // NewIndexFromMatrix wraps a precomputed commuting matrix (must be
-// square; callers guarantee it corresponds to a symmetric path).
+// square; callers guarantee it corresponds to a symmetric path). It
+// panics on non-square input; NewIndexFromMatrixE returns an error.
 func NewIndexFromMatrix(m *sparse.Matrix, path hin.MetaPath) *Index {
-	if m.Rows() != m.Cols() {
-		panic("pathsim: commuting matrix must be square")
+	ix, err := NewIndexFromMatrixE(m, path)
+	if err != nil {
+		panic("pathsim: " + err.Error())
 	}
-	return &Index{Path: path, M: m, diag: m.Diagonal()}
+	return ix
 }
 
-// Sim returns the PathSim score s(x, y) ∈ [0, 1].
+// NewIndexFromMatrixE wraps a precomputed commuting matrix, returning
+// an error when it is not square.
+func NewIndexFromMatrixE(m *sparse.Matrix, path hin.MetaPath) (*Index, error) {
+	if m.Rows() != m.Cols() {
+		return nil, fmt.Errorf("commuting matrix must be square, got %dx%d", m.Rows(), m.Cols())
+	}
+	return &Index{Path: path, M: m, diag: m.Diagonal()}, nil
+}
+
+// inRange reports whether x is a valid object id for this index. Query
+// methods treat out-of-range ids as "no results" rather than panicking,
+// so a stray client id can never take down a serving process.
+func (ix *Index) inRange(x int) bool { return x >= 0 && x < ix.M.Rows() }
+
+// Sim returns the PathSim score s(x, y) ∈ [0, 1]. Out-of-range ids
+// score 0.
 func (ix *Index) Sim(x, y int) float64 {
+	if !ix.inRange(x) || !ix.inRange(y) {
+		return 0
+	}
 	den := ix.diag[x] + ix.diag[y]
 	if den == 0 {
 		return 0
@@ -75,7 +112,11 @@ type Pair struct {
 // TopK returns the k most PathSim-similar objects to x (excluding x),
 // descending, ties by id. Only objects sharing at least one path
 // instance with x can score above 0, so the scan touches just row x.
+// An out-of-range x returns no results.
 func (ix *Index) TopK(x, k int) []Pair {
+	if !ix.inRange(x) {
+		return nil
+	}
 	var out []Pair
 	ix.M.Row(x, func(y int, v float64) {
 		if y == x || v == 0 {
@@ -106,6 +147,7 @@ func (ix *Index) TopK(x, k int) []Pair {
 // The work estimate includes the per-query sort (≈ m·log m on the row
 // population m), not just the row scan, so medium batches of dense-row
 // queries cross the pool's serial threshold as their real cost warrants.
+// Out-of-range entries of xs yield empty result slices, like TopK.
 func (ix *Index) BatchTopK(xs []int, k int) [][]Pair {
 	out := make([][]Pair, len(xs))
 	rows := ix.M.Rows()
@@ -123,8 +165,12 @@ func (ix *Index) BatchTopK(xs []int, k int) [][]Pair {
 }
 
 // AllScores materializes the full similarity row of x (dense), useful
-// for metric comparison against baselines.
+// for metric comparison against baselines. An out-of-range x returns
+// nil.
 func (ix *Index) AllScores(x int) []float64 {
+	if !ix.inRange(x) {
+		return nil
+	}
 	scores := make([]float64, ix.M.Rows())
 	ix.M.Row(x, func(y int, v float64) {
 		den := ix.diag[x] + ix.diag[y]

@@ -24,8 +24,11 @@ import (
 var errShutdown = errors.New("serve: server is shutting down")
 
 type topKReq struct {
-	x, k int
-	out  chan topKResp
+	x, k    int
+	ix      *pathsim.Index // index the query runs against
+	pathKey string         // resolved path string (group + cache key component)
+	epoch   int64          // epoch of the snapshot the index belongs to
+	out     chan topKResp
 }
 
 type topKResp struct {
@@ -37,7 +40,6 @@ type topKResp struct {
 
 // batcher owns the queue and the single dispatcher goroutine.
 type batcher struct {
-	store    *Store
 	queue    chan topKReq
 	maxBatch int
 	window   time.Duration
@@ -51,12 +53,11 @@ type batcher struct {
 	largest atomic.Int64  // widest batch observed (in requests)
 }
 
-func newBatcher(store *Store, maxBatch int, window time.Duration) *batcher {
+func newBatcher(maxBatch int, window time.Duration) *batcher {
 	if maxBatch <= 0 {
 		maxBatch = 64
 	}
 	b := &batcher{
-		store:    store,
 		queue:    make(chan topKReq, 4*maxBatch),
 		maxBatch: maxBatch,
 		window:   window,
@@ -67,15 +68,16 @@ func newBatcher(store *Store, maxBatch int, window time.Duration) *batcher {
 	return b
 }
 
-// TopK submits one query and blocks until its batch is answered, the
-// context is canceled, or the batcher shuts down.
-func (b *batcher) TopK(ctx context.Context, x, k int) (topKResp, error) {
+// TopK submits one query against req.ix and blocks until its batch is
+// answered, the context is canceled, or the batcher shuts down.
+func (b *batcher) TopK(ctx context.Context, req topKReq) (topKResp, error) {
 	if err := ctx.Err(); err != nil {
 		return topKResp{}, err
 	}
 	out := make(chan topKResp, 1)
+	req.out = out
 	select {
-	case b.queue <- topKReq{x: x, k: k, out: out}:
+	case b.queue <- req:
 	case <-b.quit:
 		return topKResp{}, errShutdown
 	case <-ctx.Done():
@@ -168,25 +170,37 @@ func (b *batcher) drainInto(batch []topKReq) []topKReq {
 	return batch
 }
 
-// flush answers one coalesced batch from the current snapshot. Requests
-// whose id falls outside the snapshot get an error; the rest deduplicate
-// by id (concurrent askers of the same object share one computation,
-// singleflight-style) and run as one BatchTopK call at the widest
+// flush answers one coalesced batch. Requests are grouped by the
+// (epoch, path) of the index they target — a rebuild or a mix of path=
+// parameters inside one batch never cross-pollinates — and each group
+// runs as one BatchTopK call: requests whose id falls outside the index
+// get an error, the rest deduplicate by id (concurrent askers of the
+// same object share one computation, singleflight-style) at the widest
 // requested k, trimmed back to each request's own k on delivery.
 func (b *batcher) flush(batch []topKReq) {
-	snap := b.store.Current()
-	if snap == nil {
-		for _, r := range batch {
-			r.out <- topKResp{err: errors.New("serve: no snapshot available")}
-		}
-		return
-	}
-	n := snap.PathSim.Dim()
-	xs := make([]int, 0, len(batch))
-	slot := make(map[int]int, len(batch)) // id → index in xs
-	live := make([]topKReq, 0, len(batch))
-	kmax := 0
+	groups := make(map[string][]topKReq)
+	order := make([]string, 0, 1)
 	for _, r := range batch {
+		key := fmt.Sprintf("%d|%s", r.epoch, r.pathKey)
+		if _, ok := groups[key]; !ok {
+			order = append(order, key)
+		}
+		groups[key] = append(groups[key], r)
+	}
+	for _, key := range order {
+		b.flushGroup(groups[key])
+	}
+}
+
+// flushGroup answers one same-index group of a batch.
+func (b *batcher) flushGroup(group []topKReq) {
+	ix := group[0].ix
+	n := ix.Dim()
+	xs := make([]int, 0, len(group))
+	slot := make(map[int]int, len(group)) // id → index in xs
+	live := make([]topKReq, 0, len(group))
+	kmax := 0
+	for _, r := range group {
 		if r.x < 0 || r.x >= n {
 			r.out <- topKResp{err: fmt.Errorf("serve: id %d out of range [0,%d)", r.x, n)}
 			continue
@@ -203,7 +217,7 @@ func (b *batcher) flush(batch []topKReq) {
 	if len(live) == 0 {
 		return
 	}
-	res := snap.PathSim.BatchTopK(xs, kmax)
+	res := ix.BatchTopK(xs, kmax)
 	b.batches.Add(1)
 	b.queries.Add(uint64(len(live)))
 	b.unique.Add(uint64(len(xs)))
@@ -215,7 +229,7 @@ func (b *batcher) flush(batch []topKReq) {
 		if r.k < len(pairs) {
 			pairs = pairs[:r.k]
 		}
-		r.out <- topKResp{pairs: pairs, epoch: snap.Epoch, batch: len(live)}
+		r.out <- topKResp{pairs: pairs, epoch: r.epoch, batch: len(live)}
 	}
 }
 

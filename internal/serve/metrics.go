@@ -64,6 +64,16 @@ func (s *Server) writeMetrics(w io.Writer) {
 			fmt.Fprintf(w, "hinet_snapshot_objects{type=%q} %d\n", string(t), snap.Corpus.Net.Count(t))
 		}
 		fmt.Fprintf(w, "hinet_pathsim_index_nnz %d\n", snap.PathSim.NNZ())
+
+		// Meta-path engine: materialization-cache effectiveness and how
+		// the planner is evaluating products for this snapshot.
+		es := snap.Engine().Stats()
+		fmt.Fprintf(w, "hinet_metapath_cache_hits_total %d\n", es.Hits)
+		fmt.Fprintf(w, "hinet_metapath_cache_misses_total %d\n", es.Misses)
+		fmt.Fprintf(w, "hinet_metapath_cache_entries %d\n", es.Entries)
+		fmt.Fprintf(w, "hinet_metapath_products_total %d\n", es.Products)
+		fmt.Fprintf(w, "hinet_metapath_gram_products_total %d\n", es.Grams)
+		fmt.Fprintf(w, "hinet_metapath_transposes_total %d\n", es.Transposes)
 	}
 
 	names := make([]string, 0, len(s.met.endpoints))

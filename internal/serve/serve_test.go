@@ -10,6 +10,7 @@ import (
 	"testing"
 
 	"hinet/internal/dblp"
+	"hinet/internal/hin"
 	"hinet/internal/pathsim"
 	"hinet/internal/stats"
 )
@@ -78,6 +79,7 @@ type topKBody struct {
 		ID   int    `json:"id"`
 		Name string `json:"name"`
 	} `json:"query"`
+	Path    string `json:"path"`
 	Epoch   int64  `json:"epoch"`
 	Source  string `json:"source"`
 	Results []struct {
@@ -137,6 +139,115 @@ func TestTopKByNameAndErrors(t *testing.T) {
 	}
 	if code := get(t, s, "GET", "/v1/pathsim/topk", nil); code != 400 {
 		t.Fatalf("missing id: code %d", code)
+	}
+}
+
+// TestTopKArbitraryPath serves a client-supplied meta-path and checks
+// the answer against a direct library computation on the same seed.
+func TestTopKArbitraryPath(t *testing.T) {
+	const seed = 11
+	s := newTestServer(t, Options{Seed: seed})
+	c := dblp.Generate(stats.NewRNG(seed), testConfig().Corpus)
+	apa := hin.MetaPath{dblp.TypeAuthor, dblp.TypePaper, dblp.TypeAuthor}
+	ix := pathsim.NewIndex(c.Net, apa)
+
+	for _, x := range []int{0, 7, 42} {
+		var body topKBody
+		if code := get(t, s, "GET", "/v1/pathsim/topk?path=A-P-A&id="+itoa(x)+"&k=6", &body); code != 200 {
+			t.Fatalf("topk path=A-P-A id=%d: code %d", x, code)
+		}
+		if body.Path != apa.String() {
+			t.Fatalf("path echo = %q, want %q", body.Path, apa.String())
+		}
+		want := ix.TopK(x, 6)
+		if len(body.Results) != len(want) {
+			t.Fatalf("id=%d: got %d results, want %d", x, len(body.Results), len(want))
+		}
+		for i, p := range want {
+			got := body.Results[i]
+			if got.ID != p.ID || math.Abs(got.Score-p.Score) > 1e-12 {
+				t.Fatalf("id=%d rank %d: got (%d, %v), want (%d, %v)", x, i, got.ID, got.Score, p.ID, p.Score)
+			}
+		}
+	}
+
+	// Repeat query: the per-snapshot index is memoized and the result
+	// cache keys on the path, so the second hit comes from cache.
+	var a, b topKBody
+	get(t, s, "GET", "/v1/pathsim/topk?path=A-P-A&id=3&k=4", &a)
+	get(t, s, "GET", "/v1/pathsim/topk?path=A-P-A&id=3&k=4", &b)
+	if a.Source == "cache" || b.Source != "cache" {
+		t.Fatalf("sources = %q, %q", a.Source, b.Source)
+	}
+	// Same id under a different path must not alias in the cache.
+	var other topKBody
+	get(t, s, "GET", "/v1/pathsim/topk?id=3&k=4", &other)
+	if other.Source == "cache" {
+		t.Fatal("default-path query served from A-P-A cache entry")
+	}
+
+	// Venue-endpoint path (venues sharing authors): results carry venue
+	// names, resolved within the path's endpoint type.
+	var vp topKBody
+	if code := get(t, s, "GET", "/v1/pathsim/topk?path=V-P-A-P-V&id=0&k=3", &vp); code != 200 {
+		t.Fatalf("V-P-A-P-V: code %d", code)
+	}
+	if len(vp.Results) == 0 || vp.Results[0].Name == "" {
+		t.Fatalf("V-P-A-P-V results: %+v", vp.Results)
+	}
+}
+
+// TestTopKInvalidPaths is the no-crash regression suite: every way a
+// client can hand us a bad path or id must come back 4xx, never panic.
+func TestTopKInvalidPaths(t *testing.T) {
+	s := newTestServer(t, Options{})
+	for _, tc := range []struct {
+		query string
+		code  int
+	}{
+		{"path=A-P-X&id=0", 400},          // unknown type
+		{"path=A-P-V&id=0", 400},          // asymmetric
+		{"path=A&id=0", 400},              // too short
+		{"path=A--A&id=0", 400},           // empty token
+		{"path=A-V-A&id=0", 400},          // no author-venue relation in schema
+		{"path=V-P-V&id=100000", 400},     // id beyond the venue index dim
+		{"path=V-P-V&name=nobody", 404},   // unknown name at endpoint type
+		{"path=A-P-A&author=nobody", 404}, // alias param, unknown name
+	} {
+		if code := get(t, s, "GET", "/v1/pathsim/topk?"+tc.query, nil); code != tc.code {
+			t.Fatalf("%s: code %d, want %d", tc.query, code, tc.code)
+		}
+	}
+	// The server must still answer after all that hostile input.
+	if code := get(t, s, "GET", "/v1/pathsim/topk?id=0&k=3", nil); code != 200 {
+		t.Fatalf("server unhealthy after invalid paths: %d", code)
+	}
+}
+
+// TestTopKOutOfRangeRegression pins the pathsim fix: an id valid for
+// the default author index but out of range for a smaller per-path
+// index must 400 (it used to panic in diag[x] before the Dim check and
+// the TopK range guard existed).
+func TestTopKOutOfRangeRegression(t *testing.T) {
+	s := newTestServer(t, Options{})
+	snap := s.Snapshot()
+	vpv, err := snap.PathIndex("V-P-V")
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := vpv.Dim() // valid author id (80 authors), invalid venue id (6 venues)
+	if x >= snap.PathSim.Dim() {
+		t.Fatalf("test premise broken: %d venues >= %d authors", x, snap.PathSim.Dim())
+	}
+	if code := get(t, s, "GET", "/v1/pathsim/topk?path=V-P-V&id="+itoa(x), nil); code != 400 {
+		t.Fatalf("out-of-range id for per-path index: code %d, want 400", code)
+	}
+	// And the library layer itself returns empty instead of panicking.
+	if got := vpv.TopK(x, 5); got != nil {
+		t.Fatalf("TopK out of range = %v, want nil", got)
+	}
+	if got := vpv.BatchTopK([]int{-1, x}, 5); len(got) != 2 || got[0] != nil || got[1] != nil {
+		t.Fatalf("BatchTopK out of range = %v", got)
 	}
 }
 
@@ -271,6 +382,8 @@ func TestMetricsExposition(t *testing.T) {
 		`hinet_http_requests_total{endpoint="/v1/pathsim/topk"} 1`,
 		"hinet_topk_batches_total 1",
 		"hinet_cache_misses_total 1",
+		"hinet_metapath_cache_hits_total",
+		"hinet_metapath_gram_products_total",
 		"hinet_pool_workers",
 	} {
 		if !strings.Contains(body, want) {

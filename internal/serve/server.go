@@ -8,12 +8,16 @@
 //   - a snapshot Store (snapshot.go) materializes immutable model
 //     artifacts — PageRank/HITS vectors, RankClus and NetClus cluster
 //     models, a prebuilt PathSim index — and swaps generations
-//     atomically, so rebuilds never block queries;
+//     atomically, so rebuilds never block queries; each snapshot also
+//     carries its network's meta-path engine (internal/metapath), so
+//     /v1/pathsim/topk serves arbitrary path= meta-paths, planned and
+//     materialized on first use and answered from cache afterwards;
 //   - a sharded LRU Cache (cache.go) answers hot queries from memory,
-//     keyed by (snapshot epoch, query) so a swap invalidates implicitly;
+//     keyed by (snapshot epoch, path, query) so a swap invalidates
+//     implicitly;
 //   - a micro-batching queue (batch.go) coalesces concurrent top-k
-//     queries into single pathsim.BatchTopK calls that fan out over the
-//     shared sparse worker pool.
+//     queries into per-(epoch, path) pathsim.BatchTopK calls that fan
+//     out over the shared sparse worker pool.
 //
 // Endpoints: /healthz, /metrics, /v1/stats, /v1/rank, /v1/clusters,
 // /v1/pathsim/topk, and POST /v1/rebuild. See docs/ARCHITECTURE.md
@@ -101,7 +105,7 @@ func New(opts Options) *Server {
 		mux:   http.NewServeMux(),
 	}
 	s.store.Rebuild(opts.Seed)
-	s.batch = newBatcher(s.store, opts.MaxBatch, opts.BatchWindow)
+	s.batch = newBatcher(opts.MaxBatch, opts.BatchWindow)
 	s.met = newMetrics(
 		"/healthz", "/metrics", "/v1/stats", "/v1/rank",
 		"/v1/clusters", "/v1/pathsim/topk", "/v1/rebuild",
@@ -214,36 +218,38 @@ type scoredObject struct {
 }
 
 // topK is the shared cache→batcher query path, also driven directly by
-// the serving benchmarks. It returns the answer, the epoch it came
-// from, and whether it was a cache hit.
-func (s *Server) topK(ctx context.Context, x, k int) ([]pathsim.Pair, int64, bool, error) {
-	snap := s.store.Current()
-	if snap == nil {
-		return nil, 0, false, fmt.Errorf("no snapshot available")
-	}
-	key := topKKey(snap.Epoch, x, k)
+// the serving benchmarks. The query runs against ix (an index resolved
+// from snap, possibly for a client-supplied meta-path); the cache key
+// carries the snapshot epoch and the path, so neither a rebuild nor a
+// different path can ever serve a stale or foreign answer. It returns
+// the answer, the epoch it came from, and whether it was a cache hit.
+func (s *Server) topK(ctx context.Context, snap *Snapshot, ix *pathsim.Index, x, k int) ([]pathsim.Pair, int64, bool, error) {
+	pathKey := ix.Path.String()
+	key := topKKey(snap.Epoch, pathKey, x, k)
 	if v, ok := s.cache.Get(key); ok {
 		return v.([]pathsim.Pair), snap.Epoch, true, nil
 	}
-	resp, err := s.batch.TopK(ctx, x, k)
+	resp, err := s.batch.TopK(ctx, topKReq{x: x, k: k, ix: ix, pathKey: pathKey, epoch: snap.Epoch})
 	if err != nil {
 		return nil, 0, false, err
 	}
-	// Key on the epoch the batch actually ran against: if a rebuild
-	// raced between the cache probe and the flush, this never files a
-	// new-epoch answer under the old epoch's key (or vice versa).
-	s.cache.Put(topKKey(resp.epoch, x, k), resp.pairs)
+	s.cache.Put(topKKey(resp.epoch, pathKey, x, k), resp.pairs)
 	return resp.pairs, resp.epoch, false, nil
 }
 
-// TopK is the exported form of the cached, batched query path.
+// TopK is the exported form of the cached, batched query path, against
+// the current snapshot's prebuilt APVPA index.
 func (s *Server) TopK(ctx context.Context, x, k int) ([]pathsim.Pair, bool, error) {
-	pairs, _, hit, err := s.topK(ctx, x, k)
+	snap := s.store.Current()
+	if snap == nil {
+		return nil, false, fmt.Errorf("no snapshot available")
+	}
+	pairs, _, hit, err := s.topK(ctx, snap, snap.PathSim, x, k)
 	return pairs, hit, err
 }
 
-func topKKey(epoch int64, x, k int) string {
-	return fmt.Sprintf("topk|%d|%d|%d", epoch, x, k)
+func topKKey(epoch int64, path string, x, k int) string {
+	return fmt.Sprintf("topk|%d|%s|%d|%d", epoch, path, x, k)
 }
 
 // --- handlers --------------------------------------------------------
@@ -282,6 +288,17 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			"dim": snap.PathSim.Dim(),
 			"nnz": snap.PathSim.NNZ(),
 		},
+		"metapath": func() map[string]any {
+			es := snap.Engine().Stats()
+			return map[string]any{
+				"cache_hits":    es.Hits,
+				"cache_misses":  es.Misses,
+				"cache_entries": es.Entries,
+				"products":      es.Products,
+				"gram_products": es.Grams,
+				"transposes":    es.Transposes,
+			}
+		}(),
 		"cache": s.cache.Stats(),
 		"batch": map[string]uint64{
 			"batches": s.batch.batches.Load(),
@@ -422,10 +439,27 @@ func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "k must be a positive integer")
 		return
 	}
+	// path= selects the meta-path; empty keeps the prebuilt APVPA
+	// index. The engine validates the spec — any parse/schema/symmetry
+	// problem is the client's, hence 400, and the snapshot memoizes the
+	// index so repeat queries pay one lookup.
+	ix, err := snap.PathIndex(r.URL.Query().Get("path"))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "invalid path: %v", err)
+		return
+	}
+	// The queried objects live at the path's endpoint type (author for
+	// the default APVPA). name= (author= kept as an alias) looks an
+	// object up by name within that type.
+	endpoint := ix.Path[0]
 	x := -1
-	if name := r.URL.Query().Get("author"); name != "" {
-		if x = snap.Corpus.Net.Lookup(dblp.TypeAuthor, name); x < 0 {
-			httpError(w, http.StatusNotFound, "unknown author %q", name)
+	name := r.URL.Query().Get("name")
+	if name == "" {
+		name = r.URL.Query().Get("author")
+	}
+	if name != "" {
+		if x = snap.Corpus.Net.Lookup(endpoint, name); x < 0 {
+			httpError(w, http.StatusNotFound, "unknown %s %q", endpoint, name)
 			return
 		}
 	} else {
@@ -435,11 +469,11 @@ func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	if x < 0 || x >= snap.PathSim.Dim() {
-		httpError(w, http.StatusBadRequest, "need id in [0,%d) or author=<name>", snap.PathSim.Dim())
+	if x < 0 || x >= ix.Dim() {
+		httpError(w, http.StatusBadRequest, "need id in [0,%d) or name=<%s name>", ix.Dim(), endpoint)
 		return
 	}
-	pairs, epoch, hit, err := s.topK(r.Context(), x, k)
+	pairs, epoch, hit, err := s.topK(r.Context(), snap, ix, x, k)
 	if err != nil {
 		httpError(w, http.StatusServiceUnavailable, "%v", err)
 		return
@@ -450,11 +484,11 @@ func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
 	}
 	results := make([]scoredObject, len(pairs))
 	for i, p := range pairs {
-		results[i] = scoredObject{ID: p.ID, Name: snap.Corpus.Net.Name(dblp.TypeAuthor, p.ID), Score: p.Score}
+		results[i] = scoredObject{ID: p.ID, Name: snap.Corpus.Net.Name(endpoint, p.ID), Score: p.Score}
 	}
 	writeJSON(w, http.StatusOK, map[string]any{
-		"query":   map[string]any{"id": x, "name": snap.Corpus.Net.Name(dblp.TypeAuthor, x)},
-		"path":    snap.PathSim.Path.String(),
+		"query":   map[string]any{"id": x, "name": snap.Corpus.Net.Name(endpoint, x)},
+		"path":    ix.Path.String(),
 		"k":       k,
 		"epoch":   epoch,
 		"source":  source,

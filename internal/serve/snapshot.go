@@ -18,6 +18,7 @@ import (
 	"hinet/internal/core"
 	"hinet/internal/dblp"
 	"hinet/internal/hin"
+	"hinet/internal/metapath"
 	"hinet/internal/netclus"
 	"hinet/internal/pathsim"
 	"hinet/internal/rank"
@@ -47,6 +48,59 @@ type Snapshot struct {
 	RankClus *core.Model     // venue clusters (venue×author bipartite)
 	NetClus  *netclus.Model  // net-clusters of the paper star network
 	PathSim  *pathsim.Index  // prebuilt APVPA similarity index
+
+	// paths memoizes pathsim indexes built on demand for arbitrary
+	// path= queries, keyed by resolved path string, holding at most
+	// maxPathIndexes entries (beyond that, indexes are rebuilt per
+	// request — correct, just uncached — so an adversarial stream of
+	// distinct paths cannot grow memory without bound; the engine's own
+	// cache has the matching maxEntries cap). The commuting matrices
+	// behind them live in the network's meta-path engine, so an index
+	// build after the first for a given path is just a diagonal
+	// extraction. Dies with the snapshot, so a rebuild can never serve
+	// a stale-epoch index.
+	paths     sync.Map
+	pathCount atomic.Int32
+}
+
+// maxPathIndexes bounds Snapshot.paths (see its comment).
+const maxPathIndexes = 64
+
+// Engine returns the snapshot's meta-path engine (the planner and
+// materialization cache of the snapshot's network).
+func (s *Snapshot) Engine() *metapath.Engine { return s.Corpus.Net.PathEngine() }
+
+// PathIndex resolves a client path spec (e.g. "A-P-A"; empty means the
+// prebuilt APVPA index) into a PathSim index over this snapshot,
+// building and memoizing it on first use. Errors are client errors —
+// unparseable specs, unknown types, schema-less hops, asymmetric paths
+// — and map to HTTP 400.
+func (s *Snapshot) PathIndex(spec string) (*pathsim.Index, error) {
+	if spec == "" {
+		return s.PathSim, nil
+	}
+	path, err := s.Corpus.Net.ParseMetaPath(spec)
+	if err != nil {
+		return nil, err
+	}
+	key := path.String()
+	if v, ok := s.paths.Load(key); ok {
+		return v.(*pathsim.Index), nil
+	}
+	// NewIndexE validates symmetry and length; its errors go to the
+	// client verbatim.
+	ix, err := pathsim.NewIndexE(s.Corpus.Net, path)
+	if err != nil {
+		return nil, err
+	}
+	if s.pathCount.Load() >= maxPathIndexes {
+		return ix, nil
+	}
+	v, loaded := s.paths.LoadOrStore(key, ix)
+	if !loaded {
+		s.pathCount.Add(1)
+	}
+	return v.(*pathsim.Index), nil
 }
 
 // ModelConfig controls what a snapshot materializes.
@@ -104,6 +158,10 @@ func (s *Store) Rebuild(seed int64) *Snapshot {
 	}
 	snap.BuildTime = time.Since(start)
 	snap.Epoch = s.epoch.Add(1)
+	// Register the prebuilt index under its path key so
+	// path=A-P-V-P-A resolves to it instead of rebuilding.
+	snap.paths.Store(pathAPVPA.String(), snap.PathSim)
+	snap.pathCount.Add(1)
 	s.cur.Store(snap)
 	return snap
 }

@@ -107,6 +107,7 @@ func TestParallelEquivalence(t *testing.T) {
 		serT := m.Transpose()
 		serNorm := m.RowNormalized()
 		serMul := m.Mul(b)
+		serGram := m.Gram()
 
 		for _, workers := range []int{2, 4, 7} {
 			withParallel(t, workers, func() {
@@ -115,6 +116,7 @@ func TestParallelEquivalence(t *testing.T) {
 				sameMatrix(t, "Transpose", m.Transpose(), serT)
 				sameMatrix(t, "RowNormalized", m.RowNormalized(), serNorm)
 				sameMatrix(t, "Mul", m.Mul(b), serMul)
+				sameMatrix(t, "Gram", m.Gram(), serGram)
 			})
 		}
 	}

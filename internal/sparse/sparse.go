@@ -454,6 +454,153 @@ func (m *Matrix) Mul(b *Matrix) *Matrix {
 	return out
 }
 
+// gramRange computes the upper-triangle entries (col ≥ row) of rows
+// [lo, hi) of M·Mᵀ, given t = Mᵀ. It is Gustavson's algorithm with one
+// twist: each scattered row of t is entered at the first column ≥ r
+// (binary search over the sorted column indices), so strictly-lower
+// entries are never touched — about half the multiply work of a full
+// product. Accumulation order per output entry matches the serial loop,
+// so parallel Grams are bitwise identical to serial ones.
+func (m *Matrix) gramRange(t *Matrix, lo, hi int) mulPart {
+	acc := make([]float64, t.cols)
+	stamp := make([]int, t.cols)
+	touched := make([]int, 0, 256)
+	part := mulPart{rowNNZ: make([]int, hi-lo)}
+	for r := lo; r < hi; r++ {
+		touched = touched[:0]
+		for i := m.rowPtr[r]; i < m.rowPtr[r+1]; i++ {
+			mid := m.colIdx[i]
+			mv := m.vals[i]
+			tlo, thi := t.rowPtr[mid], t.rowPtr[mid+1]
+			j := tlo + sort.SearchInts(t.colIdx[tlo:thi], r)
+			for ; j < thi; j++ {
+				c := t.colIdx[j]
+				if stamp[c] != r+1 {
+					stamp[c] = r + 1
+					acc[c] = 0
+					touched = append(touched, c)
+				}
+				acc[c] += mv * t.vals[j]
+			}
+		}
+		sort.Ints(touched)
+		for _, c := range touched {
+			if acc[c] != 0 {
+				part.colIdx = append(part.colIdx, c)
+				part.vals = append(part.vals, acc[c])
+				part.rowNNZ[r-lo]++
+			}
+		}
+	}
+	return part
+}
+
+// gramBlockBounds splits the rows into at most `blocks` contiguous
+// ranges balanced by estimated upper-triangle work: row r's scatter
+// only touches columns ≥ r, so its cost shrinks with the row index —
+// weighting by nnz(r)·(rows−r) instead of raw nnz keeps the early
+// (heavy) rows from landing in one block.
+func (m *Matrix) gramBlockBounds(blocks int) []int {
+	total := 0.0
+	for r := 0; r < m.rows; r++ {
+		total += float64(m.rowPtr[r+1]-m.rowPtr[r]) * float64(m.rows-r)
+	}
+	bounds := make([]int, blocks+1)
+	cum := 0.0
+	b := 1
+	for r := 0; r < m.rows && b < blocks; r++ {
+		cum += float64(m.rowPtr[r+1]-m.rowPtr[r]) * float64(m.rows-r)
+		for b < blocks && cum >= total*float64(b)/float64(blocks) {
+			bounds[b] = r + 1
+			b++
+		}
+	}
+	for ; b < blocks; b++ {
+		bounds[b] = m.rows
+	}
+	bounds[blocks] = m.rows
+	return bounds
+}
+
+// Gram returns the Gram product G = M·Mᵀ. The result is symmetric by
+// construction: only the upper triangle is computed (halving the
+// multiply work versus Mul(Transpose())) and the strict-lower triangle
+// is mirrored from it, so G[i][j] and G[j][i] are the same float64.
+// This is the fused kernel the meta-path engine uses to evaluate a
+// symmetric path from its half-path product. Upper-triangle row blocks
+// run in parallel on the shared worker pool.
+func (m *Matrix) Gram() *Matrix {
+	t := m.Transpose()
+	out := &Matrix{rows: m.rows, cols: m.rows, rowPtr: make([]int, m.rows+1)}
+	// Estimated flops: every nonzero expands into one of t's rows, and
+	// the triangle restriction halves that.
+	work := 0
+	if m.cols > 0 {
+		work = len(m.vals) * (1 + len(m.vals)/m.cols) / 2
+	}
+	w := effectiveWorkers()
+	var parts []mulPart
+	var bounds []int
+	if serialDispatch(w, work, m.rows, m.rows) {
+		parts = []mulPart{m.gramRange(t, 0, m.rows)}
+		bounds = []int{0, m.rows}
+	} else {
+		// One block per worker (each carries rows-sized dense scratch,
+		// like Mul), balanced by triangle work rather than raw nnz.
+		bounds = m.gramBlockBounds(min(w, m.rows))
+		parts = make([]mulPart, len(bounds)-1)
+		runTasks(len(parts), w, func(bk int) {
+			parts[bk] = m.gramRange(t, bounds[bk], bounds[bk+1])
+		})
+	}
+	// Assemble the full symmetric CSR from the upper parts. Pass one
+	// counts row populations: each upper entry (r, c) lands in row r,
+	// and strictly-upper ones mirror into row c.
+	for bk, p := range parts {
+		idx := 0
+		for i, n := range p.rowNNZ {
+			r := bounds[bk] + i
+			out.rowPtr[r+1] += n
+			for e := 0; e < n; e++ {
+				if p.colIdx[idx] > r {
+					out.rowPtr[p.colIdx[idx]+1]++
+				}
+				idx++
+			}
+		}
+	}
+	for r := 0; r < m.rows; r++ {
+		out.rowPtr[r+1] += out.rowPtr[r]
+	}
+	total := out.rowPtr[m.rows]
+	out.colIdx = make([]int, total)
+	out.vals = make([]float64, total)
+	next := append([]int(nil), out.rowPtr[:m.rows]...)
+	// Pass two fills rows in source order. Processing upper rows in
+	// ascending order keeps every output row sorted: the mirrors into
+	// row c (columns = source rows < c, ascending) are all written
+	// before row c's own upper entries (columns ≥ c, ascending).
+	for bk, p := range parts {
+		idx := 0
+		for i, n := range p.rowNNZ {
+			r := bounds[bk] + i
+			for e := 0; e < n; e++ {
+				c, v := p.colIdx[idx], p.vals[idx]
+				out.colIdx[next[r]] = c
+				out.vals[next[r]] = v
+				next[r]++
+				if c > r {
+					out.colIdx[next[c]] = r
+					out.vals[next[c]] = v
+					next[c]++
+				}
+				idx++
+			}
+		}
+	}
+	return out
+}
+
 // Dense materializes the matrix as row-major [][]float64 (test helper;
 // avoid on large matrices).
 func (m *Matrix) Dense() [][]float64 {

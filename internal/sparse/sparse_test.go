@@ -159,6 +159,41 @@ func TestMulAgainstDense(t *testing.T) {
 	}
 }
 
+// TestGramMatchesMulTranspose checks the fused Gram kernel against the
+// two-step product on random matrices, and that the result is exactly
+// symmetric (mirrored entries share one computed float64).
+func TestGramMatchesMulTranspose(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 30; trial++ {
+		rows, cols := 1+rng.Intn(12), 1+rng.Intn(12)
+		d := randomDense(rng, rows, cols)
+		m := NewFromDense(d)
+		got := m.Gram()
+		want := m.Mul(m.Transpose())
+		if got.Rows() != want.Rows() || got.Cols() != want.Cols() || got.NNZ() != want.NNZ() {
+			t.Fatalf("trial %d: shape %dx%d/%d, want %dx%d/%d", trial,
+				got.Rows(), got.Cols(), got.NNZ(), want.Rows(), want.Cols(), want.NNZ())
+		}
+		for r := 0; r < rows; r++ {
+			for c := 0; c < rows; c++ {
+				if !almostEq(got.At(r, c), want.At(r, c)) {
+					t.Fatalf("trial %d: Gram(%d,%d) = %v, want %v", trial, r, c, got.At(r, c), want.At(r, c))
+				}
+				if got.At(r, c) != got.At(c, r) {
+					t.Fatalf("trial %d: Gram not exactly symmetric at (%d,%d)", trial, r, c)
+				}
+			}
+		}
+	}
+	// Degenerate shapes.
+	if g := NewFromCoords(0, 0, nil).Gram(); g.Rows() != 0 || g.NNZ() != 0 {
+		t.Fatal("empty Gram wrong")
+	}
+	if g := NewFromCoords(3, 2, nil).Gram(); g.Rows() != 3 || g.Cols() != 3 || g.NNZ() != 0 {
+		t.Fatal("all-zero Gram wrong")
+	}
+}
+
 func TestMulDimensionPanic(t *testing.T) {
 	defer func() {
 		if recover() == nil {
