@@ -651,6 +651,97 @@ func BenchmarkRowNormalized(b *testing.B) {
 	}
 }
 
+// --- top-k selection: heap select vs row population ------------------
+
+// topKIndexes builds the two row-shape regimes the heap selection must
+// win on: the APVPA index (venue-mediated — authors of an area form a
+// near-clique, so rows are dense) and the APA co-author index (rows
+// hold only direct collaborators, so they are sparse).
+func topKIndexes(b *testing.B) (dense, sparseIx *pathsim.Index) {
+	b.Helper()
+	c := dblp.Generate(stats.NewRNG(1), dblp.Config{})
+	dense = pathsim.NewIndex(c.Net, hin.MetaPath{
+		dblp.TypeAuthor, dblp.TypePaper, dblp.TypeVenue, dblp.TypePaper, dblp.TypeAuthor,
+	})
+	sparseIx = pathsim.NewIndex(c.Net, hin.MetaPath{
+		dblp.TypeAuthor, dblp.TypePaper, dblp.TypeAuthor,
+	})
+	return dense, sparseIx
+}
+
+// BenchmarkTopK measures single-query top-k selection at k well below
+// and near typical row populations, on dense and sparse rows. The heap
+// path is O(m·log k) per population-m row where the old full sort paid
+// O(m·log m) plus a candidate buffer per call.
+func BenchmarkTopK(b *testing.B) {
+	dense, sparseIx := topKIndexes(b)
+	for _, tc := range []struct {
+		name string
+		ix   *pathsim.Index
+	}{{"dense-rows", dense}, {"sparse-rows", sparseIx}} {
+		n := tc.ix.Dim()
+		for _, k := range []int{10, 100} {
+			b.Run(fmt.Sprintf("%s/k=%d", tc.name, k), func(b *testing.B) {
+				b.ReportMetric(float64(tc.ix.NNZ())/float64(n), "avgRowNNZ")
+				for i := 0; i < b.N; i++ {
+					tc.ix.TopK(i%n, k)
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkBatchTopK measures the bulk entry point (one query per
+// author): all results are carved from a single arena, so allocs/op
+// stays O(1) per batch regardless of batch size or row population.
+func BenchmarkBatchTopK(b *testing.B) {
+	dense, sparseIx := topKIndexes(b)
+	for _, tc := range []struct {
+		name string
+		ix   *pathsim.Index
+	}{{"dense-rows", dense}, {"sparse-rows", sparseIx}} {
+		queries := make([]int, tc.ix.Dim())
+		for i := range queries {
+			queries[i] = i
+		}
+		for _, k := range []int{10, 100} {
+			b.Run(fmt.Sprintf("%s/k=%d", tc.name, k), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					tc.ix.BatchTopK(queries, k)
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkPageRankFused measures the fused PageRank path: "full" runs
+// the whole call (RowInvSums once, no row-stochastic matrix copy);
+// "iteration" isolates one steady-state power iteration, which with the
+// fused MulVecTNorm kernel allocates nothing.
+func BenchmarkPageRankFused(b *testing.B) {
+	g := netgen.BarabasiAlbert(stats.NewRNG(1), 3000, 3)
+	adj := g.Adjacency()
+	b.Run("full", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			rank.PageRank(adj, rank.Options{})
+		}
+	})
+	b.Run("iteration", func(b *testing.B) {
+		n := adj.Rows()
+		inv := adj.RowInvSums()
+		x := make([]float64, n)
+		next := make([]float64, n)
+		for i := range x {
+			x[i] = 1 / float64(n)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			adj.MulVecTNorm(x, inv, next)
+			x, next = next, x
+		}
+	})
+}
+
 // BenchmarkPathSimBatchTopK measures bulk similarity serving through
 // the parallel engine (one TopK per author over the APVPA index).
 func BenchmarkPathSimBatchTopK(b *testing.B) {

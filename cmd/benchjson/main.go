@@ -1,0 +1,185 @@
+// Command benchjson converts `go test -bench` text output into the
+// repository's pinned benchmark JSON (BENCH_PR4.json at the repo root,
+// and the CI bench artifact): per-benchmark medians of ns/op, B/op and
+// allocs/op across -count repetitions, plus any custom b.ReportMetric
+// units, with the run's goos/goarch/cpu context.
+//
+// Usage:
+//
+//	go test -run xxx -bench <pinned set> -benchmem -count=5 . | go run ./cmd/benchjson > BENCH_PR4.json
+//
+// Reading from a file also works: `go run ./cmd/benchjson bench.txt`.
+// The output is deterministic for a given input (benchmarks sorted by
+// name, metric keys sorted by encoding/json), so committed snapshots
+// diff cleanly between runs.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"slices"
+	"strconv"
+	"strings"
+)
+
+// result is one benchmark's aggregated row in the output file.
+type result struct {
+	Name        string             `json:"name"`
+	Runs        int                `json:"runs"`
+	Iterations  int64              `json:"iterations"` // median per-run b.N
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  *float64           `json:"bytes_per_op,omitempty"`
+	AllocsPerOp *float64           `json:"allocs_per_op,omitempty"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+}
+
+// file is the top-level output document.
+type file struct {
+	Schema     string            `json:"schema"`
+	Context    map[string]string `json:"context,omitempty"`
+	Benchmarks []result          `json:"benchmarks"`
+}
+
+// sample is one parsed benchmark output line.
+type sample struct {
+	iterations int64
+	metrics    map[string]float64 // unit → value, e.g. "ns/op" → 123.4
+}
+
+// procSuffix strips the trailing -GOMAXPROCS tag go test appends to
+// benchmark names on multi-proc hosts (absent when GOMAXPROCS=1), so
+// runs from different machines aggregate under one name.
+var procSuffix = regexp.MustCompile(`-\d+$`)
+
+func parse(r io.Reader) (map[string][]sample, map[string]string, []string, error) {
+	samples := make(map[string][]sample)
+	context := make(map[string]string)
+	var order []string
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case line == "" || line == "PASS" || strings.HasPrefix(line, "ok ") ||
+			strings.HasPrefix(line, "FAIL") || strings.HasPrefix(line, "---"):
+			continue
+		case strings.HasPrefix(line, "goos:"), strings.HasPrefix(line, "goarch:"),
+			strings.HasPrefix(line, "pkg:"), strings.HasPrefix(line, "cpu:"):
+			key, val, _ := strings.Cut(line, ":")
+			context[key] = strings.TrimSpace(val)
+			continue
+		case !strings.HasPrefix(line, "Benchmark"):
+			continue
+		}
+		fields := strings.Fields(line)
+		// Name, iterations, then (value, unit) pairs.
+		if len(fields) < 4 || (len(fields)-2)%2 != 0 {
+			continue
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		s := sample{iterations: iters, metrics: make(map[string]float64, (len(fields)-2)/2)}
+		bad := false
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				bad = true
+				break
+			}
+			s.metrics[fields[i+1]] = v
+		}
+		if bad {
+			continue
+		}
+		name := procSuffix.ReplaceAllString(fields[0], "")
+		if _, seen := samples[name]; !seen {
+			order = append(order, name)
+		}
+		samples[name] = append(samples[name], s)
+	}
+	return samples, context, order, sc.Err()
+}
+
+func median(xs []float64) float64 {
+	s := slices.Clone(xs)
+	slices.Sort(s)
+	n := len(s)
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}
+
+func aggregate(samples map[string][]sample, order []string) []result {
+	out := make([]result, 0, len(order))
+	for _, name := range order {
+		runs := samples[name]
+		byUnit := make(map[string][]float64)
+		var iters []float64
+		for _, s := range runs {
+			iters = append(iters, float64(s.iterations))
+			for unit, v := range s.metrics {
+				byUnit[unit] = append(byUnit[unit], v)
+			}
+		}
+		res := result{Name: name, Runs: len(runs), Iterations: int64(median(iters))}
+		for unit, vals := range byUnit {
+			m := median(vals)
+			switch unit {
+			case "ns/op":
+				res.NsPerOp = m
+			case "B/op":
+				v := m
+				res.BytesPerOp = &v
+			case "allocs/op":
+				v := m
+				res.AllocsPerOp = &v
+			default:
+				if res.Metrics == nil {
+					res.Metrics = make(map[string]float64)
+				}
+				res.Metrics[unit] = m
+			}
+		}
+		out = append(out, res)
+	}
+	slices.SortFunc(out, func(a, b result) int { return strings.Compare(a.Name, b.Name) })
+	return out
+}
+
+func run(in io.Reader, out io.Writer) error {
+	samples, context, order, err := parse(in)
+	if err != nil {
+		return err
+	}
+	if len(samples) == 0 {
+		return fmt.Errorf("no benchmark lines found in input")
+	}
+	doc := file{Schema: "hinet-bench/1", Context: context, Benchmarks: aggregate(samples, order)}
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}
+
+func main() {
+	in := io.Reader(os.Stdin)
+	if len(os.Args) > 1 {
+		f, err := os.Open(os.Args[1])
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		in = f
+	}
+	if err := run(in, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}

@@ -10,7 +10,7 @@ package graph
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 
 	"hinet/internal/sparse"
 )
@@ -111,7 +111,7 @@ func (g *Graph) NeighborSet(u int, closed bool) []int {
 	for v := range seen {
 		out = append(out, v)
 	}
-	sort.Ints(out)
+	slices.Sort(out)
 	return out
 }
 

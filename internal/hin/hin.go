@@ -15,8 +15,9 @@
 package hin
 
 import (
+	"cmp"
 	"fmt"
-	"sort"
+	"slices"
 	"sync"
 
 	"hinet/internal/graph"
@@ -186,11 +187,11 @@ func (n *Network) SchemaEdges() [][2]Type {
 	for p := range seen {
 		out = append(out, p)
 	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i][0] != out[j][0] {
-			return out[i][0] < out[j][0]
+	slices.SortFunc(out, func(a, b [2]Type) int {
+		if c := cmp.Compare(a[0], b[0]); c != 0 {
+			return c
 		}
-		return out[i][1] < out[j][1]
+		return cmp.Compare(a[1], b[1])
 	})
 	return out
 }

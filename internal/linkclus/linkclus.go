@@ -17,8 +17,9 @@
 package linkclus
 
 import (
+	"cmp"
 	"math"
-	"sort"
+	"slices"
 
 	"hinet/internal/kmeans"
 	"hinet/internal/sparse"
@@ -77,19 +78,25 @@ func Fit(rng *stats.RNG, w *sparse.Matrix, opt Options) *Model {
 	if nx == 0 || ny == 0 || d == 0 {
 		return &Model{UX: make([][]float64, nx), UY: make([][]float64, ny)}
 	}
-	rw := w.RowNormalized()
-	cw := w.Transpose().RowNormalized()
+	// Row-stochastic propagation without materializing Ŵ and Ŵᵀ:
+	// matProduct applies the inverse row sums on the fly — per-term
+	// products (v·inv[r])·b match what RowNormalized copies would feed
+	// the same loops bitwise — so only the transpose's structure is
+	// built once.
+	wt := w.Transpose()
+	invX := w.RowInvSums()
+	invY := wt.RowInvSums()
 
 	// V: ny×d random orthonormal start.
 	v := randomCols(rng, ny, d)
 	u := make([][]float64, 0)
 	for it := 0; it < opt.Iters; it++ {
-		u = matProduct(rw, v, nx, d) // U ← Ŵ V
+		u = matProduct(w, invX, v, nx, d) // U ← Ŵ V
 		orthonormalizeCols(u, d)
-		v = matProduct(cw, u, ny, d) // V ← Ŵᵀ U
+		v = matProduct(wt, invY, u, ny, d) // V ← Ŵᵀ U
 		orthonormalizeCols(v, d)
 	}
-	u = matProduct(rw, v, nx, d)
+	u = matProduct(w, invX, v, nx, d)
 	m := &Model{UX: rowNormalize(u), UY: rowNormalize(v)}
 	m.Tree = buildTree(rng, m.UX, allIDs(nx), opt)
 	return m
@@ -141,7 +148,7 @@ func (m *Model) TopK(x, k int) []Pair {
 				all = append(all, scored{ch, dot(q, ch.Centroid)})
 			}
 		}
-		sort.Slice(all, func(i, j int) bool { return all[i].s > all[j].s })
+		slices.SortFunc(all, func(a, b scored) int { return cmp.Compare(b.s, a.s) })
 		beam := 4
 		if beam > len(all) {
 			beam = len(all)
@@ -157,11 +164,11 @@ func (m *Model) TopK(x, k int) []Pair {
 			out = append(out, Pair{ID: id, Score: m.Sim(x, id)})
 		}
 	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Score != out[j].Score {
-			return out[i].Score > out[j].Score
+	slices.SortFunc(out, func(a, b Pair) int {
+		if a.Score != b.Score {
+			return cmp.Compare(b.Score, a.Score)
 		}
-		return out[i].ID < out[j].ID
+		return cmp.Compare(a.ID, b.ID)
 	})
 	if k < len(out) {
 		out = out[:k]
@@ -244,15 +251,19 @@ func randomCols(rng *stats.RNG, n, d int) [][]float64 {
 	return m
 }
 
-// matProduct computes A·B for sparse A (n×m) and dense B (m×d). Rows of
-// the output are independent, so the loop runs on the shared sparse
-// worker pool (each propagation round is the package's hot path).
-func matProduct(a *sparse.Matrix, b [][]float64, n, d int) [][]float64 {
+// matProduct computes diag(inv)·A·B for sparse A (n×m), dense B (m×d)
+// and the inverse-row-sum vector inv (the fused replacement for
+// normalizing A first). Rows of the output are independent, so the loop
+// runs on the shared sparse worker pool (each propagation round is the
+// package's hot path).
+func matProduct(a *sparse.Matrix, inv []float64, b [][]float64, n, d int) [][]float64 {
 	out := make([][]float64, n)
 	sparse.ParRange(n, a.NNZ()*d, func(lo, hi int) {
 		for r := lo; r < hi; r++ {
 			row := make([]float64, d)
+			xi := inv[r]
 			a.Row(r, func(c int, v float64) {
+				v *= xi
 				for j := 0; j < d; j++ {
 					row[j] += v * b[c][j]
 				}

@@ -12,12 +12,14 @@
 package pathsim
 
 import (
+	"cmp"
 	"fmt"
 	"math/bits"
-	"sort"
+	"slices"
 
 	"hinet/internal/hin"
 	"hinet/internal/sparse"
+	"hinet/internal/stats"
 )
 
 // Index is a prepared PathSim index for one symmetric meta path: the
@@ -109,56 +111,97 @@ type Pair struct {
 	Score float64
 }
 
-// TopK returns the k most PathSim-similar objects to x (excluding x),
-// descending, ties by id. Only objects sharing at least one path
-// instance with x can score above 0, so the scan touches just row x.
-// An out-of-range x returns no results.
-func (ix *Index) TopK(x, k int) []Pair {
-	if !ix.inRange(x) {
+// worse reports whether a ranks strictly below b in the top-k order
+// (score descending, ties by ascending id): a loses on a lower score,
+// or on a higher id at an equal score.
+func worse(a, b Pair) bool {
+	if a.Score != b.Score {
+		return a.Score < b.Score
+	}
+	return a.ID > b.ID
+}
+
+// cmpPairs is the top-k output order: score descending, ties by id.
+func cmpPairs(a, b Pair) int {
+	if a.Score != b.Score {
+		return cmp.Compare(b.Score, a.Score)
+	}
+	return cmp.Compare(a.ID, b.ID)
+}
+
+// topKInto is TopK writing its heap (and result) into dst's backing
+// array: a bounded partial selection (stats.BoundedOffer min-heap,
+// worst at root). The surviving ≤ k pairs are then sorted, which
+// reproduces the full-sort-then-truncate order exactly — ties included
+// — at O(m·log k) instead of O(m·log m) for a population-m row, with
+// no candidate buffer proportional to the row size.
+func (ix *Index) topKInto(x, k int, dst []Pair) []Pair {
+	if !ix.inRange(x) || k <= 0 {
 		return nil
 	}
-	var out []Pair
+	h := dst[:0]
+	dx := ix.diag[x]
 	ix.M.Row(x, func(y int, v float64) {
 		if y == x || v == 0 {
 			return
 		}
-		den := ix.diag[x] + ix.diag[y]
+		den := dx + ix.diag[y]
 		if den == 0 {
 			return
 		}
-		out = append(out, Pair{ID: y, Score: 2 * v / den})
+		h = stats.BoundedOffer(h, k, Pair{ID: y, Score: 2 * v / den}, worse)
 	})
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Score != out[j].Score {
-			return out[i].Score > out[j].Score
-		}
-		return out[i].ID < out[j].ID
-	})
-	if k < len(out) {
-		out = out[:k]
-	}
-	return out
+	slices.SortFunc(h, cmpPairs)
+	return h
+}
+
+// TopK returns the k most PathSim-similar objects to x (excluding x),
+// descending, ties by id. Only objects sharing at least one path
+// instance with x can score above 0, so the scan touches just row x;
+// a bounded heap selects the k best without sorting the whole row.
+// An out-of-range x returns no results.
+func (ix *Index) TopK(x, k int) []Pair {
+	return ix.topKInto(x, k, nil)
 }
 
 // BatchTopK answers one TopK query per entry of xs, fanning the
 // queries out over the shared sparse worker pool. Queries only read the
 // immutable commuting matrix, so they parallelize perfectly; this is
 // the bulk entry point for serving many similarity queries at once.
-// The work estimate includes the per-query sort (≈ m·log m on the row
-// population m), not just the row scan, so medium batches of dense-row
-// queries cross the pool's serial threshold as their real cost warrants.
-// Out-of-range entries of xs yield empty result slices, like TopK.
+// All result slices are carved from one arena sized by each query's
+// true result bound — min(k, row population) — so a client-supplied
+// huge k cannot inflate the batch beyond its actual result mass, and
+// the heap selection works in place inside each query's segment: a
+// batch performs O(1) allocations regardless of batch size or row
+// population. (Result slices therefore share one backing array; copy a
+// slice before retaining it long-term, or the whole batch's arena
+// stays reachable.) The work estimate includes the per-query selection
+// (≈ m·log k on the row population m), not just the row scan, so
+// medium batches of dense-row queries cross the pool's serial
+// threshold as their real cost warrants. Out-of-range entries of xs
+// yield empty result slices, like TopK.
 func (ix *Index) BatchTopK(xs []int, k int) [][]Pair {
 	out := make([][]Pair, len(xs))
 	rows := ix.M.Rows()
-	avg := 0
-	if rows > 0 {
-		avg = ix.M.NNZ() / rows
+	if k <= 0 || rows == 0 {
+		return out
 	}
-	perQuery := (1 + avg) * (1 + bits.Len(uint(avg)))
+	offsets := make([]int, len(xs)+1)
+	for i, x := range xs {
+		need := 0
+		if x >= 0 && x < rows {
+			if need = ix.M.RowNNZ(x); need > k {
+				need = k
+			}
+		}
+		offsets[i+1] = offsets[i] + need
+	}
+	arena := make([]Pair, offsets[len(xs)])
+	avg := ix.M.NNZ() / rows
+	perQuery := (1 + avg) * (1 + bits.Len(uint(min(k, rows))))
 	sparse.ParRange(len(xs), len(xs)*perQuery, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
-			out[i] = ix.TopK(xs[i], k)
+			out[i] = ix.topKInto(xs[i], k, arena[offsets[i]:offsets[i]:offsets[i+1]])
 		}
 	})
 	return out

@@ -72,10 +72,22 @@ func personalized(adj *sparse.Matrix, restart []float64, opt Options) Result {
 	if n == 0 {
 		return Result{Converged: true}
 	}
-	p := adj.RowNormalized()
+	// Fused row-stochastic iteration: instead of materializing the
+	// normalized transition matrix (a full value-array copy), keep the
+	// inverse row sums and let MulVecTNorm apply them on the fly — the
+	// per-term products match RowNormalized().MulVecT bitwise. One
+	// sweep fills both vectors: rows summing to zero are the dangling
+	// rows, and get inv = 1 (left unnormalized, exactly like
+	// RowNormalized) while redistributing via the dangling mass.
+	inv := make([]float64, n)
 	dangling := make([]bool, n)
 	for r := 0; r < n; r++ {
-		dangling[r] = p.RowSum(r) == 0
+		if s := adj.RowSum(r); s != 0 {
+			inv[r] = 1 / s
+		} else {
+			inv[r] = 1
+			dangling[r] = true
+		}
 	}
 	tele := make([]float64, n)
 	if restart == nil {
@@ -100,8 +112,9 @@ func personalized(adj *sparse.Matrix, restart []float64, opt Options) Result {
 	next := make([]float64, n)
 	d := opt.Damping
 	for it := 1; it <= opt.MaxIter; it++ {
-		// next = d·(Pᵀx + danglingMass·tele) + (1-d)·tele
-		p.MulVecT(x, next)
+		// next = d·(Pᵀx + danglingMass·tele) + (1-d)·tele, with
+		// P = diag(inv)·adj applied without materialization.
+		adj.MulVecTNorm(x, inv, next)
 		dm := sparse.ParReduce(n, n, func(lo, hi int) float64 {
 			s := 0.0
 			for r := lo; r < hi; r++ {

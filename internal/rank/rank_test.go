@@ -82,6 +82,64 @@ func TestPageRankFixedPointProperty(t *testing.T) {
 	}
 }
 
+// TestPageRankFusedMatchesMaterialized pins the fused inverse-row-sum
+// iteration bitwise against the pre-fusion path: materialize the
+// row-stochastic matrix, run the identical power iteration with plain
+// MulVecT. Every iterate must agree exactly, so the two paths converge
+// at the same iteration to the same vector.
+func TestPageRankFusedMatchesMaterialized(t *testing.T) {
+	rng := stats.NewRNG(7)
+	g := netgen.BarabasiAlbert(rng, 400, 3)
+	adj := g.Adjacency()
+	got := PageRank(adj, Options{})
+
+	// Reference: the original implementation shape.
+	n := adj.Rows()
+	p := adj.RowNormalized()
+	dangling := make([]bool, n)
+	for r := 0; r < n; r++ {
+		dangling[r] = p.RowSum(r) == 0
+	}
+	tele := make([]float64, n)
+	for i := range tele {
+		tele[i] = 1 / float64(n)
+	}
+	x := append([]float64(nil), tele...)
+	next := make([]float64, n)
+	// Runtime variable, not a constant: (1-d) must be computed in
+	// float64 like the implementation does, not constant-folded exactly.
+	d := 0.85
+	want := x
+	iters := 0
+	for it := 1; it <= 100; it++ {
+		p.MulVecT(x, next)
+		dm := 0.0
+		for r := 0; r < n; r++ {
+			if dangling[r] {
+				dm += x[r]
+			}
+		}
+		for i := range next {
+			next[i] = d*(next[i]+dm*tele[i]) + (1-d)*tele[i]
+		}
+		if sparse.MaxAbsDiff(x, next) < 1e-9 {
+			copy(x, next)
+			want, iters = x, it
+			break
+		}
+		x, next = next, x
+	}
+	if got.Iterations != iters {
+		t.Fatalf("fused converged in %d iterations, materialized in %d", got.Iterations, iters)
+	}
+	for i := range want {
+		if got.Scores[i] != want[i] {
+			t.Fatalf("fused score[%d] = %v, materialized = %v (must be bitwise equal)",
+				i, got.Scores[i], want[i])
+		}
+	}
+}
+
 func TestPageRankDanglingMassRedistributed(t *testing.T) {
 	// 0→1, 1 dangles.
 	m := sparse.NewFromCoords(2, 2, []sparse.Coord{{Row: 0, Col: 1, Val: 1}})

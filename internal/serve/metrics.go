@@ -8,7 +8,7 @@ package serve
 import (
 	"fmt"
 	"io"
-	"sort"
+	"slices"
 	"sync/atomic"
 	"time"
 
@@ -59,7 +59,7 @@ func (s *Server) writeMetrics(w io.Writer) {
 		fmt.Fprintf(w, "hinet_snapshot_seed %d\n", snap.Seed)
 		fmt.Fprintf(w, "hinet_snapshot_build_seconds %g\n", snap.BuildTime.Seconds())
 		types := snap.Corpus.Net.Types()
-		sort.Slice(types, func(i, j int) bool { return types[i] < types[j] })
+		slices.Sort(types)
 		for _, t := range types {
 			fmt.Fprintf(w, "hinet_snapshot_objects{type=%q} %d\n", string(t), snap.Corpus.Net.Count(t))
 		}
@@ -80,7 +80,7 @@ func (s *Server) writeMetrics(w io.Writer) {
 	for e := range s.met.endpoints {
 		names = append(names, e)
 	}
-	sort.Strings(names)
+	slices.Sort(names)
 	for _, e := range names {
 		st := s.met.endpoints[e]
 		fmt.Fprintf(w, "hinet_http_requests_total{endpoint=%q} %d\n", e, st.requests.Load())

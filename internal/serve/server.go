@@ -30,6 +30,7 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"slices"
 	"strconv"
 	"time"
 
@@ -233,8 +234,12 @@ func (s *Server) topK(ctx context.Context, snap *Snapshot, ix *pathsim.Index, x,
 	if err != nil {
 		return nil, 0, false, err
 	}
-	s.cache.Put(topKKey(resp.epoch, pathKey, x, k), resp.pairs)
-	return resp.pairs, resp.epoch, false, nil
+	// Batch results alias one shared arena (pathsim.BatchTopK); clone
+	// before caching so one retained entry cannot pin its whole batch's
+	// backing array for the cache entry's lifetime.
+	pairs := slices.Clone(resp.pairs)
+	s.cache.Put(topKKey(resp.epoch, pathKey, x, k), pairs)
+	return pairs, resp.epoch, false, nil
 }
 
 // TopK is the exported form of the cached, batched query path, against

@@ -19,6 +19,7 @@
 package sparse
 
 import (
+	"math"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -202,6 +203,59 @@ func getScratch(n int) []float64 {
 }
 
 func putScratch(buf []float64) { scratchPool.Put(buf) }
+
+// spgemmScratch is the Gustavson working set of one mulRange/gramRange
+// call: a dense accumulator, its stamp array, and the touched-column
+// list. The pool keeps these alive across products so SpGEMM-heavy
+// workloads (meta-path materialization, commuting matrices) stop
+// allocating cols-sized scratch per row block per call.
+//
+// Stamps are never cleared between uses: each call marks row r with
+// base+r+1 and advances base past its largest mark on release, so a
+// stale stamp from any earlier product can never collide. base resets
+// (with a one-off stamp clear) long before integer overflow.
+type spgemmScratch struct {
+	acc     []float64
+	stamp   []int
+	touched []int32
+	base    int
+}
+
+var spgemmPool sync.Pool
+
+// getSpgemm returns scratch with acc/stamp sized n whose stamp marks
+// base+1 … base+maxMark are guaranteed unused.
+func getSpgemm(n, maxMark int) *spgemmScratch {
+	if v := spgemmPool.Get(); v != nil {
+		s := v.(*spgemmScratch)
+		if cap(s.acc) >= n {
+			s.acc = s.acc[:n]
+			s.stamp = s.stamp[:n]
+			if s.base > math.MaxInt-maxMark-1 {
+				// Reset must clear the stamp's full capacity: a later,
+				// wider reslice would otherwise see stale marks beyond
+				// the current length colliding with post-reset epochs.
+				full := s.stamp[:cap(s.stamp)]
+				for i := range full {
+					full[i] = 0
+				}
+				s.base = 0
+			}
+			return s
+		}
+	}
+	return &spgemmScratch{
+		acc:     make([]float64, n),
+		stamp:   make([]int, n),
+		touched: make([]int32, 0, 256),
+	}
+}
+
+// putSpgemm releases scratch whose call marked rows up to maxMark.
+func putSpgemm(s *spgemmScratch, maxMark int) {
+	s.base += maxMark
+	spgemmPool.Put(s)
+}
 
 // blockCount picks the number of contiguous blocks for an n-element
 // range, given the effective worker count.

@@ -9,6 +9,17 @@
 // mat-vec, row normalization, transpose, and sparse-sparse product for
 // meta-path composition.
 //
+// The kernels are memory-bandwidth-bound, so the layout is kept lean:
+// column indices are stored as int32 (HIN object counts stay far below
+// 2^31; construction rejects larger dimensions), all-ones value arrays —
+// the unweighted bipartite relations that dominate HIN workloads — are
+// detected once at assembly time and multiplied by pattern-only loops
+// that never touch the value array, and derived matrices (Scale,
+// RowNormalized) alias the immutable rowPtr/colIdx structure instead of
+// deep-copying it. The fused MulVecNorm/MulVecTNorm kernels apply a
+// row-normalization vector on the fly, so power iterations never
+// materialize a row-stochastic copy of their adjacency matrix.
+//
 // All heavy kernels execute on a shared goroutine pool (see
 // parallel.go): operations over matrices with enough stored nonzeros
 // are split into nnz-balanced row blocks across up to Parallelism(0)
@@ -18,9 +29,10 @@
 package sparse
 
 import (
+	"cmp"
 	"fmt"
 	"math"
-	"sort"
+	"slices"
 )
 
 // Coord is one nonzero entry used while assembling a matrix.
@@ -29,40 +41,80 @@ type Coord struct {
 	Val      float64
 }
 
-// Matrix is an immutable CSR sparse matrix.
+// maxDim bounds matrix dimensions so every row and column index fits an
+// int32 (column indices are stored compact; transposes swap the roles).
+const maxDim = math.MaxInt32
+
+// Matrix is an immutable CSR sparse matrix. Column indices are stored
+// as int32 — half the index bandwidth of []int on 64-bit hosts — which
+// is why construction rejects dimensions above MaxInt32.
 type Matrix struct {
 	rows, cols int
 	rowPtr     []int
-	colIdx     []int
+	colIdx     []int32
 	vals       []float64
+	// unit records that every stored value is exactly 1.0 (an unweighted
+	// relation), letting the kernels run pattern-only loops that skip
+	// the value array entirely.
+	unit bool
 }
 
 // NewFromCoords builds a CSR matrix from coordinate triples. Duplicate
-// (row, col) entries are summed. Entries out of range panic.
+// (row, col) entries are summed. Entries out of range panic, as do
+// dimensions above MaxInt32 (column indices are stored as int32; a
+// larger network must be sharded before it reaches the kernels).
 func NewFromCoords(rows, cols int, entries []Coord) *Matrix {
 	if rows < 0 || cols < 0 {
 		panic("sparse: negative dimensions")
 	}
-	sorted := append([]Coord(nil), entries...)
-	sort.Slice(sorted, func(i, j int) bool {
-		if sorted[i].Row != sorted[j].Row {
-			return sorted[i].Row < sorted[j].Row
+	if rows > maxDim || cols > maxDim {
+		panic(fmt.Sprintf("sparse: dimensions %dx%d exceed the int32 index range (max %d)", rows, cols, maxDim))
+	}
+	// Group entries by row with a counting sort — O(nnz + rows) — then
+	// order each row by column. The per-row sorts are tiny, so this
+	// replaces one comparison sort over all entries (the dominant cost
+	// of cold matrix assembly) with near-linear passes.
+	cnt := make([]int, rows+1)
+	for _, e := range entries {
+		if e.Row < 0 || e.Row >= rows || e.Col < 0 || e.Col >= cols {
+			panic(fmt.Sprintf("sparse: entry (%d,%d) out of %dx%d", e.Row, e.Col, rows, cols))
 		}
-		return sorted[i].Col < sorted[j].Col
-	})
-	m := &Matrix{rows: rows, cols: cols, rowPtr: make([]int, rows+1)}
+		cnt[e.Row+1]++
+	}
+	for r := 0; r < rows; r++ {
+		cnt[r+1] += cnt[r]
+	}
+	sorted := make([]Coord, len(entries))
+	next := append([]int(nil), cnt[:rows]...)
+	for _, e := range entries {
+		sorted[next[e.Row]] = e
+		next[e.Row]++
+	}
+	for r := 0; r < rows; r++ {
+		row := sorted[cnt[r]:cnt[r+1]]
+		if len(row) > 1 {
+			slices.SortFunc(row, func(a, b Coord) int { return cmp.Compare(a.Col, b.Col) })
+		}
+	}
+	m := &Matrix{
+		rows: rows, cols: cols,
+		rowPtr: make([]int, rows+1),
+		colIdx: make([]int32, 0, len(sorted)),
+		vals:   make([]float64, 0, len(sorted)),
+		unit:   true,
+	}
 	for i := 0; i < len(sorted); {
 		c := sorted[i]
-		if c.Row < 0 || c.Row >= rows || c.Col < 0 || c.Col >= cols {
-			panic(fmt.Sprintf("sparse: entry (%d,%d) out of %dx%d", c.Row, c.Col, rows, cols))
-		}
 		v := 0.0
 		j := i
 		for ; j < len(sorted) && sorted[j].Row == c.Row && sorted[j].Col == c.Col; j++ {
 			v += sorted[j].Val
 		}
 		if v != 0 {
-			m.colIdx = append(m.colIdx, c.Col)
+			if v != 1 {
+				m.unit = false
+			}
+			m.colIdx = append(m.colIdx, int32(c.Col))
 			m.vals = append(m.vals, v)
 			m.rowPtr[c.Row+1]++
 		}
@@ -95,6 +147,16 @@ func NewFromDense(d [][]float64) *Matrix {
 	return NewFromCoords(rows, cols, entries)
 }
 
+// allOnes reports whether every value is exactly 1.0.
+func allOnes(vals []float64) bool {
+	for _, v := range vals {
+		if v != 1 {
+			return false
+		}
+	}
+	return true
+}
+
 // Rows returns the number of rows.
 func (m *Matrix) Rows() int { return m.rows }
 
@@ -104,10 +166,15 @@ func (m *Matrix) Cols() int { return m.cols }
 // NNZ returns the number of stored nonzeros.
 func (m *Matrix) NNZ() int { return len(m.vals) }
 
+// Unit reports whether every stored value is exactly 1.0, the
+// unweighted-relation pattern the kernels exploit with value-skipping
+// loops.
+func (m *Matrix) Unit() bool { return m.unit }
+
 // Row invokes f(col, val) for every stored entry of row r.
 func (m *Matrix) Row(r int, f func(col int, val float64)) {
 	for i := m.rowPtr[r]; i < m.rowPtr[r+1]; i++ {
-		f(m.colIdx[i], m.vals[i])
+		f(int(m.colIdx[i]), m.vals[i])
 	}
 }
 
@@ -116,10 +183,13 @@ func (m *Matrix) RowNNZ(r int) int { return m.rowPtr[r+1] - m.rowPtr[r] }
 
 // At returns the value at (r, c); zero when not stored. O(log nnz(row)).
 func (m *Matrix) At(r, c int) float64 {
+	if c < 0 || c >= m.cols {
+		return 0
+	}
 	lo, hi := m.rowPtr[r], m.rowPtr[r+1]
-	i := lo + sort.SearchInts(m.colIdx[lo:hi], c)
-	if i < hi && m.colIdx[i] == c {
-		return m.vals[i]
+	i, ok := slices.BinarySearch(m.colIdx[lo:hi], int32(c))
+	if ok {
+		return m.vals[lo+i]
 	}
 	return 0
 }
@@ -142,12 +212,44 @@ func (m *Matrix) Sum() float64 {
 	return s
 }
 
+// RowInvSums returns the inverse row sums: inv[r] = 1/RowSum(r), with
+// rows summing to zero mapped to 1 so that scaling by inv reproduces
+// RowNormalized's leave-zero-rows-alone contract. Feed the result to
+// MulVecNorm / MulVecTNorm to run row-stochastic iterations without
+// materializing the normalized matrix.
+func (m *Matrix) RowInvSums() []float64 {
+	inv := make([]float64, m.rows)
+	for r := 0; r < m.rows; r++ {
+		if s := m.RowSum(r); s != 0 {
+			inv[r] = 1 / s
+		} else {
+			inv[r] = 1
+		}
+	}
+	return inv
+}
+
 // MulVec computes y = M x. It panics on dimension mismatch; y is
 // allocated when nil, otherwise reused (len must equal Rows). Large
 // matrices are processed in parallel row blocks; because each y[r] is
 // accumulated by exactly one worker in the serial order, the result is
 // bitwise identical to the serial loop.
 func (m *Matrix) MulVec(x, y []float64) []float64 {
+	return m.mulVecDispatch(x, nil, y)
+}
+
+// MulVecNorm computes y = diag(inv)·M·x — a fused row-scaled mat-vec.
+// With inv = RowInvSums() this is exactly RowNormalized().MulVec(x, y)
+// (bitwise: each product term is (val·inv[r])·x[c] in the same order)
+// without ever materializing the normalized value array.
+func (m *Matrix) MulVecNorm(x, inv, y []float64) []float64 {
+	if len(inv) != m.rows {
+		panic("sparse: MulVecNorm inv length mismatch")
+	}
+	return m.mulVecDispatch(x, inv, y)
+}
+
+func (m *Matrix) mulVecDispatch(x, inv, y []float64) []float64 {
 	if len(x) != m.cols {
 		panic("sparse: MulVec dimension mismatch")
 	}
@@ -157,12 +259,42 @@ func (m *Matrix) MulVec(x, y []float64) []float64 {
 		panic("sparse: MulVec output length mismatch")
 	}
 	m.forRowBlocks(len(m.vals), func(lo, hi int) {
-		for r := lo; r < hi; r++ {
-			s := 0.0
-			for i := m.rowPtr[r]; i < m.rowPtr[r+1]; i++ {
-				s += m.vals[i] * x[m.colIdx[i]]
+		switch {
+		case m.unit && inv == nil:
+			// Pattern-only loop: all values are 1, skip the value array.
+			for r := lo; r < hi; r++ {
+				s := 0.0
+				for i := m.rowPtr[r]; i < m.rowPtr[r+1]; i++ {
+					s += x[m.colIdx[i]]
+				}
+				y[r] = s
 			}
-			y[r] = s
+		case m.unit:
+			for r := lo; r < hi; r++ {
+				xi := inv[r]
+				s := 0.0
+				for i := m.rowPtr[r]; i < m.rowPtr[r+1]; i++ {
+					s += xi * x[m.colIdx[i]]
+				}
+				y[r] = s
+			}
+		case inv == nil:
+			for r := lo; r < hi; r++ {
+				s := 0.0
+				for i := m.rowPtr[r]; i < m.rowPtr[r+1]; i++ {
+					s += m.vals[i] * x[m.colIdx[i]]
+				}
+				y[r] = s
+			}
+		default:
+			for r := lo; r < hi; r++ {
+				xi := inv[r]
+				s := 0.0
+				for i := m.rowPtr[r]; i < m.rowPtr[r+1]; i++ {
+					s += (m.vals[i] * xi) * x[m.colIdx[i]]
+				}
+				y[r] = s
+			}
 		}
 	})
 	return y
@@ -174,6 +306,22 @@ func (m *Matrix) MulVec(x, y []float64) []float64 {
 // for a fixed Parallelism setting (rounding may differ from the serial
 // order by ~1 ulp per combine).
 func (m *Matrix) MulVecT(x, y []float64) []float64 {
+	return m.mulVecTDispatch(x, nil, y)
+}
+
+// MulVecTNorm computes y = (diag(inv)·M)ᵀ x — the transposed fused
+// row-scaled mat-vec. With inv = RowInvSums() this is exactly
+// RowNormalized().MulVecT(x, y) (bitwise per scattered term), which is
+// what lets PageRank-style power iterations drop the row-stochastic
+// matrix copy entirely.
+func (m *Matrix) MulVecTNorm(x, inv, y []float64) []float64 {
+	if len(inv) != m.rows {
+		panic("sparse: MulVecTNorm inv length mismatch")
+	}
+	return m.mulVecTDispatch(x, inv, y)
+}
+
+func (m *Matrix) mulVecTDispatch(x, inv, y []float64) []float64 {
 	if len(x) != m.rows {
 		panic("sparse: MulVecT dimension mismatch")
 	}
@@ -189,7 +337,7 @@ func (m *Matrix) MulVecT(x, y []float64) []float64 {
 	// restrictions over a full attribute space — stay serial).
 	w := effectiveWorkers()
 	if serialDispatch(w, len(m.vals), m.cols, m.rows) {
-		m.mulVecTRange(x, y, 0, m.rows, true)
+		m.mulVecTRange(x, inv, y, 0, m.rows, true)
 		return y
 	}
 	// One nnz-balanced block per worker (not oversubscribed: each block
@@ -199,7 +347,7 @@ func (m *Matrix) MulVecT(x, y []float64) []float64 {
 	partial := make([][]float64, blocks)
 	runTasks(blocks, w, func(b int) {
 		buf := getScratch(m.cols)
-		m.mulVecTRange(x, buf, bounds[b], bounds[b+1], false)
+		m.mulVecTRange(x, inv, buf, bounds[b], bounds[b+1], false)
 		partial[b] = buf
 	})
 	ParRange(m.cols, blocks*m.cols, func(lo, hi int) {
@@ -217,9 +365,9 @@ func (m *Matrix) MulVecT(x, y []float64) []float64 {
 	return y
 }
 
-// mulVecTRange accumulates rows [lo, hi) of Mᵀ x into y; when zero is
-// set, y is cleared first.
-func (m *Matrix) mulVecTRange(x, y []float64, lo, hi int, zero bool) {
+// mulVecTRange accumulates rows [lo, hi) of Mᵀ x (row-scaled by inv
+// when non-nil) into y; when zero is set, y is cleared first.
+func (m *Matrix) mulVecTRange(x, inv, y []float64, lo, hi int, zero bool) {
 	if zero {
 		for i := range y {
 			y[i] = 0
@@ -230,8 +378,26 @@ func (m *Matrix) mulVecTRange(x, y []float64, lo, hi int, zero bool) {
 		if xr == 0 {
 			continue
 		}
-		for i := m.rowPtr[r]; i < m.rowPtr[r+1]; i++ {
-			y[m.colIdx[i]] += m.vals[i] * xr
+		rlo, rhi := m.rowPtr[r], m.rowPtr[r+1]
+		switch {
+		case m.unit && inv == nil:
+			for i := rlo; i < rhi; i++ {
+				y[m.colIdx[i]] += xr
+			}
+		case m.unit:
+			z := inv[r] * xr
+			for i := rlo; i < rhi; i++ {
+				y[m.colIdx[i]] += z
+			}
+		case inv == nil:
+			for i := rlo; i < rhi; i++ {
+				y[m.colIdx[i]] += m.vals[i] * xr
+			}
+		default:
+			xi := inv[r]
+			for i := rlo; i < rhi; i++ {
+				y[m.colIdx[i]] += (m.vals[i] * xi) * xr
+			}
 		}
 	}
 }
@@ -247,8 +413,9 @@ func (m *Matrix) Transpose() *Matrix {
 		rows:   m.cols,
 		cols:   m.rows,
 		rowPtr: make([]int, m.cols+1),
-		colIdx: make([]int, len(m.colIdx)),
+		colIdx: make([]int32, len(m.colIdx)),
 		vals:   make([]float64, len(m.vals)),
+		unit:   m.unit, // a permutation of the same values
 	}
 	// Like MulVecT, the parallel path carries O(workers·cols) counter
 	// overhead, so wide hollow matrices stay on the serial algorithm.
@@ -285,7 +452,7 @@ func (m *Matrix) Transpose() *Matrix {
 				c := m.colIdx[i]
 				pos := next[c]
 				next[c]++
-				t.colIdx[pos] = r
+				t.colIdx[pos] = int32(r)
 				t.vals[pos] = m.vals[i]
 			}
 		}
@@ -306,7 +473,7 @@ func (m *Matrix) transposeSerial(t *Matrix) {
 			c := m.colIdx[i]
 			pos := next[c]
 			next[c]++
-			t.colIdx[pos] = r
+			t.colIdx[pos] = int32(r)
 			t.vals[pos] = m.vals[i]
 		}
 	}
@@ -314,48 +481,60 @@ func (m *Matrix) transposeSerial(t *Matrix) {
 
 // RowNormalized returns a copy of M whose rows each sum to 1 (rows that
 // sum to zero are left all-zero). This is the row-stochastic transition
-// matrix used by random-walk style rankings. Rows are normalized in
-// parallel blocks; output is bitwise identical to the serial loop.
+// matrix used by random-walk style rankings. The result aliases the
+// receiver's immutable rowPtr/colIdx structure — only the value array
+// is fresh. Each row is scaled by the reciprocal of its sum (one
+// division per row, and the same product the fused MulVecNorm /
+// MulVecTNorm kernels apply, keeping all normalization paths bitwise
+// consistent; entries can differ from per-entry division by ≤ 1 ulp).
+// Rows are normalized in parallel blocks; output is bitwise identical
+// to the serial loop. Iterative consumers can skip even the value copy
+// with the fused kernels.
 func (m *Matrix) RowNormalized() *Matrix {
 	n := &Matrix{
 		rows:   m.rows,
 		cols:   m.cols,
-		rowPtr: append([]int(nil), m.rowPtr...),
-		colIdx: append([]int(nil), m.colIdx...),
-		vals:   append([]float64(nil), m.vals...),
+		rowPtr: m.rowPtr,
+		colIdx: m.colIdx,
+		vals:   make([]float64, len(m.vals)),
 	}
 	m.forRowBlocks(len(m.vals), func(lo, hi int) {
 		for r := lo; r < hi; r++ {
 			s := m.RowSum(r)
 			if s == 0 {
+				copy(n.vals[m.rowPtr[r]:m.rowPtr[r+1]], m.vals[m.rowPtr[r]:m.rowPtr[r+1]])
 				continue
 			}
+			inv := 1 / s
 			for i := n.rowPtr[r]; i < n.rowPtr[r+1]; i++ {
-				n.vals[i] /= s
+				n.vals[i] = m.vals[i] * inv
 			}
 		}
 	})
+	n.unit = allOnes(n.vals)
 	return n
 }
 
-// Scale returns a copy of M with every entry multiplied by f.
+// Scale returns a copy of M with every entry multiplied by f. The
+// result aliases the receiver's immutable rowPtr/colIdx structure.
 func (m *Matrix) Scale(f float64) *Matrix {
 	n := &Matrix{
 		rows:   m.rows,
 		cols:   m.cols,
-		rowPtr: append([]int(nil), m.rowPtr...),
-		colIdx: append([]int(nil), m.colIdx...),
+		rowPtr: m.rowPtr,
+		colIdx: m.colIdx,
 		vals:   make([]float64, len(m.vals)),
 	}
 	for i, v := range m.vals {
 		n.vals[i] = v * f
 	}
+	n.unit = m.unit && f == 1 || allOnes(n.vals)
 	return n
 }
 
 // mulPart is one row-block's slice of a sparse product.
 type mulPart struct {
-	colIdx []int
+	colIdx []int32
 	vals   []float64
 	rowNNZ []int // per-row output counts for rows [lo, hi)
 }
@@ -364,38 +543,79 @@ type mulPart struct {
 // accumulator (Gustavson's algorithm): O(flops) with no hashing, and
 // the accumulation order per output entry matches the serial loop
 // exactly, so parallel products are bitwise identical to serial ones.
+// The accumulator/stamp/touched scratch comes from a process-wide pool
+// (see spgemmScratch), so repeated products allocate nothing beyond
+// their output.
 func (m *Matrix) mulRange(b *Matrix, lo, hi int) mulPart {
-	acc := make([]float64, b.cols)
-	// Stamps are r+1 over zero-initialized memory, so no O(cols) init
-	// pass is needed (row indices start at 0).
-	stamp := make([]int, b.cols)
-	touched := make([]int, 0, 256)
+	s := getSpgemm(b.cols, hi)
+	acc, stamp := s.acc, s.stamp
+	touched := s.touched[:0]
+	base := s.base
 	part := mulPart{rowNNZ: make([]int, hi-lo)}
 	for r := lo; r < hi; r++ {
 		touched = touched[:0]
+		mark := base + r + 1
 		for i := m.rowPtr[r]; i < m.rowPtr[r+1]; i++ {
-			mid := m.colIdx[i]
-			mv := m.vals[i]
-			for j := b.rowPtr[mid]; j < b.rowPtr[mid+1]; j++ {
-				c := b.colIdx[j]
-				if stamp[c] != r+1 {
-					stamp[c] = r + 1
-					acc[c] = 0
-					touched = append(touched, c)
+			mid := int(m.colIdx[i])
+			mv := 1.0
+			if !m.unit {
+				mv = m.vals[i]
+			}
+			blo, bhi := b.rowPtr[mid], b.rowPtr[mid+1]
+			if b.unit {
+				// Pattern-only expansion: B's values are all 1.
+				for j := blo; j < bhi; j++ {
+					c := b.colIdx[j]
+					if stamp[c] != mark {
+						stamp[c] = mark
+						acc[c] = 0
+						touched = append(touched, c)
+					}
+					acc[c] += mv
 				}
-				acc[c] += mv * b.vals[j]
+			} else {
+				for j := blo; j < bhi; j++ {
+					c := b.colIdx[j]
+					if stamp[c] != mark {
+						stamp[c] = mark
+						acc[c] = 0
+						touched = append(touched, c)
+					}
+					acc[c] += mv * b.vals[j]
+				}
 			}
 		}
-		sort.Ints(touched)
-		for _, c := range touched {
-			if acc[c] != 0 {
-				part.colIdx = append(part.colIdx, c)
+		part.emit(touched, acc, stamp, mark, 0, b.cols, r-lo)
+	}
+	s.touched = touched
+	putSpgemm(s, hi)
+	return part
+}
+
+// emit appends row row's accumulated entries in ascending column
+// order. Sparse rows sort their touched list; dense rows (over a
+// quarter of the candidate span) skip the sort and scan the stamp
+// array sequentially instead — same output order, branch-predictable,
+// and it removes the dominant per-row sort from dense products.
+func (part *mulPart) emit(touched []int32, acc []float64, stamp []int, mark, span0, span1, row int) {
+	if len(touched)*4 >= span1-span0 {
+		for c := span0; c < span1; c++ {
+			if stamp[c] == mark && acc[c] != 0 {
+				part.colIdx = append(part.colIdx, int32(c))
 				part.vals = append(part.vals, acc[c])
-				part.rowNNZ[r-lo]++
+				part.rowNNZ[row]++
 			}
+		}
+		return
+	}
+	slices.Sort(touched)
+	for _, c := range touched {
+		if acc[c] != 0 {
+			part.colIdx = append(part.colIdx, c)
+			part.vals = append(part.vals, acc[c])
+			part.rowNNZ[row]++
 		}
 	}
-	return part
 }
 
 // Mul returns the sparse product M·B. Dimensions must agree. Row blocks
@@ -420,11 +640,12 @@ func (m *Matrix) Mul(b *Matrix) *Matrix {
 		for r, n := range part.rowNNZ {
 			out.rowPtr[r+1] = out.rowPtr[r] + n
 		}
+		out.unit = allOnes(out.vals)
 		return out
 	}
 	// One nnz-balanced block per worker, not oversubscribed: each
-	// mulRange call allocates cols-sized dense scratch, so extra blocks
-	// multiply allocation without improving balance.
+	// mulRange call holds cols-sized dense scratch, so extra blocks
+	// multiply scratch residency without improving balance.
 	bounds := m.rowBlockBounds(min(w, m.rows))
 	blocks := len(bounds) - 1
 	parts := make([]mulPart, blocks)
@@ -435,7 +656,7 @@ func (m *Matrix) Mul(b *Matrix) *Matrix {
 	for _, p := range parts {
 		total += len(p.vals)
 	}
-	out.colIdx = make([]int, total)
+	out.colIdx = make([]int32, total)
 	out.vals = make([]float64, total)
 	off := 0
 	offsets := make([]int, blocks)
@@ -451,6 +672,7 @@ func (m *Matrix) Mul(b *Matrix) *Matrix {
 		copy(out.colIdx[offsets[bk]:], parts[bk].colIdx)
 		copy(out.vals[offsets[bk]:], parts[bk].vals)
 	})
+	out.unit = allOnes(out.vals)
 	return out
 }
 
@@ -460,38 +682,54 @@ func (m *Matrix) Mul(b *Matrix) *Matrix {
 // (binary search over the sorted column indices), so strictly-lower
 // entries are never touched — about half the multiply work of a full
 // product. Accumulation order per output entry matches the serial loop,
-// so parallel Grams are bitwise identical to serial ones.
+// so parallel Grams are bitwise identical to serial ones. Scratch is
+// pooled like mulRange's.
 func (m *Matrix) gramRange(t *Matrix, lo, hi int) mulPart {
-	acc := make([]float64, t.cols)
-	stamp := make([]int, t.cols)
-	touched := make([]int, 0, 256)
+	s := getSpgemm(t.cols, hi)
+	acc, stamp := s.acc, s.stamp
+	touched := s.touched[:0]
+	base := s.base
 	part := mulPart{rowNNZ: make([]int, hi-lo)}
 	for r := lo; r < hi; r++ {
 		touched = touched[:0]
+		mark := base + r + 1
 		for i := m.rowPtr[r]; i < m.rowPtr[r+1]; i++ {
-			mid := m.colIdx[i]
-			mv := m.vals[i]
+			mid := int(m.colIdx[i])
+			mv := 1.0
+			if !m.unit {
+				mv = m.vals[i]
+			}
 			tlo, thi := t.rowPtr[mid], t.rowPtr[mid+1]
-			j := tlo + sort.SearchInts(t.colIdx[tlo:thi], r)
-			for ; j < thi; j++ {
-				c := t.colIdx[j]
-				if stamp[c] != r+1 {
-					stamp[c] = r + 1
-					acc[c] = 0
-					touched = append(touched, c)
+			j, _ := slices.BinarySearch(t.colIdx[tlo:thi], int32(r))
+			j += tlo
+			if t.unit {
+				for ; j < thi; j++ {
+					c := t.colIdx[j]
+					if stamp[c] != mark {
+						stamp[c] = mark
+						acc[c] = 0
+						touched = append(touched, c)
+					}
+					acc[c] += mv
 				}
-				acc[c] += mv * t.vals[j]
+			} else {
+				for ; j < thi; j++ {
+					c := t.colIdx[j]
+					if stamp[c] != mark {
+						stamp[c] = mark
+						acc[c] = 0
+						touched = append(touched, c)
+					}
+					acc[c] += mv * t.vals[j]
+				}
 			}
 		}
-		sort.Ints(touched)
-		for _, c := range touched {
-			if acc[c] != 0 {
-				part.colIdx = append(part.colIdx, c)
-				part.vals = append(part.vals, acc[c])
-				part.rowNNZ[r-lo]++
-			}
-		}
+		// Upper-triangle rows only hold columns ≥ r, so the dense scan
+		// (inside emit) starts there.
+		part.emit(touched, acc, stamp, mark, r, t.cols, r-lo)
 	}
+	s.touched = touched
+	putSpgemm(s, hi)
 	return part
 }
 
@@ -562,7 +800,7 @@ func (m *Matrix) Gram() *Matrix {
 			r := bounds[bk] + i
 			out.rowPtr[r+1] += n
 			for e := 0; e < n; e++ {
-				if p.colIdx[idx] > r {
+				if int(p.colIdx[idx]) > r {
 					out.rowPtr[p.colIdx[idx]+1]++
 				}
 				idx++
@@ -573,7 +811,7 @@ func (m *Matrix) Gram() *Matrix {
 		out.rowPtr[r+1] += out.rowPtr[r]
 	}
 	total := out.rowPtr[m.rows]
-	out.colIdx = make([]int, total)
+	out.colIdx = make([]int32, total)
 	out.vals = make([]float64, total)
 	next := append([]int(nil), out.rowPtr[:m.rows]...)
 	// Pass two fills rows in source order. Processing upper rows in
@@ -589,8 +827,8 @@ func (m *Matrix) Gram() *Matrix {
 				out.colIdx[next[r]] = c
 				out.vals[next[r]] = v
 				next[r]++
-				if c > r {
-					out.colIdx[next[c]] = r
+				if int(c) > r {
+					out.colIdx[next[c]] = int32(r)
 					out.vals[next[c]] = v
 					next[c]++
 				}
@@ -598,6 +836,7 @@ func (m *Matrix) Gram() *Matrix {
 			}
 		}
 	}
+	out.unit = allOnes(out.vals)
 	return out
 }
 

@@ -9,8 +9,10 @@
 package stats
 
 import (
+	"cmp"
 	"math"
 	"math/rand"
+	"slices"
 	"sort"
 )
 
@@ -296,19 +298,78 @@ func ArgMax(xs []float64) int {
 	return best
 }
 
+// BoundedOffer offers v to a k-bounded selection held in h, a min-heap
+// whose root is the worst retained element under worse(a, b) ("a ranks
+// strictly below b"). While fewer than k elements are held v is pushed;
+// afterwards v replaces the root only if the root is worse than v.
+// Returns the updated heap (h's backing array is reused; pass a
+// pre-sized buffer to select without allocating). Offering every
+// candidate of a stream and sorting the survivors reproduces a full
+// sort-then-truncate top-k exactly — ties included, provided worse is a
+// strict total order. This is the one heap used by every top-k hot
+// path (stats.TopK, pathsim.TopK/BatchTopK).
+func BoundedOffer[T any](h []T, k int, v T, worse func(a, b T) bool) []T {
+	if len(h) < k {
+		h = append(h, v)
+		for i := len(h) - 1; i > 0; {
+			parent := (i - 1) / 2
+			if !worse(h[i], h[parent]) {
+				break
+			}
+			h[i], h[parent] = h[parent], h[i]
+			i = parent
+		}
+		return h
+	}
+	if !worse(h[0], v) {
+		return h
+	}
+	h[0] = v
+	i := 0
+	for {
+		l := 2*i + 1
+		if l >= len(h) {
+			return h
+		}
+		if r := l + 1; r < len(h) && worse(h[r], h[l]) {
+			l = r
+		}
+		if !worse(h[l], h[i]) {
+			return h
+		}
+		h[i], h[l] = h[l], h[i]
+		i = l
+	}
+}
+
 // TopK returns the indices of the k largest values in xs, descending.
-// Ties break by lower index. k is clamped to [0, len(xs)].
+// Ties break by lower index. k is clamped to [0, len(xs)]. Selection is
+// a bounded min-heap partial sort — O(n·log k) with k-sized scratch
+// instead of sorting an n-sized index permutation — matching the
+// stable-full-sort order exactly (score descending, ties by index).
 func TopK(xs []float64, k int) []int {
 	if k > len(xs) {
 		k = len(xs)
 	}
-	if k < 0 {
-		k = 0
+	if k <= 0 {
+		return []int{}
 	}
-	idx := make([]int, len(xs))
-	for i := range idx {
-		idx[i] = i
+	// Index a outranks b when xs[a] > xs[b], or a < b at equal values.
+	worse := func(a, b int) bool {
+		if xs[a] != xs[b] {
+			return xs[a] < xs[b]
+		}
+		return a > b
 	}
-	sort.SliceStable(idx, func(a, b int) bool { return xs[idx[a]] > xs[idx[b]] })
-	return idx[:k]
+	h := make([]int, 0, k)
+	for i := range xs {
+		h = BoundedOffer(h, k, i, worse)
+	}
+	slices.SortFunc(h, func(a, b int) int {
+		if xs[a] != xs[b] {
+			return cmp.Compare(xs[b], xs[a])
+		}
+		return cmp.Compare(a, b)
+	})
+	return h
 }

@@ -1,0 +1,51 @@
+package stats
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// refTopK is the original stable-full-sort implementation TopK's heap
+// selection must match exactly (descending values, ties by lower index).
+func refTopK(xs []float64, k int) []int {
+	if k > len(xs) {
+		k = len(xs)
+	}
+	if k < 0 {
+		k = 0
+	}
+	idx := make([]int, len(xs))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return xs[idx[a]] > xs[idx[b]] })
+	return idx[:k]
+}
+
+// TestTopKHeapMatchesStableSort pins the bounded-heap selection against
+// the stable full sort on tie-heavy random inputs.
+func TestTopKHeapMatchesStableSort(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 40; trial++ {
+		n := rng.Intn(200)
+		xs := make([]float64, n)
+		for i := range xs {
+			// Small integer values force many exact ties.
+			xs[i] = float64(rng.Intn(8))
+		}
+		for _, k := range []int{0, 1, 3, 10, n / 2, n, n + 7, -2} {
+			got := TopK(xs, k)
+			want := refTopK(xs, k)
+			if len(got) != len(want) {
+				t.Fatalf("n=%d k=%d: %d results, want %d", n, k, len(got), len(want))
+			}
+			for j := range want {
+				if got[j] != want[j] {
+					t.Fatalf("n=%d k=%d rank %d: index %d, want %d (ties break by lower index)",
+						n, k, j, got[j], want[j])
+				}
+			}
+		}
+	}
+}
