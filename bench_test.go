@@ -25,6 +25,7 @@ import (
 	"hinet/internal/experiments"
 	"hinet/internal/flickr"
 	"hinet/internal/hin"
+	"hinet/internal/ingest"
 	"hinet/internal/kmeans"
 	"hinet/internal/linkclus"
 	"hinet/internal/netclus"
@@ -832,5 +833,72 @@ func BenchmarkServeTopK(b *testing.B) {
 				i++
 			}
 		})
+	})
+}
+
+// --- Incremental ingestion & delta rebuild ---------------------------
+
+// BenchmarkDeltaApply measures the copy-on-write CSR delta merge
+// against the from-scratch rebuild it replaces: a 1% coordinate batch
+// merged into the large kernel matrix (≈1M nnz) versus rebuilding the
+// matrix from its full coordinate list. The acceptance target for the
+// ingestion subsystem is delta ≥ 5× faster than rebuild.
+func BenchmarkDeltaApply(b *testing.B) {
+	sc := kernelScales[2] // large-1M
+	rng := rand.New(rand.NewSource(int64(sc.n)))
+	coords := make([]sparse.Coord, 0, sc.n*sc.deg)
+	for r := 0; r < sc.n; r++ {
+		for j := 0; j < sc.deg; j++ {
+			coords = append(coords, sparse.Coord{Row: r, Col: rng.Intn(sc.n), Val: float64(1 + rng.Intn(4))})
+		}
+	}
+	m := sparse.NewFromCoords(sc.n, sc.n, coords)
+	delta := make([]sparse.Coord, len(coords)/100)
+	for i := range delta {
+		if i%2 == 0 {
+			// Half the batch perturbs existing entries.
+			e := coords[rng.Intn(len(coords))]
+			delta[i] = sparse.Coord{Row: e.Row, Col: e.Col, Val: 1}
+		} else {
+			delta[i] = sparse.Coord{Row: rng.Intn(sc.n), Col: rng.Intn(sc.n), Val: 1}
+		}
+	}
+	all := append(append([]sparse.Coord(nil), coords...), delta...)
+	b.Run("delta-1pct", func(b *testing.B) {
+		b.ReportMetric(float64(len(delta)), "delta-coords")
+		for i := 0; i < b.N; i++ {
+			m.ApplyDelta(delta)
+		}
+	})
+	b.Run("rebuild", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			sparse.NewFromCoords(sc.n, sc.n, all)
+		}
+	})
+}
+
+// BenchmarkIngest measures the serving layer's two paths to a new
+// generation on the default DBLP-scale corpus: Store.Ingest of a 1%
+// paper-arrival batch (copy-on-write clone, merged relations, surviving
+// meta-path cache, warm-started PageRank, carried-over cluster models)
+// versus the full Store.Rebuild that POST /v1/rebuild runs.
+func BenchmarkIngest(b *testing.B) {
+	store := serve.NewStore(serve.ModelConfig{})
+	store.Rebuild(1)
+	papers := store.Current().Corpus.Net.Count(dblp.TypePaper)
+	batch := ingest.SamplePapers(store.Current().Corpus, stats.NewRNG(77), papers/100)
+	b.Run(fmt.Sprintf("delta-%dpapers", papers/100), func(b *testing.B) {
+		b.ReportMetric(float64(len(batch)), "deltas")
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := store.Ingest(batch, false); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("rebuild", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			store.Rebuild(int64(i + 2))
+		}
 	})
 }

@@ -14,16 +14,22 @@
 //	pathsim    top-k peer search on a DBLP meta-path (-path A-P-V-P-A)
 //	dbnet      relational DB → information network conversion demo
 //	serve      online HTTP query server (snapshots, result cache, batched top-k)
+//	ingest     stream JSONL deltas into a corpus or a running server
 //
 // Unknown subcommands print usage and exit with status 2.
 package main
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
+	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -31,6 +37,7 @@ import (
 	"hinet/internal/dblp"
 	"hinet/internal/eval"
 	"hinet/internal/hin"
+	"hinet/internal/ingest"
 	"hinet/internal/netclus"
 	"hinet/internal/netgen"
 	"hinet/internal/netstat"
@@ -59,6 +66,10 @@ func main() {
 	window := fs.Duration("batch-window", 0, "serve: extra wait to widen top-k batches")
 	papers := fs.Int("papers", 0, "serve: corpus size in papers (0 = library default)")
 	pathSpec := fs.String("path", "A-P-V-P-A", "pathsim: symmetric meta-path over the DBLP schema (e.g. A-P-A)")
+	emit := fs.Int("emit", 0, "ingest: emit N sample paper-arrival deltas as JSONL to stdout and exit")
+	file := fs.String("file", "", "ingest: JSONL delta file to apply (\"-\" reads stdin)")
+	server := fs.String("server", "", "ingest: POST the batch to a running hinet serve (e.g. http://localhost:8080)")
+	refresh := fs.Bool("refresh-models", false, "ingest: ask the server to recompute clustering models")
 	_ = fs.Parse(os.Args[2:])
 
 	switch cmd {
@@ -80,6 +91,8 @@ func main() {
 		runDBNet(*seed)
 	case "serve":
 		runServe(*seed, *k, *addr, *workers, *cacheCap, *window, *papers)
+	case "ingest":
+		runIngest(*seed, *emit, *file, *server, *refresh, *papers)
 	default:
 		fmt.Fprintf(os.Stderr, "hinet: unknown subcommand %q\n", cmd)
 		usage()
@@ -101,7 +114,91 @@ subcommands:
   dbnet      relational DB -> information network conversion demo
   serve      online HTTP query server (snapshots, result cache, batched top-k)
              [-addr A] [-workers N] [-cache N] [-batch-window D] [-papers N]
+  ingest     stream JSONL deltas into a corpus or a running server
+             [-emit N] [-file F|-] [-server URL] [-refresh-models] [-papers N]
 `)
+}
+
+// runIngest has three modes, matched to the incremental-ingestion
+// walkthrough in docs/OPERATIONS.md:
+//
+//	-emit N              print N sample paper-arrival deltas (JSONL)
+//	-file F              apply a JSONL delta file to a local corpus
+//	-file F -server URL  POST the batch to a running `hinet serve`
+//
+// Emission and local application are deterministic under -seed, and
+// emitted batches reference objects by name, so they apply cleanly to
+// any server built from the same seed/config.
+func runIngest(seed int64, emit int, file, server string, refresh bool, papers int) {
+	cfg := dblp.Config{}
+	if papers > 0 {
+		cfg.Papers = papers
+	}
+	fail := func(err error) {
+		fmt.Fprintf(os.Stderr, "hinet ingest: %v\n", err)
+		os.Exit(1)
+	}
+	if emit > 0 {
+		c := dblp.Generate(stats.NewRNG(seed), cfg)
+		if err := ingest.WriteJSONL(os.Stdout, ingest.SamplePapers(c, stats.NewRNG(seed+1000), emit)); err != nil {
+			fail(err)
+		}
+		return
+	}
+	if file == "" {
+		fail(fmt.Errorf("need -emit N or -file F (see -h)"))
+	}
+	in := os.Stdin
+	if file != "-" {
+		f, err := os.Open(file)
+		if err != nil {
+			fail(err)
+		}
+		defer f.Close()
+		in = f
+	}
+	deltas, err := ingest.ParseJSONL(in)
+	if err != nil {
+		fail(err)
+	}
+	if server != "" {
+		body, err := json.Marshal(map[string]any{"deltas": deltas, "refresh_models": refresh})
+		if err != nil {
+			fail(err)
+		}
+		client := &http.Client{Timeout: 60 * time.Second}
+		resp, err := client.Post(strings.TrimRight(server, "/")+"/v1/ingest", "application/json", bytes.NewReader(body))
+		if err != nil {
+			fail(err)
+		}
+		defer resp.Body.Close()
+		out, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+		if resp.StatusCode != http.StatusOK {
+			fail(fmt.Errorf("server returned %s: %s", resp.Status, strings.TrimSpace(string(out))))
+		}
+		fmt.Printf("applied %d deltas: %s\n", len(deltas), strings.TrimSpace(string(out)))
+		return
+	}
+	// Local mode: apply to a freshly generated corpus and report what
+	// changed, including the incremental-path timing.
+	c := dblp.Generate(stats.NewRNG(seed), cfg)
+	apvpa := hin.MetaPath{dblp.TypeAuthor, dblp.TypePaper, dblp.TypeVenue, dblp.TypePaper, dblp.TypeAuthor}
+	c.Net.CommutingMatrix(apvpa) // warm the caches the merge path keeps current
+	before := time.Now()
+	sum, err := ingest.Apply(c.Net, deltas, ingest.Options{})
+	if err != nil {
+		fail(err)
+	}
+	apply := time.Since(before)
+	before = time.Now()
+	c.Net.CommutingMatrix(apvpa)
+	fmt.Printf("applied %d deltas in %s (+%s incremental APVPA refresh)\n",
+		len(deltas), apply.Round(time.Microsecond), time.Since(before).Round(time.Microsecond))
+	fmt.Printf("  nodes +%d/-%d  edges +%d/-%d  relations touched %d\n",
+		sum.NodesAdded, sum.NodesRemoved, sum.EdgesAdded, sum.EdgesRemoved, sum.Relations)
+	for _, t := range c.Net.Types() {
+		fmt.Printf("  %-8s %d objects\n", t, c.Net.Count(t))
+	}
 }
 
 func runServe(seed int64, k int, addr string, workers, cacheCap int, window time.Duration, papers int) {

@@ -1,0 +1,104 @@
+// Command linkcheck validates the relative links in the repository's
+// markdown files so the docs cannot rot silently: every [text](target)
+// and ![alt](target) whose target is a local path must point at a file
+// or directory that exists. External links (http/https/mailto) and
+// pure in-page anchors (#section) are skipped — CI has no network, and
+// anchor slugs are renderer-specific; missing *files* are the rot this
+// tool is after.
+//
+// Usage:
+//
+//	go run ./cmd/linkcheck README.md docs examples
+//
+// Arguments are markdown files or directories (walked recursively for
+// *.md). Relative targets resolve against the file that contains them;
+// a target's #fragment and ?query are ignored. Exit status 1 lists
+// every broken link as file:line.
+package main
+
+import (
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+)
+
+// linkRe matches inline markdown links and images: [text](target) and
+// ![alt](target). Reference-style definitions ([id]: target) are rare
+// in this repo and intentionally out of scope.
+var linkRe = regexp.MustCompile(`!?\[[^\]]*\]\(([^)\s]+)(?:\s+"[^"]*")?\)`)
+
+func main() {
+	args := os.Args[1:]
+	if len(args) == 0 {
+		fmt.Fprintln(os.Stderr, "usage: linkcheck <file.md|dir> ...")
+		os.Exit(2)
+	}
+	var files []string
+	for _, a := range args {
+		st, err := os.Stat(a)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "linkcheck: %v\n", err)
+			os.Exit(2)
+		}
+		if !st.IsDir() {
+			files = append(files, a)
+			continue
+		}
+		err = filepath.WalkDir(a, func(p string, d fs.DirEntry, err error) error {
+			if err == nil && !d.IsDir() && strings.HasSuffix(p, ".md") {
+				files = append(files, p)
+			}
+			return err
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "linkcheck: %v\n", err)
+			os.Exit(2)
+		}
+	}
+	broken := 0
+	checked := 0
+	for _, f := range files {
+		b, err := os.ReadFile(f)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "linkcheck: %v\n", err)
+			os.Exit(2)
+		}
+		for i, line := range strings.Split(string(b), "\n") {
+			for _, m := range linkRe.FindAllStringSubmatch(line, -1) {
+				target := m[1]
+				if skip(target) {
+					continue
+				}
+				checked++
+				// Strip fragment/query; resolve against the file's dir.
+				if j := strings.IndexAny(target, "#?"); j >= 0 {
+					target = target[:j]
+				}
+				if target == "" {
+					continue
+				}
+				resolved := filepath.Join(filepath.Dir(f), target)
+				if _, err := os.Stat(resolved); err != nil {
+					fmt.Printf("%s:%d: broken link %q (resolved %s)\n", f, i+1, m[1], resolved)
+					broken++
+				}
+			}
+		}
+	}
+	fmt.Printf("linkcheck: %d files, %d local links checked, %d broken\n", len(files), checked, broken)
+	if broken > 0 {
+		os.Exit(1)
+	}
+}
+
+// skip reports whether the target is outside this tool's scope:
+// external schemes and pure in-page anchors.
+func skip(target string) bool {
+	return strings.HasPrefix(target, "http://") ||
+		strings.HasPrefix(target, "https://") ||
+		strings.HasPrefix(target, "mailto:") ||
+		strings.HasPrefix(target, "#")
+}

@@ -1,0 +1,44 @@
+package main
+
+import "testing"
+
+func TestLinkRe(t *testing.T) {
+	cases := []struct {
+		line string
+		want []string
+	}{
+		{"see [docs](docs/OPERATIONS.md) and [api](https://x.test/a)", []string{"docs/OPERATIONS.md", "https://x.test/a"}},
+		{"![diagram](img/arch.png \"alt\")", []string{"img/arch.png"}},
+		{"no links here", nil},
+		{"[anchor](#section) [rel](../README.md#quickstart)", []string{"#section", "../README.md#quickstart"}},
+	}
+	for _, tc := range cases {
+		var got []string
+		for _, m := range linkRe.FindAllStringSubmatch(tc.line, -1) {
+			got = append(got, m[1])
+		}
+		if len(got) != len(tc.want) {
+			t.Fatalf("%q: got %v want %v", tc.line, got, tc.want)
+		}
+		for i := range got {
+			if got[i] != tc.want[i] {
+				t.Fatalf("%q: got %v want %v", tc.line, got, tc.want)
+			}
+		}
+	}
+}
+
+func TestSkip(t *testing.T) {
+	for target, want := range map[string]bool{
+		"https://example.com": true,
+		"http://example.com":  true,
+		"mailto:a@b.c":        true,
+		"#anchor":             true,
+		"docs/OPERATIONS.md":  false,
+		"../README.md#x":      false,
+	} {
+		if skip(target) != want {
+			t.Errorf("skip(%q) = %v, want %v", target, !want, want)
+		}
+	}
+}

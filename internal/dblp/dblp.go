@@ -101,6 +101,37 @@ type Corpus struct {
 // Areas returns the number of communities.
 func (c *Corpus) Areas() int { return len(c.Config.Areas) }
 
+// WithNetwork returns a shallow copy of the corpus bound to net —
+// typically a delta-applied clone of c.Net (see hin.Network.Clone and
+// internal/ingest). Ground-truth area slices are padded with −1
+// ("no known area", the label the generator already uses for shared
+// terms) up to the new object counts, so evaluations against ground
+// truth stay well-formed after objects arrive that the generator never
+// labeled.
+func (c *Corpus) WithNetwork(net *hin.Network) *Corpus {
+	c2 := *c
+	c2.Net = net
+	c2.PaperArea = padAreas(c.PaperArea, net.Count(TypePaper))
+	c2.AuthorArea = padAreas(c.AuthorArea, net.Count(TypeAuthor))
+	c2.VenueArea = padAreas(c.VenueArea, net.Count(TypeVenue))
+	c2.TermArea = padAreas(c.TermArea, net.Count(TypeTerm))
+	return &c2
+}
+
+// padAreas extends labels to length n with −1; unchanged lengths pass
+// the slice through untouched.
+func padAreas(labels []int, n int) []int {
+	if len(labels) >= n {
+		return labels
+	}
+	out := make([]int, n)
+	copy(out, labels)
+	for i := len(labels); i < n; i++ {
+		out[i] = -1
+	}
+	return out
+}
+
 // Generate builds a corpus. Identical (seed, cfg) pairs produce
 // identical corpora.
 func Generate(rng *stats.RNG, cfg Config) *Corpus {

@@ -1,0 +1,234 @@
+package hin
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// replayNetwork rebuilds a fresh network by replaying ops, the
+// from-scratch reference every incremental path must match.
+type op struct {
+	src  Type
+	sid  int
+	dst  Type
+	did  int
+	w    float64
+	node bool   // when set, this op is AddObject(src, name)
+	name string // node name
+}
+
+func replay(ops []op) *Network {
+	n := NewNetwork()
+	for _, o := range ops {
+		if o.node {
+			n.AddObject(o.src, o.name)
+		} else {
+			n.AddLink(o.src, o.sid, o.dst, o.did, o.w)
+		}
+	}
+	return n
+}
+
+func sameMatrix(t *testing.T, what string, a, b interface {
+	Rows() int
+	Cols() int
+	Dense() [][]float64
+}) {
+	t.Helper()
+	if a.Rows() != b.Rows() || a.Cols() != b.Cols() {
+		t.Fatalf("%s dims: %dx%d vs %dx%d", what, a.Rows(), a.Cols(), b.Rows(), b.Cols())
+	}
+	if !reflect.DeepEqual(a.Dense(), b.Dense()) {
+		t.Fatalf("%s entries differ", what)
+	}
+}
+
+// TestApplyEdgeDeltasEquivalence drives randomized delta batches —
+// interleaved with queries so the incremental merge path (not a cold
+// rebuild) is what's exercised — and checks every relation and
+// commuting matrix bitwise against a replayed from-scratch network.
+func TestApplyEdgeDeltasEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 10; trial++ {
+		inc := NewNetwork()
+		var ops []op
+		addObj := func(ty Type, name string) {
+			inc.AddObject(ty, name)
+			ops = append(ops, op{src: ty, node: true, name: name})
+		}
+		nA, nP, nV := 4+rng.Intn(5), 6+rng.Intn(8), 2+rng.Intn(3)
+		for i := 0; i < nA; i++ {
+			addObj("author", string(rune('a'+i)))
+		}
+		for i := 0; i < nP; i++ {
+			addObj("paper", string(rune('A'+i)))
+		}
+		for i := 0; i < nV; i++ {
+			addObj("venue", string(rune('u'+i)))
+		}
+		addLink := func(s Type, si int, d Type, di int, w float64) {
+			inc.AddLink(s, si, d, di, w)
+			ops = append(ops, op{src: s, sid: si, dst: d, did: di, w: w})
+		}
+		for i := 0; i < 15+rng.Intn(20); i++ {
+			addLink("paper", rng.Intn(nP), "author", rng.Intn(nA), float64(1+rng.Intn(3)))
+		}
+		for i := 0; i < nP; i++ {
+			addLink("paper", i, "venue", rng.Intn(nV), 1)
+		}
+
+		apa := MetaPath{"author", "paper", "author"}
+		apvpa := MetaPath{"author", "paper", "venue", "paper", "author"}
+		// Materialize caches so later batches exercise the merge path.
+		inc.CommutingMatrix(apa)
+		inc.CommutingMatrix(apvpa)
+
+		for batch := 0; batch < 4; batch++ {
+			// Occasionally grow the object sets mid-stream.
+			if rng.Intn(2) == 0 {
+				addObj("author", string(rune('a'+nA)))
+				nA++
+			}
+			var deltas []EdgeDelta
+			for i := 0; i < 1+rng.Intn(8); i++ {
+				d := EdgeDelta{Src: rng.Intn(nP), Dst: rng.Intn(nA), W: float64(rng.Intn(5) - 2)}
+				if rng.Intn(3) == 0 {
+					// Exact removal of the current total weight.
+					d.W = -inc.Relation("paper", "author").At(d.Src, d.Dst)
+				}
+				if d.W == 0 {
+					continue
+				}
+				deltas = append(deltas, d)
+			}
+			if err := inc.ApplyEdgeDeltas("paper", "author", deltas); err != nil {
+				t.Fatal(err)
+			}
+			for _, d := range deltas {
+				ops = append(ops, op{src: "paper", sid: d.Src, dst: "author", did: d.Dst, w: d.W})
+			}
+
+			ref := replay(ops)
+			sameMatrix(t, "paper-author", inc.Relation("paper", "author"), ref.Relation("paper", "author"))
+			sameMatrix(t, "author-paper", inc.Relation("author", "paper"), ref.Relation("author", "paper"))
+			sameMatrix(t, "paper-venue", inc.Relation("paper", "venue"), ref.Relation("paper", "venue"))
+			sameMatrix(t, "APA", inc.CommutingMatrix(apa), ref.CommutingMatrix(apa))
+			sameMatrix(t, "APVPA", inc.CommutingMatrix(apvpa), ref.CommutingMatrix(apvpa))
+		}
+	}
+}
+
+func TestApplyEdgeDeltasValidation(t *testing.T) {
+	n := NewNetwork()
+	n.AddObject("a", "x")
+	n.AddObject("b", "y")
+	if err := n.ApplyEdgeDeltas("a", "b", []EdgeDelta{{Src: 0, Dst: 5, W: 1}}); err == nil {
+		t.Fatal("expected out-of-range error")
+	}
+	// Nothing applied: the relation is still empty.
+	if n.Relation("a", "b").NNZ() != 0 {
+		t.Fatal("failed batch must not mutate the network")
+	}
+	if err := n.ApplyEdgeDeltas("a", "b", nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSelectiveInvalidation checks that a delta on one relation keeps
+// unrelated cached products alive (same pointer) while refreshing the
+// affected ones.
+func TestSelectiveInvalidation(t *testing.T) {
+	n := NewNetwork()
+	n.AddObject("author", "a0")
+	n.AddObject("author", "a1")
+	n.AddObject("paper", "p0")
+	n.AddObject("paper", "p1")
+	n.AddObject("venue", "v0")
+	n.AddObject("term", "t0")
+	n.AddLink("paper", 0, "author", 0, 1)
+	n.AddLink("paper", 1, "author", 1, 1)
+	n.AddLink("paper", 0, "venue", 0, 1)
+	n.AddLink("paper", 1, "venue", 0, 1)
+	n.AddLink("paper", 0, "term", 0, 1)
+
+	apa := n.CommutingMatrix(MetaPath{"author", "paper", "author"})
+	tpt := n.CommutingMatrix(MetaPath{"term", "paper", "term"})
+	vpv := n.CommutingMatrix(MetaPath{"venue", "paper", "venue"})
+
+	// A paper-author delta must not disturb the term/venue products.
+	if err := n.ApplyEdgeDeltas("paper", "author", []EdgeDelta{{Src: 1, Dst: 0, W: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	if got := n.CommutingMatrix(MetaPath{"term", "paper", "term"}); got != tpt {
+		t.Fatal("T-P-T should survive a paper-author delta")
+	}
+	if got := n.CommutingMatrix(MetaPath{"venue", "paper", "venue"}); got != vpv {
+		t.Fatal("V-P-V should survive a paper-author delta")
+	}
+	if got := n.CommutingMatrix(MetaPath{"author", "paper", "author"}); got == apa {
+		t.Fatal("A-P-A must be rematerialized after a paper-author delta")
+	}
+	// Correct value: a0 and a1 now share paper p1.
+	if got := n.CommutingMatrix(MetaPath{"author", "paper", "author"}).At(0, 1); got != 1 {
+		t.Fatalf("A-P-A[0][1] = %v, want 1", got)
+	}
+}
+
+// TestCloneIsolation checks the copy-on-write contract: mutating a
+// clone never changes what the parent serves, and the clone starts
+// with the parent's warm caches.
+func TestCloneIsolation(t *testing.T) {
+	n := NewNetwork()
+	n.AddObject("author", "a0")
+	n.AddObject("author", "a1")
+	n.AddObject("paper", "p0")
+	n.AddLink("paper", 0, "author", 0, 1)
+	apa := n.CommutingMatrix(MetaPath{"author", "paper", "author"})
+	pa := n.Relation("paper", "author")
+
+	c := n.Clone()
+	// Clone serves the shared matrices without recomputation.
+	if c.Relation("paper", "author") != pa {
+		t.Fatal("clone should share the cached relation matrix")
+	}
+	if c.CommutingMatrix(MetaPath{"author", "paper", "author"}) != apa {
+		t.Fatal("clone should share the cached commuting matrix")
+	}
+
+	// Mutate the clone: new author, new paper, new links.
+	c.AddObject("author", "a2")
+	c.AddObject("paper", "p1")
+	if err := c.ApplyEdgeDeltas("paper", "author", []EdgeDelta{
+		{Src: 1, Dst: 0, W: 1}, {Src: 1, Dst: 2, W: 1},
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Parent is untouched.
+	if n.Count("author") != 2 || n.Count("paper") != 1 {
+		t.Fatalf("parent counts changed: %d authors, %d papers", n.Count("author"), n.Count("paper"))
+	}
+	if n.Relation("paper", "author") != pa {
+		t.Fatal("parent relation cache must be unaffected")
+	}
+	if n.LinkCount("paper", "author") != 1 {
+		t.Fatalf("parent link log grew: %d", n.LinkCount("paper", "author"))
+	}
+
+	// Clone state matches a replayed build.
+	ref := NewNetwork()
+	ref.AddObject("author", "a0")
+	ref.AddObject("author", "a1")
+	ref.AddObject("paper", "p0")
+	ref.AddLink("paper", 0, "author", 0, 1)
+	ref.AddObject("author", "a2")
+	ref.AddObject("paper", "p1")
+	ref.AddLink("paper", 1, "author", 0, 1)
+	ref.AddLink("paper", 1, "author", 2, 1)
+	sameMatrix(t, "clone paper-author", c.Relation("paper", "author"), ref.Relation("paper", "author"))
+	sameMatrix(t, "clone APA", c.CommutingMatrix(MetaPath{"author", "paper", "author"}), ref.CommutingMatrix(MetaPath{"author", "paper", "author"}))
+	if c.Lookup("author", "a2") != 2 || n.Lookup("author", "a2") != -1 {
+		t.Fatal("name index isolation violated")
+	}
+}

@@ -47,6 +47,12 @@ type relationKey struct {
 // Network is a heterogeneous information network. Objects of each type
 // are dense integers 0..Count(t)-1 with optional names; links are typed
 // and weighted. Link insertion order is preserved per relation.
+//
+// Concurrency: any number of goroutines may query a network
+// concurrently (Relation, CommutingMatrix, lookups, ...). Mutations
+// (AddObject, AddLink, ApplyEdgeDeltas, ...) are single-writer and
+// must not run concurrently with queries — the serving layer gets
+// both by mutating a copy-on-write Clone and swapping it in atomically.
 type Network struct {
 	types    []Type
 	names    map[Type][]string
@@ -54,12 +60,21 @@ type Network struct {
 	relation map[relationKey][]link
 
 	// version counts structural mutations; the meta-path engine's
-	// materialization cache is invalidated whenever it moves, so a
-	// network edit after a CommutingMatrix call can never serve stale
-	// products.
+	// materialization cache moves epochs with it, so a network edit
+	// after a CommutingMatrix call can never serve stale products.
+	// Mutations invalidate selectively: only cached matrices and
+	// engine entries that read the touched relation (or a relation of
+	// a grown type) are dropped.
 	version int64
 	engMu   sync.Mutex
 	eng     *metapath.Engine
+
+	// relCache memoizes Relation's materialized adjacency matrices per
+	// orientation. Matrices are immutable, so cached values are shared
+	// freely; ApplyEdgeDeltas keeps them warm by merging deltas instead
+	// of rebuilding, and AddObject grows them in place of dropping.
+	relMu    sync.Mutex
+	relCache map[relationKey]*sparse.Matrix
 }
 
 // NewNetwork returns an empty network.
@@ -68,6 +83,7 @@ func NewNetwork() *Network {
 		names:    make(map[Type][]string),
 		index:    make(map[Type]map[string]int),
 		relation: make(map[relationKey][]link),
+		relCache: make(map[relationKey]*sparse.Matrix),
 	}
 }
 
@@ -80,6 +96,9 @@ func (n *Network) AddType(t Type) {
 	n.types = append(n.types, t)
 	n.names[t] = nil
 	n.index[t] = make(map[string]int)
+	// A new type has no links, so no cached matrix or product can be
+	// stale — move the engine's epoch without dropping anything.
+	n.engInvalidate(func([]string) bool { return false })
 }
 
 // Types returns the registered types in insertion order.
@@ -96,6 +115,7 @@ func (n *Network) AddObject(t Type, name string) int {
 	n.version++
 	n.names[t] = append(n.names[t], name)
 	n.index[t][name] = id
+	n.typeGrew(t)
 	return id
 }
 
@@ -110,7 +130,60 @@ func (n *Network) AddAnonymous(t Type, count int) int {
 		n.names[t] = append(n.names[t], name)
 		n.index[t][name] = first + i
 	}
+	n.typeGrew(t)
 	return first
+}
+
+// typeGrew reconciles the caches after Count(t) increased: cached
+// relation matrices touching t grow to the new dimensions (their
+// entries are unchanged — a fresh object has no links), and cached
+// meta-path products whose path mentions t are dropped, since their
+// dimensions are stale. The engine's surviving entries move to the new
+// epoch.
+func (n *Network) typeGrew(t Type) {
+	n.relMu.Lock()
+	for k, m := range n.relCache {
+		if k.src == t || k.dst == t {
+			n.relCache[k] = m.Grow(n.Count(k.src), n.Count(k.dst))
+		}
+	}
+	n.relMu.Unlock()
+	n.engInvalidate(func(path []string) bool { return slices.Contains(path, string(t)) })
+}
+
+// relationChanged reconciles the caches after links between a and b
+// changed in a way not already merged into the cached matrices: both
+// cached orientations are dropped, along with every cached meta-path
+// product that traverses the a-b relation.
+func (n *Network) relationChanged(a, b Type) {
+	n.relMu.Lock()
+	delete(n.relCache, relationKey{a, b})
+	delete(n.relCache, relationKey{b, a})
+	n.relMu.Unlock()
+	n.engInvalidate(func(path []string) bool { return pathHasPair(path, string(a), string(b)) })
+}
+
+// pathHasPair reports whether the path traverses the a-b relation in
+// either direction.
+func pathHasPair(path []string, a, b string) bool {
+	for i := 0; i+1 < len(path); i++ {
+		if (path[i] == a && path[i+1] == b) || (path[i] == b && path[i+1] == a) {
+			return true
+		}
+	}
+	return false
+}
+
+// engInvalidate moves the engine's cache to the network's current
+// version, dropping entries that match drop. A nil engine has nothing
+// cached, and a later PathEngine() call syncs it to the version.
+func (n *Network) engInvalidate(drop func(path []string) bool) {
+	n.engMu.Lock()
+	e := n.eng
+	n.engMu.Unlock()
+	if e != nil {
+		e.Invalidate(n.version, drop)
+	}
 }
 
 // Count returns the number of objects of type t.
@@ -139,6 +212,70 @@ func (n *Network) AddLink(src Type, srcID int, dst Type, dstID int, w float64) {
 	}
 	n.version++
 	n.relation[relationKey{src, dst}] = append(n.relation[relationKey{src, dst}], link{srcID, dstID, w})
+	n.relationChanged(src, dst)
+}
+
+// EdgeDelta is one signed weight adjustment between two objects of a
+// relation: positive adds link weight, negative removes it. A pair
+// whose total weight reaches exactly zero drops out of the relation
+// matrix entirely, matching a from-scratch rebuild of the link log.
+type EdgeDelta struct {
+	Src, Dst int
+	W        float64
+}
+
+// ApplyEdgeDeltas applies a batch of edge deltas to the (src, dst)
+// relation: the deltas are appended to the link log (so a from-scratch
+// rebuild replays to the identical network) and merged into any cached
+// relation matrices via the sparse copy-on-write delta kernel —
+// O(batch + touched rows) instead of an O(links) rebuild. Cached
+// meta-path products that traverse the relation are invalidated; all
+// others survive. Endpoints out of range return an error before
+// anything is modified.
+func (n *Network) ApplyEdgeDeltas(src, dst Type, deltas []EdgeDelta) error {
+	if len(deltas) == 0 {
+		return nil
+	}
+	ns, nd := n.Count(src), n.Count(dst)
+	for _, d := range deltas {
+		if d.Src < 0 || d.Src >= ns || d.Dst < 0 || d.Dst >= nd {
+			return fmt.Errorf("hin: delta (%s,%d)-(%s,%d) out of range", src, d.Src, dst, d.Dst)
+		}
+	}
+	key := relationKey{src, dst}
+	ls := n.relation[key]
+	for _, d := range deltas {
+		ls = append(ls, link{d.Src, d.Dst, d.W})
+	}
+	n.relation[key] = ls
+	n.version++
+
+	// Merge into whichever orientations are materialized. Relation
+	// merges both log orientations, so the (dst, src) matrix sees the
+	// batch transposed.
+	n.relMu.Lock()
+	if m, ok := n.relCache[key]; ok {
+		coords := make([]sparse.Coord, len(deltas))
+		for i, d := range deltas {
+			coords[i] = sparse.Coord{Row: d.Src, Col: d.Dst, Val: d.W}
+		}
+		n.relCache[key] = m.ApplyDelta(coords)
+	}
+	if rev := (relationKey{dst, src}); src != dst {
+		if m, ok := n.relCache[rev]; ok {
+			coords := make([]sparse.Coord, len(deltas))
+			for i, d := range deltas {
+				coords[i] = sparse.Coord{Row: d.Dst, Col: d.Src, Val: d.W}
+			}
+			n.relCache[rev] = m.ApplyDelta(coords)
+		}
+	}
+	n.relMu.Unlock()
+
+	// The relation matrices are already current; only derived products
+	// along the pair are stale.
+	n.engInvalidate(func(path []string) bool { return pathHasPair(path, string(src), string(dst)) })
+	return nil
 }
 
 // LinkCount returns the number of stored links in the (src, dst)
@@ -155,8 +292,33 @@ func (n *Network) HasRelation(a, b Type) bool {
 
 // Relation returns the weighted adjacency matrix W with W[i][j] = total
 // link weight between object i of type src and object j of type dst,
-// merging links stored in either orientation.
+// merging links stored in either orientation. The matrix is immutable
+// and memoized: repeated calls return the same (shared) matrix until a
+// mutation touching the relation invalidates it, and ApplyEdgeDeltas
+// keeps it warm by merging instead of rebuilding.
 func (n *Network) Relation(src, dst Type) *sparse.Matrix {
+	key := relationKey{src, dst}
+	n.relMu.Lock()
+	if m, ok := n.relCache[key]; ok {
+		n.relMu.Unlock()
+		return m
+	}
+	n.relMu.Unlock()
+	m := n.buildRelation(src, dst)
+	n.relMu.Lock()
+	if prev, ok := n.relCache[key]; ok {
+		// A concurrent query built it first; share that one.
+		m = prev
+	} else {
+		n.relCache[key] = m
+	}
+	n.relMu.Unlock()
+	return m
+}
+
+// buildRelation materializes the (src, dst) adjacency from the link
+// log — the cold path behind Relation's cache.
+func (n *Network) buildRelation(src, dst Type) *sparse.Matrix {
 	var entries []sparse.Coord
 	for _, l := range n.relation[relationKey{src, dst}] {
 		entries = append(entries, sparse.Coord{Row: l.src, Col: l.dst, Val: l.w})
@@ -299,6 +461,56 @@ func (s netSource) Count(t string) int { return s.n.Count(Type(t)) }
 func (s netSource) HasRelation(a, b string) bool { return s.n.HasRelation(Type(a), Type(b)) }
 
 func (s netSource) Relation(a, b string) *sparse.Matrix { return s.n.Relation(Type(a), Type(b)) }
+
+// Clone returns a copy-on-write clone of the network for incremental
+// delta chains: the clone shares the parent's immutable link storage,
+// cached relation matrices and completed meta-path materializations,
+// so cloning costs O(objects + relations), not O(links). Mutating the
+// clone never changes what the parent serves — link logs are
+// capacity-clipped so appends reallocate, matrices are immutable, and
+// the engine cache is copied entry-by-entry.
+//
+// The intended discipline is a single-writer chain (the serving
+// layer's ingest path): clone the live network, apply a delta batch to
+// the clone, swap it in, and never mutate the parent again. Queries
+// against the parent remain safe throughout.
+func (n *Network) Clone() *Network {
+	c := &Network{
+		types:    append([]Type(nil), n.types...),
+		names:    make(map[Type][]string, len(n.names)),
+		index:    make(map[Type]map[string]int, len(n.index)),
+		relation: make(map[relationKey][]link, len(n.relation)),
+		relCache: make(map[relationKey]*sparse.Matrix),
+		version:  n.version,
+	}
+	for t, ns := range n.names {
+		// Clip capacity so an append in the clone reallocates instead
+		// of writing into the parent's backing array.
+		c.names[t] = ns[:len(ns):len(ns)]
+	}
+	for t, idx := range n.index {
+		m := make(map[string]int, len(idx))
+		for name, id := range idx {
+			m[name] = id
+		}
+		c.index[t] = m
+	}
+	for k, ls := range n.relation {
+		c.relation[k] = ls[:len(ls):len(ls)]
+	}
+	n.relMu.Lock()
+	for k, m := range n.relCache {
+		c.relCache[k] = m
+	}
+	n.relMu.Unlock()
+	n.engMu.Lock()
+	eng := n.eng
+	n.engMu.Unlock()
+	if eng != nil {
+		c.eng = eng.CloneFor(netSource{c}, c.version)
+	}
+	return c
+}
 
 // PathEngine returns the network's meta-path engine — the planner and
 // materialization cache every CommutingMatrix/Projection call runs

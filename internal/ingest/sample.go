@@ -1,0 +1,83 @@
+// Sample delta generation: deterministic paper-arrival batches over a
+// DBLP corpus, for demos (`hinet ingest -emit`), tests and benchmarks.
+// The emitted deltas reference existing authors/venues/terms by name,
+// so a batch generated against `dblp.Generate(seed, cfg)` applies
+// cleanly to any server built from the same seed and config.
+
+package ingest
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"hinet/internal/dblp"
+	"hinet/internal/stats"
+)
+
+// SamplePapers generates the delta stream of `papers` new publications
+// arriving at a corpus: per paper one add-node plus edges to a venue,
+// 1–3 existing authors, 3–5 existing terms and a year, drawn uniformly
+// from the corpus's object sets. Identical (corpus, rng state, papers)
+// inputs produce identical streams.
+func SamplePapers(c *dblp.Corpus, rng *stats.RNG, papers int) []Delta {
+	n := c.Net
+	var out []Delta
+	nA, nV, nT, nY := n.Count(dblp.TypeAuthor), n.Count(dblp.TypeVenue), n.Count(dblp.TypeTerm), n.Count(dblp.TypeYear)
+	base := n.Count(dblp.TypePaper)
+	for p := 0; p < papers; p++ {
+		name := fmt.Sprintf("ingested-paper-%d", base+p)
+		out = append(out, Delta{Op: OpAddNode, Type: string(dblp.TypePaper), Name: name})
+		edge := func(dt string, dn string) {
+			out = append(out, Delta{
+				Op:      OpAddEdge,
+				SrcType: string(dblp.TypePaper), Src: name,
+				DstType: dt, Dst: dn,
+			})
+		}
+		if nV > 0 {
+			edge(string(dblp.TypeVenue), n.Name(dblp.TypeVenue, rng.Intn(nV)))
+		}
+		// Clamp draws to the available population so degenerate corpora
+		// (fewer authors/terms than a paper would cite) terminate.
+		authors := min(1+rng.Intn(3), nA)
+		seen := map[int]bool{}
+		for len(seen) < authors {
+			a := rng.Intn(nA)
+			if seen[a] {
+				continue
+			}
+			seen[a] = true
+			edge(string(dblp.TypeAuthor), n.Name(dblp.TypeAuthor, a))
+		}
+		terms := min(3+rng.Intn(3), nT)
+		seenT := map[int]bool{}
+		for len(seenT) < terms {
+			tm := rng.Intn(nT)
+			if seenT[tm] {
+				continue
+			}
+			seenT[tm] = true
+			edge(string(dblp.TypeTerm), n.Name(dblp.TypeTerm, tm))
+		}
+		if nY > 0 {
+			edge(string(dblp.TypeYear), n.Name(dblp.TypeYear, rng.Intn(nY)))
+		}
+	}
+	return out
+}
+
+// WriteJSONL renders deltas one JSON object per line — the inverse of
+// ParseJSONL.
+func WriteJSONL(w io.Writer, deltas []Delta) error {
+	for _, d := range deltas {
+		b, err := json.Marshal(d)
+		if err != nil {
+			return err
+		}
+		if _, err := w.Write(append(b, '\n')); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -60,11 +60,22 @@ const maxEntries = 256
 
 // entry is one cached materialization. ready is closed once m is set,
 // so concurrent askers of the same path share a single computation
-// (singleflight) instead of racing duplicate products.
+// (singleflight) instead of racing duplicate products. path is the
+// type sequence the entry was materialized for — selective
+// invalidation (Invalidate) matches against it.
 type entry struct {
 	ready chan struct{}
+	path  []string
 	m     *sparse.Matrix
 }
+
+// closedReady is the pre-closed channel entries adopted by CloneFor
+// share (their matrices are already materialized).
+var closedReady = func() chan struct{} {
+	ch := make(chan struct{})
+	close(ch)
+	return ch
+}()
 
 // Stats is a snapshot of the engine's counters.
 type Stats struct {
@@ -103,6 +114,9 @@ func New(src Source) *Engine {
 // SyncEpoch invalidates the cache if v differs from the engine's
 // current epoch (the owner calls this with its mutation counter, so a
 // network edit after materialization can never serve stale products).
+// Owners that know *which* relations a mutation touched should call
+// Invalidate instead — it moves the epoch while keeping every entry
+// the mutation cannot have affected.
 func (e *Engine) SyncEpoch(v int64) {
 	e.mu.Lock()
 	if v != e.epoch {
@@ -110,6 +124,49 @@ func (e *Engine) SyncEpoch(v int64) {
 		e.entries = make(map[string]*entry)
 	}
 	e.mu.Unlock()
+}
+
+// Invalidate moves the cache to epoch v, dropping only the entries
+// whose path matches drop. This is the selective form of SyncEpoch the
+// incremental-ingestion path uses: a mutation confined to one relation
+// (or one grown type) invalidates exactly the sub-paths that read it,
+// and every other cached materialization survives the epoch move.
+// In-flight computations that match are detached from the cache; their
+// waiters still receive the (pre-mutation) result, which is only safe
+// because owners never mutate concurrently with queries.
+func (e *Engine) Invalidate(v int64, drop func(path []string) bool) {
+	e.mu.Lock()
+	e.epoch = v
+	for k, ent := range e.entries {
+		if drop(ent.path) {
+			delete(e.entries, k)
+		}
+	}
+	e.mu.Unlock()
+}
+
+// CloneFor returns a new engine over src at epoch v, seeded with every
+// *completed* cached materialization of the receiver (in-flight
+// computations are skipped, not awaited). Matrices are shared, not
+// copied — they are immutable — so cloning is O(entries). This is how
+// a copy-on-write network clone (hin.Network.Clone) carries the warm
+// materialization cache into its new generation; counters start at
+// zero.
+func (e *Engine) CloneFor(src Source, v int64) *Engine {
+	ne := New(src)
+	ne.epoch = v
+	e.mu.Lock()
+	for k, ent := range e.entries {
+		select {
+		case <-ent.ready:
+			if ent.m != nil {
+				ne.entries[k] = &entry{ready: closedReady, path: ent.path, m: ent.m}
+			}
+		default:
+		}
+	}
+	e.mu.Unlock()
+	return ne
 }
 
 // Reset drops every cached materialization (the benchmarks use this to
@@ -174,21 +231,22 @@ func (e *Engine) Commute(path []string) (*sparse.Matrix, error) {
 func (e *Engine) matrix(path []string) *sparse.Matrix {
 	canon, rev := canonicalize(path)
 	if !rev {
-		return e.cached(join(path), func() *sparse.Matrix { return e.compute(path) })
+		return e.cached(path, func() *sparse.Matrix { return e.compute(path) })
 	}
 	// Reversed orientation: materialize the canonical orientation, then
 	// derive this one by a cheap O(nnz) transpose — also cached, so
 	// repeated reverse queries are pure lookups.
-	return e.cached(join(path), func() *sparse.Matrix {
-		m := e.cached(join(canon), func() *sparse.Matrix { return e.compute(canon) })
+	return e.cached(path, func() *sparse.Matrix {
+		m := e.cached(canon, func() *sparse.Matrix { return e.compute(canon) })
 		e.transposes.Add(1)
 		return m.Transpose()
 	})
 }
 
-// cached runs compute under a singleflight entry for key. When the
+// cached runs compute under a singleflight entry for path. When the
 // cache is full, the value is computed but not retained.
-func (e *Engine) cached(key string, compute func() *sparse.Matrix) *sparse.Matrix {
+func (e *Engine) cached(path []string, compute func() *sparse.Matrix) *sparse.Matrix {
+	key := join(path)
 	e.mu.Lock()
 	if ent, ok := e.entries[key]; ok {
 		e.mu.Unlock()
@@ -196,7 +254,7 @@ func (e *Engine) cached(key string, compute func() *sparse.Matrix) *sparse.Matri
 		if ent.m == nil {
 			// The computing goroutine panicked and withdrew the entry;
 			// retry against the refreshed map.
-			return e.cached(key, compute)
+			return e.cached(path, compute)
 		}
 		e.hits.Add(1)
 		return ent.m
@@ -206,15 +264,19 @@ func (e *Engine) cached(key string, compute func() *sparse.Matrix) *sparse.Matri
 		e.mu.Unlock()
 		return compute()
 	}
-	ent := &entry{ready: make(chan struct{})}
+	ent := &entry{ready: make(chan struct{}), path: path}
 	e.entries[key] = ent
 	e.mu.Unlock()
 	defer func() {
 		if ent.m == nil {
 			// compute panicked: drop the entry so later calls retry, and
-			// release waiters (they observe the nil and recompute).
+			// release waiters (they observe the nil and recompute). The
+			// pointer check keeps a concurrent Invalidate + re-register
+			// under the same key from losing the fresh entry.
 			e.mu.Lock()
-			delete(e.entries, key)
+			if e.entries[key] == ent {
+				delete(e.entries, key)
+			}
 			e.mu.Unlock()
 		}
 		close(ent.ready)

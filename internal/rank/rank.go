@@ -23,6 +23,17 @@ type Options struct {
 	Damping   float64 // PageRank damping factor d (default 0.85)
 	MaxIter   int     // iteration cap (default 100)
 	Tolerance float64 // L∞ convergence threshold (default 1e-9)
+
+	// Start warm-starts the power iteration from a previous solution
+	// instead of the restart distribution. The fixed point is the same
+	// — PageRank's stationary distribution does not depend on the
+	// starting vector — but starting near it (e.g. from the previous
+	// epoch's scores after a small delta batch) converges in a fraction
+	// of the iterations, which is what the incremental ingestion path
+	// exploits. The vector is copied and L1-normalized; it is ignored
+	// when its length does not match the matrix or it has no positive
+	// mass, so callers can pass a stale vector unconditionally.
+	Start []float64
 }
 
 func (o Options) withDefaults() Options {
@@ -109,6 +120,12 @@ func personalized(adj *sparse.Matrix, restart []float64, opt Options) Result {
 	}
 	x := make([]float64, n)
 	copy(x, tele)
+	if len(opt.Start) == n {
+		if s := sum(opt.Start); s > 0 {
+			copy(x, opt.Start)
+			sparse.ScaleVec(1/s, x)
+		}
+	}
 	next := make([]float64, n)
 	d := opt.Damping
 	for it := 1; it <= opt.MaxIter; it++ {

@@ -362,3 +362,40 @@ func TestResultTopKHelpers(t *testing.T) {
 		t.Errorf("TopHubs = %v", got)
 	}
 }
+
+// TestPageRankWarmStart checks that a warm-started iteration reaches
+// the same stationary distribution as a cold one (the fixed point does
+// not depend on the start vector) in no more iterations, and that
+// malformed warm vectors are ignored.
+func TestPageRankWarmStart(t *testing.T) {
+	g := netgen.BarabasiAlbert(stats.NewRNG(5), 400, 3)
+	adj := g.Adjacency()
+	cold := PageRank(adj, Options{})
+	if !cold.Converged {
+		t.Fatal("cold run did not converge")
+	}
+
+	// Perturb the graph slightly, recompute cold and warm.
+	perturbed := adj.ApplyDelta([]sparse.Coord{
+		{Row: 0, Col: 5, Val: 1}, {Row: 7, Col: 3, Val: 1}, {Row: 2, Col: 9, Val: 1},
+	})
+	cold2 := PageRank(perturbed, Options{})
+	warm := PageRank(perturbed, Options{Start: cold.Scores})
+	if !warm.Converged {
+		t.Fatal("warm run did not converge")
+	}
+	if d := sparse.MaxAbsDiff(cold2.Scores, warm.Scores); d > 1e-6 {
+		t.Fatalf("warm and cold disagree by %g", d)
+	}
+	if warm.Iterations > cold2.Iterations {
+		t.Fatalf("warm start took %d iterations, cold %d", warm.Iterations, cold2.Iterations)
+	}
+
+	// Mismatched length and zero-mass warm vectors fall back to cold.
+	if got := PageRank(perturbed, Options{Start: []float64{1, 2, 3}}); got.Iterations != cold2.Iterations {
+		t.Fatal("length-mismatched Start must be ignored")
+	}
+	if got := PageRank(perturbed, Options{Start: make([]float64, perturbed.Rows())}); got.Iterations != cold2.Iterations {
+		t.Fatal("zero-mass Start must be ignored")
+	}
+}

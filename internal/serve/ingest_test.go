@@ -1,0 +1,296 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"hinet/internal/dblp"
+	"hinet/internal/ingest"
+	"hinet/internal/pathsim"
+	"hinet/internal/stats"
+)
+
+// samePairs compares two answers element-wise (nil and empty are the
+// same answer).
+func samePairs(a, b []pathsim.Pair) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// postIngest ships a delta batch through the HTTP handler and decodes
+// the response.
+func postIngest(t *testing.T, srv *Server, deltas []ingest.Delta) (map[string]any, int) {
+	t.Helper()
+	body, err := json.Marshal(map[string]any{"deltas": deltas})
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := httptest.NewRequest(http.MethodPost, "/v1/ingest", bytes.NewReader(body))
+	rec := httptest.NewRecorder()
+	srv.Handler().ServeHTTP(rec, req)
+	var out map[string]any
+	_ = json.Unmarshal(rec.Body.Bytes(), &out)
+	return out, rec.Code
+}
+
+func TestIngestEndpoint(t *testing.T) {
+	srv := newTestServer(t, Options{})
+	snap0 := srv.Snapshot()
+
+	deltas := []ingest.Delta{
+		{Op: ingest.OpAddNode, Type: "paper", Name: "ingested-0"},
+		{Op: ingest.OpAddEdge, SrcType: "paper", Src: "ingested-0", DstType: "author", Dst: snap0.Corpus.Net.Name(dblp.TypeAuthor, 0)},
+		{Op: ingest.OpAddEdge, SrcType: "paper", Src: "ingested-0", DstType: "venue", Dst: snap0.Corpus.Net.Name(dblp.TypeVenue, 0)},
+	}
+	out, code := postIngest(t, srv, deltas)
+	if code != http.StatusOK {
+		t.Fatalf("ingest returned %d: %v", code, out)
+	}
+	if int64(out["epoch"].(float64)) != snap0.Epoch+1 {
+		t.Fatalf("epoch %v, want %d", out["epoch"], snap0.Epoch+1)
+	}
+	snap1 := srv.Snapshot()
+	if snap1 == snap0 {
+		t.Fatal("snapshot not swapped")
+	}
+	if snap1.Corpus.Net.Count(dblp.TypePaper) != snap0.Corpus.Net.Count(dblp.TypePaper)+1 {
+		t.Fatal("paper not ingested")
+	}
+	// The old snapshot's network is untouched (copy-on-write).
+	if snap0.Corpus.Net.Lookup(dblp.TypePaper, "ingested-0") != -1 {
+		t.Fatal("old snapshot's network was mutated")
+	}
+	// Clustering models carried over; ranking recomputed at new size.
+	if snap1.RankClus != snap0.RankClus || snap1.NetClus != snap0.NetClus {
+		t.Fatal("cluster models should carry over without refresh_models")
+	}
+	if len(snap1.PageRank.Scores) != snap1.Corpus.Net.Count(dblp.TypeAuthor) {
+		t.Fatal("PageRank not rebuilt over the new graph")
+	}
+
+	// Method and body validation.
+	req := httptest.NewRequest(http.MethodGet, "/v1/ingest", nil)
+	rec := httptest.NewRecorder()
+	srv.Handler().ServeHTTP(rec, req)
+	if rec.Code != http.StatusMethodNotAllowed {
+		t.Fatalf("GET ingest: %d", rec.Code)
+	}
+	if _, code := postIngest(t, srv, nil); code != http.StatusBadRequest {
+		t.Fatalf("empty batch: %d", code)
+	}
+	if _, code := postIngest(t, srv, []ingest.Delta{
+		{Op: ingest.OpAddEdge, SrcType: "paper", Src: "no-such-paper", DstType: "author", Dst: "no-such-author"},
+	}); code != http.StatusBadRequest {
+		t.Fatalf("invalid batch: %d", code)
+	}
+	// A rejected batch must not advance the epoch.
+	if srv.Snapshot().Epoch != snap1.Epoch {
+		t.Fatal("rejected batch advanced the epoch")
+	}
+}
+
+// TestIngestEquivalentToRebuild is the serving-level equivalence
+// check: a store that ingests delta batches ends with the same
+// network matrices and (within tolerance) the same PageRank as a
+// store that replays everything from scratch.
+func TestIngestEquivalentToRebuild(t *testing.T) {
+	inc := NewStore(testConfig())
+	inc.Rebuild(1)
+	ref := NewStore(testConfig())
+	ref.Rebuild(1)
+
+	rng := stats.NewRNG(42)
+	var all []ingest.Delta
+	for batch := 0; batch < 3; batch++ {
+		ds := ingest.SamplePapers(inc.Current().Corpus, rng, 4)
+		if _, _, err := inc.Ingest(ds, false); err != nil {
+			t.Fatal(err)
+		}
+		all = append(all, ds...)
+	}
+	// Replay the same deltas in one shot on the reference store.
+	if _, _, err := ref.Ingest(all, false); err != nil {
+		t.Fatal(err)
+	}
+
+	a, b := inc.Current(), ref.Current()
+	if got, want := a.Corpus.Net.Count(dblp.TypePaper), b.Corpus.Net.Count(dblp.TypePaper); got != want {
+		t.Fatalf("paper counts %d vs %d", got, want)
+	}
+	am := a.Corpus.Net.Relation(dblp.TypePaper, dblp.TypeAuthor)
+	bm := b.Corpus.Net.Relation(dblp.TypePaper, dblp.TypeAuthor)
+	if !reflect.DeepEqual(am.Dense(), bm.Dense()) {
+		t.Fatal("paper-author relation differs between batched and replayed ingestion")
+	}
+	if !reflect.DeepEqual(a.PathSim.M.Dense(), b.PathSim.M.Dense()) {
+		t.Fatal("PathSim commuting matrix differs")
+	}
+	for i := range a.PageRank.Scores {
+		d := a.PageRank.Scores[i] - b.PageRank.Scores[i]
+		if d < -1e-6 || d > 1e-6 {
+			t.Fatalf("PageRank diverged at %d: %g vs %g", i, a.PageRank.Scores[i], b.PageRank.Scores[i])
+		}
+	}
+}
+
+// TestIngestInvalidatesCachedAnswers checks that an ingest which
+// changes a query's true answer is reflected immediately — the cache
+// keys on the epoch, so no stale entry can be served.
+func TestIngestInvalidatesCachedAnswers(t *testing.T) {
+	srv := newTestServer(t, Options{})
+	snap := srv.Snapshot()
+	net := snap.Corpus.Net
+
+	// Prime the cache for author 0's top-k.
+	before, _, err := srv.TopK(context.Background(), 0, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Forge a batch that makes author 1 an overwhelming APVPA peer of
+	// author 0: many shared papers in one venue.
+	var ds []ingest.Delta
+	for i := 0; i < 20; i++ {
+		name := fmt.Sprintf("forged-%d", i)
+		ds = append(ds, ingest.Delta{Op: ingest.OpAddNode, Type: "paper", Name: name},
+			ingest.Delta{Op: ingest.OpAddEdge, SrcType: "paper", Src: name, DstType: "author", Dst: net.Name(dblp.TypeAuthor, 0)},
+			ingest.Delta{Op: ingest.OpAddEdge, SrcType: "paper", Src: name, DstType: "author", Dst: net.Name(dblp.TypeAuthor, 1)},
+			ingest.Delta{Op: ingest.OpAddEdge, SrcType: "paper", Src: name, DstType: "venue", Dst: net.Name(dblp.TypeVenue, 0)})
+	}
+	if _, code := postIngest(t, srv, ds); code != http.StatusOK {
+		t.Fatalf("ingest failed: %d", code)
+	}
+	after, hit, err := srv.TopK(context.Background(), 0, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hit {
+		t.Fatal("post-ingest query must not hit the pre-ingest cache entry")
+	}
+	if reflect.DeepEqual(before, after) {
+		t.Fatal("ingest did not change the served answer")
+	}
+	// And the fresh answer matches a direct index query on the new
+	// snapshot.
+	want := srv.Snapshot().PathSim.TopK(0, 5)
+	if !samePairs(after, want) {
+		t.Fatalf("served %v, index says %v", after, want)
+	}
+}
+
+// TestConcurrentIngestRebuildReads hammers the server with concurrent
+// ingests, rebuilds and reads (run under -race in CI): snapshot epochs
+// must be strictly monotonic at every observation point, responses
+// must never mix epochs with answers, and the final state must serve
+// the current snapshot's own results.
+func TestConcurrentIngestRebuildReads(t *testing.T) {
+	srv := newTestServer(t, Options{})
+	defer srv.Shutdown(context.Background())
+	base := srv.Snapshot()
+	authors := base.Corpus.Net.Count(dblp.TypeAuthor)
+
+	var lastSeen atomic.Int64
+	lastSeen.Store(base.Epoch)
+	observe := func(epoch int64) {
+		for {
+			prev := lastSeen.Load()
+			if epoch < prev {
+				// Receding epochs are only legal across different
+				// observers (a reader may hold an older snapshot); the
+				// high-water mark itself must never recede, which
+				// CompareAndSwap enforces.
+				return
+			}
+			if lastSeen.CompareAndSwap(prev, epoch) {
+				return
+			}
+		}
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	// Ingest writers.
+	for g := 0; g < 2; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := stats.NewRNG(int64(100 + g))
+			for i := 0; i < 5; i++ {
+				cur := srv.store.Current()
+				ds := ingest.SamplePapers(cur.Corpus, rng, 2)
+				snap, _, err := srv.store.Ingest(ds, false)
+				if err != nil {
+					errs <- err
+					return
+				}
+				observe(snap.Epoch)
+			}
+		}(g)
+	}
+	// Rebuild writer.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 3; i++ {
+			snap := srv.store.Rebuild(int64(i + 2))
+			observe(snap.Epoch)
+		}
+	}()
+	// Readers: top-k + rank + stats against whatever snapshot is live.
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 40; i++ {
+				snap := srv.store.Current()
+				observe(snap.Epoch)
+				x := (g*13 + i) % authors
+				pairs, epoch, _, err := srv.topK(context.Background(), snap, snap.PathSim, x, 5)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if epoch != snap.Epoch {
+					errs <- fmt.Errorf("answer epoch %d for snapshot epoch %d", epoch, snap.Epoch)
+					return
+				}
+				// The served answer must equal the snapshot's own index
+				// answer — a stale cache entry from another epoch would
+				// differ whenever the graph changed.
+				if want := snap.PathSim.TopK(x, 5); !samePairs(pairs, want) {
+					errs <- fmt.Errorf("stale answer for x=%d at epoch %d", x, snap.Epoch)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	// Quiesced: the live snapshot answers for itself.
+	snap := srv.Snapshot()
+	pairs, _, _, err := srv.topK(context.Background(), snap, snap.PathSim, 0, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := snap.PathSim.TopK(0, 5); !samePairs(pairs, want) {
+		t.Fatal("final answer does not match the live snapshot")
+	}
+}

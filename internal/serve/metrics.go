@@ -94,6 +94,11 @@ func (s *Server) writeMetrics(w io.Writer) {
 	fmt.Fprintf(w, "hinet_cache_misses_total %d\n", cs.Misses)
 	fmt.Fprintf(w, "hinet_cache_entries %d\n", cs.Entries)
 
+	fmt.Fprintf(w, "hinet_ingest_batches_total %d\n", s.ing.batches.Load())
+	fmt.Fprintf(w, "hinet_ingest_deltas_total %d\n", s.ing.deltas.Load())
+	fmt.Fprintf(w, "hinet_ingest_rejected_total %d\n", s.ing.rejected.Load())
+	fmt.Fprintf(w, "hinet_ingest_apply_seconds_sum %g\n", time.Duration(s.ing.nanos.Load()).Seconds())
+
 	fmt.Fprintf(w, "hinet_topk_batches_total %d\n", s.batch.batches.Load())
 	fmt.Fprintf(w, "hinet_topk_batched_queries_total %d\n", s.batch.queries.Load())
 	fmt.Fprintf(w, "hinet_topk_unique_queries_total %d\n", s.batch.unique.Load())

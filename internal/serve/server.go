@@ -27,16 +27,19 @@ package serve
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net"
 	"net/http"
 	"slices"
 	"strconv"
+	"sync/atomic"
 	"time"
 
 	"hinet/internal/dblp"
 	"hinet/internal/eval"
 	"hinet/internal/hin"
+	"hinet/internal/ingest"
 	"hinet/internal/pathsim"
 	"hinet/internal/sparse"
 )
@@ -81,10 +84,20 @@ type Server struct {
 	cache *Cache
 	batch *batcher
 	met   *metrics
+	ing   ingestStats
 	sem   chan struct{}
 	mux   *http.ServeMux
 	hs    *http.Server
 	ln    net.Listener
+}
+
+// ingestStats counts the ingestion write path (see /metrics and
+// /v1/stats).
+type ingestStats struct {
+	batches  atomic.Uint64 // accepted delta batches
+	deltas   atomic.Uint64 // deltas in accepted batches
+	rejected atomic.Uint64 // batches rejected by validation
+	nanos    atomic.Int64  // cumulative apply+rebuild time
 }
 
 // New builds a server and materializes its first snapshot synchronously,
@@ -109,7 +122,7 @@ func New(opts Options) *Server {
 	s.batch = newBatcher(opts.MaxBatch, opts.BatchWindow)
 	s.met = newMetrics(
 		"/healthz", "/metrics", "/v1/stats", "/v1/rank",
-		"/v1/clusters", "/v1/pathsim/topk", "/v1/rebuild",
+		"/v1/clusters", "/v1/pathsim/topk", "/v1/rebuild", "/v1/ingest",
 	)
 	s.route("/healthz", false, s.handleHealthz)
 	s.route("/metrics", false, s.handleMetrics)
@@ -118,6 +131,7 @@ func New(opts Options) *Server {
 	s.route("/v1/clusters", false, s.handleClusters)
 	s.route("/v1/pathsim/topk", true, s.handleTopK)
 	s.route("/v1/rebuild", true, s.handleRebuild)
+	s.route("/v1/ingest", true, s.handleIngest)
 	return s
 }
 
@@ -305,6 +319,12 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			}
 		}(),
 		"cache": s.cache.Stats(),
+		"ingest": map[string]any{
+			"batches":       s.ing.batches.Load(),
+			"deltas":        s.ing.deltas.Load(),
+			"rejected":      s.ing.rejected.Load(),
+			"apply_seconds": time.Duration(s.ing.nanos.Load()).Seconds(),
+		},
 		"batch": map[string]uint64{
 			"batches": s.batch.batches.Load(),
 			"queries": s.batch.queries.Load(),
@@ -398,7 +418,7 @@ func (s *Server) handleClusters(w http.ResponseWriter, r *http.Request) {
 			"algo":     algo,
 			"epoch":    snap.Epoch,
 			"k":        m.K,
-			"nmi":      eval.NMI(c.VenueArea, m.Assign),
+			"nmi":      nmiAligned(c.VenueArea, m.Assign),
 			"clusters": clusters,
 		})
 	case "netclus":
@@ -424,13 +444,23 @@ func (s *Server) handleClusters(w http.ResponseWriter, r *http.Request) {
 			"algo":      algo,
 			"epoch":     snap.Epoch,
 			"k":         m.K,
-			"nmi_paper": eval.NMI(c.PaperArea, m.AssignCenter),
-			"nmi_venue": eval.NMI(c.VenueArea, m.AssignAttr(1)),
+			"nmi_paper": nmiAligned(c.PaperArea, m.AssignCenter),
+			"nmi_venue": nmiAligned(c.VenueArea, m.AssignAttr(1)),
 			"clusters":  clusters,
 		})
 	default:
 		httpError(w, http.StatusBadRequest, "unknown algo %q (want rankclus|netclus)", algo)
 	}
+}
+
+// nmiAligned scores the overlap of a ground-truth labeling and a
+// cluster assignment. After an ingest that added objects, the
+// carried-over model is shorter than the padded ground truth (and a
+// refreshed model can be longer than an old snapshot's) — the overlap
+// is the population both labelings cover.
+func nmiAligned(truth, assign []int) float64 {
+	n := min(len(truth), len(assign))
+	return eval.NMI(truth[:n], assign[:n])
 }
 
 func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
@@ -498,6 +528,57 @@ func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
 		"epoch":   epoch,
 		"source":  source,
 		"results": results,
+	})
+}
+
+// ingestRequest is the POST /v1/ingest body: a delta batch plus
+// options. See internal/ingest for delta semantics.
+type ingestRequest struct {
+	Deltas        []ingest.Delta `json:"deltas"`
+	RefreshModels bool           `json:"refresh_models,omitempty"`
+}
+
+// maxIngestBody bounds the /v1/ingest request body (16 MiB ≈ hundreds
+// of thousands of deltas), so a misbehaving client cannot balloon the
+// server's memory with one request.
+const maxIngestBody = 16 << 20
+
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "ingest requires POST")
+		return
+	}
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxIngestBody))
+	dec.DisallowUnknownFields()
+	var req ingestRequest
+	if err := dec.Decode(&req); err != nil {
+		s.ing.rejected.Add(1)
+		httpError(w, http.StatusBadRequest, "invalid ingest body: %v", err)
+		return
+	}
+	if len(req.Deltas) == 0 {
+		s.ing.rejected.Add(1)
+		httpError(w, http.StatusBadRequest, "ingest body carries no deltas")
+		return
+	}
+	start := time.Now()
+	snap, sum, err := s.store.Ingest(req.Deltas, req.RefreshModels)
+	if err != nil {
+		s.ing.rejected.Add(1)
+		code := http.StatusBadRequest
+		if errors.Is(err, errNoSnapshot) {
+			code = http.StatusServiceUnavailable
+		}
+		httpError(w, code, "%v", err)
+		return
+	}
+	s.ing.batches.Add(1)
+	s.ing.deltas.Add(uint64(len(req.Deltas)))
+	s.ing.nanos.Add(int64(time.Since(start)))
+	writeJSON(w, http.StatusOK, map[string]any{
+		"epoch":         snap.Epoch,
+		"applied":       sum,
+		"build_seconds": snap.BuildTime.Seconds(),
 	})
 }
 

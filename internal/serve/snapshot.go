@@ -11,6 +11,7 @@
 package serve
 
 import (
+	"errors"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -18,6 +19,7 @@ import (
 	"hinet/internal/core"
 	"hinet/internal/dblp"
 	"hinet/internal/hin"
+	"hinet/internal/ingest"
 	"hinet/internal/metapath"
 	"hinet/internal/netclus"
 	"hinet/internal/pathsim"
@@ -65,6 +67,11 @@ type Snapshot struct {
 
 // maxPathIndexes bounds Snapshot.paths (see its comment).
 const maxPathIndexes = 64
+
+// errNoSnapshot is returned by Ingest before the first Rebuild — the
+// one ingest failure that is the server's state, not the client's
+// batch (it maps to 503, not 400).
+var errNoSnapshot = errors.New("serve: no snapshot to ingest into")
 
 // Engine returns the snapshot's meta-path engine (the planner and
 // materialization cache of the snapshot's network).
@@ -164,4 +171,80 @@ func (s *Store) Rebuild(seed int64) *Snapshot {
 	snap.pathCount.Add(1)
 	s.cur.Store(snap)
 	return snap
+}
+
+// Ingest applies a delta batch as an incremental generation: the live
+// network is cloned copy-on-write (the clone shares link storage,
+// relation matrices and meta-path materializations), the deltas merge
+// into the clone through internal/ingest, and a new snapshot is built
+// from the result — PageRank warm-started from the previous epoch's
+// scores, the PathSim index rebuilt from the engine's surviving
+// cached intermediates — then swapped in atomically. In-flight queries
+// keep reading the previous snapshot (whose network is never mutated)
+// until the swap; epochs come from the same counter as Rebuild, so
+// they stay strictly monotonic across mixed ingest/rebuild streams.
+//
+// On a validation error the clone is discarded and nothing changes
+// (ingestion is all-or-nothing at the store level). The clustering
+// models (RankClus/NetClus) are carried over from the previous
+// snapshot by default — they summarize the corpus and drift only
+// slowly under small deltas; pass refreshModels to recompute them.
+func (s *Store) Ingest(deltas []ingest.Delta, refreshModels bool) (*Snapshot, ingest.Summary, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cur := s.cur.Load()
+	if cur == nil {
+		return nil, ingest.Summary{}, errNoSnapshot
+	}
+	start := time.Now()
+	net := cur.Corpus.Net.Clone()
+	sum, err := ingest.Apply(net, deltas, ingest.Options{})
+	if err != nil {
+		return nil, sum, err
+	}
+	corpus := cur.Corpus.WithNetwork(net)
+
+	coauthor := net.CommutingMatrix(pathAPA)
+	snap := &Snapshot{
+		Seed:     cur.Seed,
+		BuiltAt:  start,
+		Corpus:   corpus,
+		PageRank: rank.PageRank(coauthor, rank.Options{Start: padScores(cur.PageRank.Scores, coauthor.Rows())}),
+		HITS:     rank.HITS(coauthor, rank.Options{}),
+		RankClus: cur.RankClus,
+		NetClus:  cur.NetClus,
+		PathSim:  pathsim.NewIndex(net, pathAPVPA),
+	}
+	if refreshModels {
+		k := s.cfg.K
+		if k == 0 {
+			k = corpus.Areas()
+		}
+		restarts := s.cfg.Restarts
+		if restarts == 0 {
+			restarts = 1
+		}
+		snap.RankClus = core.Run(stats.NewRNG(cur.Seed+1), corpus.VenueAuthorBipartite(),
+			core.Options{K: k, Method: core.AuthorityRanking, Restarts: restarts})
+		snap.NetClus = netclus.Run(stats.NewRNG(cur.Seed+2), corpus.Star(),
+			netclus.Options{K: k, Restarts: restarts})
+	}
+	snap.BuildTime = time.Since(start)
+	snap.Epoch = s.epoch.Add(1)
+	snap.paths.Store(pathAPVPA.String(), snap.PathSim)
+	snap.pathCount.Add(1)
+	s.cur.Store(snap)
+	return snap, sum, nil
+}
+
+// padScores returns scores extended with zeros to length n (ids are
+// append-only, so a previous epoch's vector is a prefix of the new
+// object space). Same-length vectors pass through unchanged.
+func padScores(scores []float64, n int) []float64 {
+	if len(scores) >= n {
+		return scores
+	}
+	out := make([]float64, n)
+	copy(out, scores)
+	return out
 }

@@ -20,7 +20,9 @@ package sparse
 
 import (
 	"math"
+	"os"
 	"runtime"
+	"strconv"
 	"sync"
 	"sync/atomic"
 )
@@ -46,7 +48,19 @@ var (
 	}
 )
 
-func init() { workLimit.Store(defaultSerialThreshold) }
+func init() {
+	workLimit.Store(defaultSerialThreshold)
+	// Deploy-time overrides (see docs/OPERATIONS.md): HINET_WORKERS caps
+	// the pool like Parallelism(n), HINET_SERIAL_THRESHOLD moves the
+	// serial-vs-parallel cutoff like SerialThreshold(n). Programmatic
+	// calls made later (e.g. hinet serve -workers) still win.
+	if v, err := strconv.Atoi(os.Getenv("HINET_WORKERS")); err == nil && v > 0 {
+		Parallelism(v)
+	}
+	if v, err := strconv.Atoi(os.Getenv("HINET_SERIAL_THRESHOLD")); err == nil && v > 0 {
+		SerialThreshold(v)
+	}
+}
 
 // Parallelism sets the maximum number of pool workers used by the
 // parallel kernels when n > 0 (clamped to [1, 256]) and returns the
