@@ -28,6 +28,7 @@ import (
 	"hinet/internal/ingest"
 	"hinet/internal/kmeans"
 	"hinet/internal/linkclus"
+	"hinet/internal/loadgen"
 	"hinet/internal/netclus"
 	"hinet/internal/netgen"
 	"hinet/internal/netstat"
@@ -901,4 +902,29 @@ func BenchmarkIngest(b *testing.B) {
 			store.Rebuild(int64(i + 2))
 		}
 	})
+}
+
+// --- Load generation -------------------------------------------------
+
+// BenchmarkLoadgenGenerate measures schedule generation throughput: the
+// harness must be able to synthesize schedules orders of magnitude
+// faster than it plays them, or the generator (not the server) becomes
+// the bottleneck of a capacity sweep.
+func BenchmarkLoadgenGenerate(b *testing.B) {
+	corpus := dblp.Generate(stats.NewRNG(1), dblp.Config{})
+	ks, err := loadgen.NewKeyspace(corpus, []string{"", "A-P-A"})
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := loadgen.Config{Seed: 42, Rate: 1000, Duration: 10 * time.Second}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr, err := loadgen.Generate(cfg, ks)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(float64(len(tr.Events)), "events")
+		}
+	}
 }

@@ -15,6 +15,7 @@
 //	dbnet      relational DB → information network conversion demo
 //	serve      online HTTP query server (snapshots, result cache, batched top-k)
 //	ingest     stream JSONL deltas into a corpus or a running server
+//	loadgen    deterministic load generator, trace record/replay, capacity sweep
 //
 // Unknown subcommands print usage and exit with status 2.
 package main
@@ -68,8 +69,26 @@ func main() {
 	pathSpec := fs.String("path", "A-P-V-P-A", "pathsim: symmetric meta-path over the DBLP schema (e.g. A-P-A)")
 	emit := fs.Int("emit", 0, "ingest: emit N sample paper-arrival deltas as JSONL to stdout and exit")
 	file := fs.String("file", "", "ingest: JSONL delta file to apply (\"-\" reads stdin)")
-	server := fs.String("server", "", "ingest: POST the batch to a running hinet serve (e.g. http://localhost:8080)")
+	server := fs.String("server", "", "ingest/loadgen: target a running hinet serve (e.g. http://localhost:8080)")
 	refresh := fs.Bool("refresh-models", false, "ingest: ask the server to recompute clustering models")
+	arrival := fs.String("arrival", "poisson", "loadgen: arrival process (poisson|closed|bursty)")
+	rate := fs.Float64("rate", 200, "loadgen: open-loop mean arrivals/s")
+	duration := fs.Duration("duration", 10*time.Second, "loadgen: schedule horizon")
+	concurrency := fs.Int("concurrency", 0, "loadgen: closed-loop workers (0 = open-loop from offsets)")
+	requests := fs.Int("requests", 0, "loadgen: closed-loop request count (0 = rate x duration)")
+	mix := fs.String("mix", "", "loadgen: cohort weights, e.g. pathsim=60,rank=20,clusters=5,ingest=5,stats=10")
+	zipf := fs.Float64("zipf", 1.1, "loadgen: key-popularity skew exponent (s > 1)")
+	lgPaths := fs.String("paths", "", "loadgen: comma-separated pathsim path= variants (empty entry = prebuilt index)")
+	record := fs.String("record", "", "loadgen: run sequentially and record status+digests to FILE")
+	replay := fs.String("replay", "", "loadgen: replay a recorded trace FILE with digest checks")
+	out := fs.String("out", "", "loadgen: write the JSON report (schema hinet-serve/1) to FILE")
+	sweep := fs.Bool("sweep", false, "loadgen: stepped-rate saturation sweep; report the SLO knee")
+	sweepSteps := fs.Int("sweep-steps", 5, "loadgen: max sweep steps (rate doubles per step)")
+	stepDuration := fs.Duration("step-duration", 5*time.Second, "loadgen: duration of each sweep step")
+	sloP99 := fs.Duration("slo-p99", 0, "loadgen: p99 latency SLO (0 = default 250ms)")
+	sloErrors := fs.Float64("slo-errors", 0, "loadgen: max error-rate SLO in [0,1] (0 = default 0.01)")
+	strict := fs.Bool("strict", false, "loadgen: exit nonzero on any error, mismatch or empty run")
+	scheduleOnly := fs.String("schedule-only", "", "loadgen: write the generated schedule to FILE and exit")
 	_ = fs.Parse(os.Args[2:])
 
 	switch cmd {
@@ -93,6 +112,17 @@ func main() {
 		runServe(*seed, *k, *addr, *workers, *cacheCap, *window, *papers)
 	case "ingest":
 		runIngest(*seed, *emit, *file, *server, *refresh, *papers)
+	case "loadgen":
+		runLoadgen(loadgenFlags{
+			seed: *seed, k: *k, papers: *papers, workers: *workers,
+			cacheCap: *cacheCap, window: *window, server: *server,
+			arrival: *arrival, rate: *rate, duration: *duration,
+			concurrency: *concurrency, requests: *requests, mix: *mix,
+			zipf: *zipf, paths: *lgPaths, record: *record, replay: *replay,
+			out: *out, sweep: *sweep, sweepSteps: *sweepSteps,
+			stepDuration: *stepDuration, sloP99: *sloP99, sloErrors: *sloErrors,
+			strict: *strict, scheduleOnly: *scheduleOnly,
+		})
 	default:
 		fmt.Fprintf(os.Stderr, "hinet: unknown subcommand %q\n", cmd)
 		usage()
@@ -116,6 +146,9 @@ subcommands:
              [-addr A] [-workers N] [-cache N] [-batch-window D] [-papers N]
   ingest     stream JSONL deltas into a corpus or a running server
              [-emit N] [-file F|-] [-server URL] [-refresh-models] [-papers N]
+  loadgen    deterministic load generator, trace record/replay, capacity sweep
+             [-arrival poisson|closed|bursty] [-rate R] [-duration D] [-mix SPEC]
+             [-record F | -replay F | -schedule-only F] [-sweep] [-out F] [-strict]
 `)
 }
 

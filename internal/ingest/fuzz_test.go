@@ -1,0 +1,46 @@
+package ingest
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzParseDelta hardens the JSONL delta parser: arbitrary input must
+// never panic, and any batch it accepts must survive WriteJSONL →
+// ParseJSONL unchanged — the contract `hinet ingest` and the loadgen
+// harness rely on when shipping batches between processes.
+func FuzzParseDelta(f *testing.F) {
+	f.Add(`{"op":"add-node","type":"paper","name":"p1"}`)
+	f.Add(`{"op":"add-edge","src_type":"paper","src":"p1","dst_type":"author","dst":"a1","weight":2}`)
+	f.Add(`{"op":"remove-node","type":"paper","name":"p1"}` + "\n" +
+		`{"op":"remove-edge","src_type":"paper","src":"p1","dst_type":"venue","dst":"v1"}`)
+	f.Add("# comment line\n\n" + `{"op":"add-node","type":"term","name":"zeta"}`)
+	f.Add(`{"op":"warp","type":"paper","name":"p1"}`)
+	f.Add(`{"op":"add-node","type":"paper","name":"p1","wat":true}`)
+	f.Add("{}")
+	f.Add("not json")
+
+	f.Fuzz(func(t *testing.T, in string) {
+		deltas, err := ParseJSONL(strings.NewReader(in))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := WriteJSONL(&buf, deltas); err != nil {
+			t.Fatalf("accepted batch failed to serialize: %v", err)
+		}
+		again, err := ParseJSONL(&buf)
+		if err != nil {
+			t.Fatalf("serialized form of an accepted batch was rejected: %v\n%s", err, buf.String())
+		}
+		if len(again) != len(deltas) {
+			t.Fatalf("round trip changed batch size: %d vs %d", len(deltas), len(again))
+		}
+		for i := range deltas {
+			if deltas[i] != again[i] {
+				t.Fatalf("round trip changed delta %d: %+v vs %+v", i, deltas[i], again[i])
+			}
+		}
+	})
+}

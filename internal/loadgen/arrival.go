@@ -1,0 +1,75 @@
+// Arrival processes: every generator draws offsets (µs from run
+// start) from the schedule RNG only — determinism lives here. Open-loop
+// processes model request independence (arrivals don't wait for
+// responses, the regime where saturation shows up as queueing); the
+// closed-loop process models a fixed worker fleet and is what record
+// and replay use for reproducible sequential runs.
+
+package loadgen
+
+import (
+	"fmt"
+	"math"
+	"slices"
+	"time"
+
+	"hinet/internal/stats"
+)
+
+// arrivalOffsets returns the sorted schedule offsets for cfg (already
+// defaulted). Closed-loop schedules have all-zero offsets: workers
+// issue them back-to-back in order.
+func arrivalOffsets(cfg Config, rng *stats.RNG) ([]int64, error) {
+	switch cfg.Arrival {
+	case ArrivalClosed:
+		if cfg.Requests <= 0 {
+			return nil, fmt.Errorf("loadgen: closed-loop schedule needs Requests > 0")
+		}
+		return make([]int64, cfg.Requests), nil
+	case ArrivalPoisson:
+		return poissonOffsets(cfg, rng, func(time.Duration) float64 { return 1 }), nil
+	case ArrivalBursty:
+		period := cfg.BurstPeriod.Seconds()
+		amp := cfg.BurstAmp
+		return poissonOffsets(cfg, rng, func(t time.Duration) float64 {
+			return 1 + amp*math.Sin(2*math.Pi*t.Seconds()/period)
+		}), nil
+	default:
+		return nil, fmt.Errorf("loadgen: unknown arrival process %q (want %s|%s|%s)",
+			cfg.Arrival, ArrivalPoisson, ArrivalClosed, ArrivalBursty)
+	}
+}
+
+// poissonSlice discretizes the horizon for envelope-modulated Poisson
+// arrivals; 100ms is fine-grained next to any realistic burst period.
+const poissonSlice = 100 * time.Millisecond
+
+// poissonOffsets generates an inhomogeneous Poisson process with rate
+// cfg.Rate · envelope(t): per time slice, a Poisson-distributed count of
+// arrivals placed uniformly within the slice, then sorted. With the
+// constant envelope this is an ordinary Poisson process (exponential
+// gaps in distribution), and the piecewise construction keeps the draw
+// count — and therefore the RNG stream — deterministic.
+func poissonOffsets(cfg Config, rng *stats.RNG, envelope func(time.Duration) float64) []int64 {
+	var out []int64
+	sliceUS := poissonSlice.Microseconds()
+	horizonUS := cfg.Duration.Microseconds()
+	for startUS := int64(0); startUS < horizonUS; startUS += sliceUS {
+		width := sliceUS
+		if startUS+width > horizonUS {
+			width = horizonUS - startUS
+		}
+		mid := time.Duration(startUS+width/2) * time.Microsecond
+		mult := envelope(mid)
+		if mult < 0 {
+			mult = 0
+		}
+		lambda := cfg.Rate * mult * (time.Duration(width) * time.Microsecond).Seconds()
+		n := rng.Poisson(lambda)
+		for i := 0; i < n; i++ {
+			out = append(out, startUS+rng.Int63n(width))
+		}
+	}
+	slices.Sort(out)
+	return out
+}

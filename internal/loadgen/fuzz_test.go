@@ -1,0 +1,44 @@
+package loadgen
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzParseTrace hardens the trace parser against arbitrary input: it
+// must never panic, and anything it accepts must survive a write →
+// re-parse round trip unchanged (the replay path depends on that).
+func FuzzParseTrace(f *testing.F) {
+	f.Add(`{"hinet_trace":1,"seed":42,"arrival":"poisson","rate":100}` + "\n" +
+		`{"offset_us":0,"cohort":"stats","path":"/v1/stats","expect_status":200}`)
+	f.Add(`{"offset_us":12,"cohort":"pathsim","path":"/v1/pathsim/topk?id=3&k=5","digest":"0011223344556677"}`)
+	f.Add(`{"offset_us":1,"cohort":"ingest","method":"POST","path":"/v1/ingest","body":"{\"deltas\":[]}"}`)
+	f.Add("# comment\n\n" + `{"offset_us":0,"cohort":"rank","path":"/v1/rank?top=5"}`)
+	f.Add(`{"hinet_trace":2}`)
+	f.Add(`{"offset_us":-1,"cohort":"x","path":"/y"}`)
+	f.Add("not json at all")
+
+	f.Fuzz(func(t *testing.T, in string) {
+		tr, err := ParseTrace(strings.NewReader(in))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := WriteTrace(&buf, tr); err != nil {
+			t.Fatalf("accepted trace failed to serialize: %v", err)
+		}
+		tr2, err := ParseTrace(&buf)
+		if err != nil {
+			t.Fatalf("serialized form of an accepted trace was rejected: %v\n%s", err, buf.String())
+		}
+		if tr2.Header != tr.Header || len(tr2.Events) != len(tr.Events) {
+			t.Fatalf("round trip changed the trace: %+v vs %+v", tr, tr2)
+		}
+		for i := range tr.Events {
+			if tr.Events[i] != tr2.Events[i] {
+				t.Fatalf("round trip changed event %d: %+v vs %+v", i, tr.Events[i], tr2.Events[i])
+			}
+		}
+	})
+}

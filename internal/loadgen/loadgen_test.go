@@ -1,0 +1,240 @@
+package loadgen
+
+import (
+	"bytes"
+	"context"
+	"math"
+	"testing"
+	"time"
+
+	"hinet/internal/dblp"
+	"hinet/internal/serve"
+	"hinet/internal/stats"
+)
+
+// testCorpusConfig mirrors internal/serve's small two-area test corpus,
+// so keyspaces here resolve against servers built the same way.
+func testCorpusConfig() dblp.Config {
+	return dblp.Config{
+		Areas:         []string{"database", "datamining"},
+		VenuesPerArea: 3, AuthorsPerArea: 40, TermsPerArea: 30,
+		SharedTerms: 15, Papers: 300,
+	}
+}
+
+func testKeyspace(t *testing.T, specs []string) *Keyspace {
+	t.Helper()
+	c := dblp.Generate(stats.NewRNG(1), testCorpusConfig())
+	ks, err := NewKeyspace(c, specs)
+	if err != nil {
+		t.Fatalf("NewKeyspace: %v", err)
+	}
+	return ks
+}
+
+// startTestServer boots an in-process serving tier on a loopback port.
+func startTestServer(t *testing.T, opts serve.Options) Target {
+	t.Helper()
+	if opts.Models.Corpus.Papers == 0 {
+		opts.Models = serve.ModelConfig{Corpus: testCorpusConfig()}
+	}
+	opts.Addr = "127.0.0.1:0"
+	opts.Seed = 1
+	s := serve.New(opts)
+	bound, err := s.Start()
+	if err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = s.Shutdown(ctx)
+	})
+	return NewTarget("http://" + bound)
+}
+
+// TestGenerateDeterministic is the core contract: the same seed and
+// config produce a byte-identical trace file.
+func TestGenerateDeterministic(t *testing.T) {
+	ks := testKeyspace(t, nil)
+	cfg := Config{Seed: 42, Rate: 300, Duration: 4 * time.Second}
+	var bufs [2]bytes.Buffer
+	for i := range bufs {
+		tr, err := Generate(cfg, ks)
+		if err != nil {
+			t.Fatalf("Generate: %v", err)
+		}
+		if err := WriteTrace(&bufs[i], tr); err != nil {
+			t.Fatalf("WriteTrace: %v", err)
+		}
+	}
+	if !bytes.Equal(bufs[0].Bytes(), bufs[1].Bytes()) {
+		t.Fatal("same seed produced different trace bytes")
+	}
+	tr2, err := Generate(Config{Seed: 43, Rate: 300, Duration: 4 * time.Second}, ks)
+	if err != nil {
+		t.Fatalf("Generate seed 43: %v", err)
+	}
+	var buf2 bytes.Buffer
+	if err := WriteTrace(&buf2, tr2); err != nil {
+		t.Fatalf("WriteTrace: %v", err)
+	}
+	if bytes.Equal(bufs[0].Bytes(), buf2.Bytes()) {
+		t.Fatal("different seeds produced identical traces")
+	}
+}
+
+// TestGenerateMixRatios checks the cohort sampler tracks the configured
+// weights within sampling noise.
+func TestGenerateMixRatios(t *testing.T) {
+	ks := testKeyspace(t, nil)
+	cfg := Config{Seed: 7, Rate: 2000, Duration: 5 * time.Second,
+		Mix: Mix{PathSim: 50, Rank: 30, Stats: 20}}
+	tr, err := Generate(cfg, ks)
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	counts := map[string]int{}
+	for _, ev := range tr.Events {
+		counts[ev.Cohort]++
+	}
+	if counts[CohortIngest] != 0 || counts[CohortClusters] != 0 {
+		t.Fatalf("zero-weight cohorts appeared: %v", counts)
+	}
+	n := float64(len(tr.Events))
+	for cohort, want := range map[string]float64{CohortPathSim: 0.5, CohortRank: 0.3, CohortStats: 0.2} {
+		got := float64(counts[cohort]) / n
+		if math.Abs(got-want) > 0.05 {
+			t.Errorf("cohort %s: fraction %.3f, want %.2f±0.05 (n=%d)", cohort, got, want, len(tr.Events))
+		}
+	}
+}
+
+// TestGenerateZipfSkew: with s well above 1, the most popular key must
+// receive a disproportionate share of the pathsim queries.
+func TestGenerateZipfSkew(t *testing.T) {
+	ks := testKeyspace(t, []string{""})
+	cfg := Config{Seed: 3, Rate: 2000, Duration: 5 * time.Second, ZipfS: 1.5,
+		Mix: Mix{PathSim: 1}}
+	tr, err := Generate(cfg, ks)
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	byPath := map[string]int{}
+	for _, ev := range tr.Events {
+		byPath[ev.Path]++
+	}
+	max, total := 0, 0
+	for _, c := range byPath {
+		total += c
+		if c > max {
+			max = c
+		}
+	}
+	// 80 authors uniform would give 1.25% to the top key; Zipf s=1.5
+	// concentrates far more than that.
+	if frac := float64(max) / float64(total); frac < 0.10 {
+		t.Errorf("hottest key drew only %.1f%% of %d queries; want Zipf concentration >= 10%%", frac*100, total)
+	}
+}
+
+// TestArrivalProcesses exercises the three processes' shape guarantees.
+func TestArrivalProcesses(t *testing.T) {
+	ks := testKeyspace(t, nil)
+
+	t.Run("poisson", func(t *testing.T) {
+		tr, err := Generate(Config{Seed: 1, Arrival: ArrivalPoisson, Rate: 500, Duration: 4 * time.Second}, ks)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := len(tr.Events)
+		if n < 1600 || n > 2400 {
+			t.Errorf("poisson 500rps x 4s: %d arrivals, want ~2000", n)
+		}
+		assertSortedWithin(t, tr.Events, 4*time.Second)
+	})
+
+	t.Run("bursty", func(t *testing.T) {
+		tr, err := Generate(Config{Seed: 1, Arrival: ArrivalBursty, Rate: 500, Duration: 4 * time.Second,
+			BurstPeriod: 4 * time.Second, BurstAmp: 0.9}, ks)
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertSortedWithin(t, tr.Events, 4*time.Second)
+		// First half of the sine period is above the mean rate, second
+		// half below: the halves must differ markedly.
+		half := int64(2 * time.Second / time.Microsecond)
+		var first, second int
+		for _, ev := range tr.Events {
+			if ev.OffsetUS < half {
+				first++
+			} else {
+				second++
+			}
+		}
+		if first < second*2 {
+			t.Errorf("bursty envelope flat: first half %d arrivals, second half %d", first, second)
+		}
+	})
+
+	t.Run("closed", func(t *testing.T) {
+		tr, err := Generate(Config{Seed: 1, Arrival: ArrivalClosed, Requests: 250}, ks)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(tr.Events) != 250 {
+			t.Fatalf("closed: %d events, want 250", len(tr.Events))
+		}
+		for _, ev := range tr.Events {
+			if ev.OffsetUS != 0 {
+				t.Fatal("closed-loop schedule must have zero offsets")
+			}
+		}
+	})
+
+	t.Run("unknown", func(t *testing.T) {
+		if _, err := Generate(Config{Seed: 1, Arrival: "thundering-herd"}, ks); err == nil {
+			t.Fatal("unknown arrival process accepted")
+		}
+	})
+}
+
+func assertSortedWithin(t *testing.T, evs []Event, horizon time.Duration) {
+	t.Helper()
+	limit := horizon.Microseconds()
+	var prev int64
+	for i, ev := range evs {
+		if ev.OffsetUS < prev {
+			t.Fatalf("event %d: offset %d before previous %d", i, ev.OffsetUS, prev)
+		}
+		if ev.OffsetUS >= limit {
+			t.Fatalf("event %d: offset %d beyond horizon %d", i, ev.OffsetUS, limit)
+		}
+		prev = ev.OffsetUS
+	}
+}
+
+// TestParseMix covers the spec syntax and its failure modes.
+func TestParseMix(t *testing.T) {
+	m, err := ParseMix("pathsim=60, rank=20,ingest=5")
+	if err != nil {
+		t.Fatalf("ParseMix: %v", err)
+	}
+	if m.PathSim != 60 || m.Rank != 20 || m.Ingest != 5 || m.Clusters != 0 || m.Stats != 0 {
+		t.Fatalf("ParseMix: got %+v", m)
+	}
+	for _, bad := range []string{"pathsim", "pathsim=-1", "warp=9", "", "pathsim=0"} {
+		if _, err := ParseMix(bad); err == nil {
+			t.Errorf("ParseMix(%q): want error", bad)
+		}
+	}
+}
+
+// TestNewKeyspaceRejectsBadPath: schema validation happens at keyspace
+// construction, not at request time.
+func TestNewKeyspaceRejectsBadPath(t *testing.T) {
+	c := dblp.Generate(stats.NewRNG(1), testCorpusConfig())
+	if _, err := NewKeyspace(c, []string{"A-P-X-P-A"}); err == nil {
+		t.Fatal("bad meta-path accepted")
+	}
+}

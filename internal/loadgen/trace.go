@@ -1,0 +1,264 @@
+// Trace format: one JSON object per line (JSONL). An optional first
+// object carrying "hinet_trace" is the header (schedule provenance);
+// every other line is one Event. Blank lines and lines starting with
+// '#' are skipped, unknown fields are errors — the same strictness as
+// the ingest delta parser, and for the same reason: a typo'd field
+// silently dropping a request is the failure mode to guard against.
+//
+// Events recorded from a sequential run additionally carry the observed
+// status and a digest of the response body's epoch-stable content, so a
+// replay doubles as a wire-format regression test: any endpoint that
+// renames a field, drops a key, or reorders results fails the digest
+// comparison.
+
+package loadgen
+
+import (
+	"bufio"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"slices"
+	"strconv"
+	"strings"
+)
+
+// Header is the optional first trace line: where the schedule came
+// from. Replay does not require it, but `hinet loadgen -replay` uses it
+// to pick sensible defaults.
+type Header struct {
+	Version     int     `json:"hinet_trace"` // format version, currently 1
+	Seed        int64   `json:"seed,omitempty"`
+	Arrival     string  `json:"arrival,omitempty"`
+	Rate        float64 `json:"rate,omitempty"`        // open-loop arrivals/s
+	DurationUS  int64   `json:"duration_us,omitempty"` // schedule horizon
+	Requests    int     `json:"requests,omitempty"`    // closed-loop request count
+	Concurrency int     `json:"concurrency,omitempty"` // closed-loop workers
+}
+
+// Event is one scheduled request. Offsets are relative to the start of
+// the run — the schedule never contains wall-clock time, which is what
+// makes generation bit-deterministic under a seed.
+type Event struct {
+	OffsetUS     int64  `json:"offset_us"`        // scheduled start, µs from run start
+	Cohort       string `json:"cohort"`           // rank|clusters|pathsim|ingest|stats
+	Method       string `json:"method,omitempty"` // default GET
+	Path         string `json:"path"`             // URL path + query, e.g. /v1/rank?top=10
+	Body         string `json:"body,omitempty"`   // JSON body for POSTs
+	ExpectStatus int    `json:"expect_status,omitempty"`
+	Digest       string `json:"digest,omitempty"` // stable response digest (see Digest)
+}
+
+// Trace is a parsed trace file.
+type Trace struct {
+	Header Header
+	Events []Event
+}
+
+// traceLineMax bounds one trace line (ingest bodies dominate; 1 MiB
+// matches the ingest parser's own line bound).
+const traceLineMax = 1 << 20
+
+// WriteTrace renders a trace as JSONL, header first when present
+// (Version > 0). Output is byte-deterministic for a given trace.
+func WriteTrace(w io.Writer, tr *Trace) error {
+	bw := bufio.NewWriter(w)
+	if tr.Header.Version > 0 {
+		b, err := json.Marshal(tr.Header)
+		if err != nil {
+			return err
+		}
+		bw.Write(b)
+		bw.WriteByte('\n')
+	}
+	for i := range tr.Events {
+		b, err := json.Marshal(&tr.Events[i])
+		if err != nil {
+			return err
+		}
+		bw.Write(b)
+		bw.WriteByte('\n')
+	}
+	return bw.Flush()
+}
+
+// ParseTrace reads a JSONL trace, validating every event: methods are
+// GET or POST, paths are rooted, offsets non-negative, statuses HTTP-
+// plausible. Errors carry the line number.
+func ParseTrace(r io.Reader) (*Trace, error) {
+	tr := &Trace{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), traceLineMax)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if tr.Header.Version == 0 && len(tr.Events) == 0 && strings.Contains(line, `"hinet_trace"`) {
+			var h Header
+			dec := json.NewDecoder(strings.NewReader(line))
+			dec.DisallowUnknownFields()
+			if err := dec.Decode(&h); err != nil {
+				return nil, fmt.Errorf("loadgen: trace line %d: header: %v", lineNo, err)
+			}
+			if h.Version != 1 {
+				return nil, fmt.Errorf("loadgen: trace line %d: unsupported trace version %d", lineNo, h.Version)
+			}
+			tr.Header = h
+			continue
+		}
+		dec := json.NewDecoder(strings.NewReader(line))
+		dec.DisallowUnknownFields()
+		var ev Event
+		if err := dec.Decode(&ev); err != nil {
+			return nil, fmt.Errorf("loadgen: trace line %d: %v", lineNo, err)
+		}
+		if err := validateEvent(&ev); err != nil {
+			return nil, fmt.Errorf("loadgen: trace line %d: %v", lineNo, err)
+		}
+		tr.Events = append(tr.Events, ev)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("loadgen: %v", err)
+	}
+	return tr, nil
+}
+
+func validateEvent(ev *Event) error {
+	switch ev.Method {
+	case "", "GET", "POST":
+	default:
+		return fmt.Errorf("unsupported method %q", ev.Method)
+	}
+	if !strings.HasPrefix(ev.Path, "/") {
+		return fmt.Errorf("path %q is not rooted", ev.Path)
+	}
+	if ev.OffsetUS < 0 {
+		return fmt.Errorf("negative offset %d", ev.OffsetUS)
+	}
+	if ev.ExpectStatus != 0 && (ev.ExpectStatus < 100 || ev.ExpectStatus > 599) {
+		return fmt.Errorf("implausible expect_status %d", ev.ExpectStatus)
+	}
+	if ev.Cohort == "" {
+		return fmt.Errorf("event has no cohort")
+	}
+	return nil
+}
+
+// --- stable response digest -----------------------------------------
+
+// Digest computes a short hex digest of a response's epoch-stable
+// content: the status code, the recursive *shape* of the JSON body
+// (sorted object keys, array lengths, scalar types — so any field
+// rename, removal or type change shifts the digest), plus a small
+// per-cohort set of stable values (the echoed query, result ids for
+// pathsim). Volatile values — scores, latencies, epochs, counters — are
+// deliberately excluded so recorded digests replay cleanly on any
+// machine and across snapshot generations.
+func Digest(cohort string, status int, body []byte) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "status=%d;", status)
+	var v any
+	if err := json.Unmarshal(body, &v); err != nil {
+		// Non-JSON body (e.g. /healthz): digest the raw bytes.
+		sb.WriteString("raw=")
+		sb.Write(body)
+	} else {
+		sb.WriteString("shape=")
+		writeShape(&sb, v)
+		sb.WriteByte(';')
+		writeStableValues(&sb, cohort, v)
+	}
+	sum := sha256.Sum256([]byte(sb.String()))
+	return hex.EncodeToString(sum[:8])
+}
+
+// writeShape canonicalizes the structure of a decoded JSON value:
+// objects list their sorted keys with nested shapes, arrays record the
+// length and the shape of their first element, scalars reduce to a type
+// letter.
+func writeShape(sb *strings.Builder, v any) {
+	switch t := v.(type) {
+	case map[string]any:
+		keys := make([]string, 0, len(t))
+		for k := range t {
+			keys = append(keys, k)
+		}
+		slices.Sort(keys)
+		sb.WriteByte('{')
+		for i, k := range keys {
+			if i > 0 {
+				sb.WriteByte(',')
+			}
+			sb.WriteString(k)
+			sb.WriteByte(':')
+			writeShape(sb, t[k])
+		}
+		sb.WriteByte('}')
+	case []any:
+		fmt.Fprintf(sb, "[%d", len(t))
+		if len(t) > 0 {
+			sb.WriteByte(':')
+			writeShape(sb, t[0])
+		}
+		sb.WriteByte(']')
+	case string:
+		sb.WriteByte('s')
+	case float64:
+		sb.WriteByte('n')
+	case bool:
+		sb.WriteByte('b')
+	default:
+		sb.WriteByte('z')
+	}
+}
+
+// writeStableValues appends the per-cohort whitelist of value-level
+// fields that are deterministic for a fixed seed and request sequence.
+func writeStableValues(sb *strings.Builder, cohort string, v any) {
+	obj, ok := v.(map[string]any)
+	if !ok {
+		return
+	}
+	str := func(k string) string {
+		s, _ := obj[k].(string)
+		return s
+	}
+	switch cohort {
+	case CohortPathSim:
+		fmt.Fprintf(sb, "path=%s;k=%v;", str("path"), obj["k"])
+		if q, ok := obj["query"].(map[string]any); ok {
+			fmt.Fprintf(sb, "id=%v;name=%s;", q["id"], q["name"])
+		}
+		if rs, ok := obj["results"].([]any); ok {
+			sb.WriteString("ids=")
+			for i, r := range rs {
+				if m, ok := r.(map[string]any); ok {
+					if i > 0 {
+						sb.WriteByte(',')
+					}
+					if id, ok := m["id"].(float64); ok {
+						sb.WriteString(strconv.FormatInt(int64(id), 10))
+					}
+				}
+			}
+			sb.WriteByte(';')
+		}
+	case CohortRank:
+		fmt.Fprintf(sb, "metric=%s;", str("metric"))
+		if top, ok := obj["top"].([]any); ok {
+			fmt.Fprintf(sb, "top=%d;", len(top))
+		}
+	case CohortClusters:
+		fmt.Fprintf(sb, "algo=%s;k=%v;", str("algo"), obj["k"])
+	}
+	// Error payloads are stable too: a 4xx body's message names the
+	// client's mistake deterministically.
+	if e := str("error"); e != "" {
+		fmt.Fprintf(sb, "error=%s;", e)
+	}
+}

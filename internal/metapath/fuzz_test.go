@@ -1,0 +1,50 @@
+package metapath
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseMetaPath hardens the meta-path spec parser, which is fed
+// directly from the `path=` query parameter on /v1/pathsim/topk: it
+// must never panic, and accepted specs must resolve to schema types
+// and re-parse to themselves (canonical fixed point).
+func FuzzParseMetaPath(f *testing.F) {
+	f.Add("A-P-A")
+	f.Add("A-P-V-P-A")
+	f.Add("author-paper-Venue")
+	f.Add("a-P-v")
+	f.Add("AUTH-P-A")
+	f.Add("x-P-A")
+	f.Add("A--A")
+	f.Add("A-V")
+	f.Add(strings.Repeat("A-P-", 10) + "A")
+	f.Add("")
+	f.Add("-")
+	f.Add("päper-∆-päper")
+
+	f.Fuzz(func(t *testing.T, spec string) {
+		e := New(fixedSource())
+		path, err := e.ParsePath(spec)
+		if err != nil {
+			return
+		}
+		if len(path) < 2 {
+			t.Fatalf("ParsePath(%q) accepted a path of %d types", spec, len(path))
+		}
+		src := fixedSource()
+		for _, typ := range path {
+			if !src.HasType(typ) {
+				t.Fatalf("ParsePath(%q) resolved to unknown type %q", spec, typ)
+			}
+		}
+		// Canonical fixed point: the resolved form must parse to itself.
+		again, err := e.ParsePath(strings.Join(path, "-"))
+		if err != nil {
+			t.Fatalf("canonical form %v of %q rejected: %v", path, spec, err)
+		}
+		if strings.Join(again, "-") != strings.Join(path, "-") {
+			t.Fatalf("canonicalization unstable: %v -> %v", path, again)
+		}
+	})
+}

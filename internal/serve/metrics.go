@@ -99,6 +99,8 @@ func (s *Server) writeMetrics(w io.Writer) {
 	fmt.Fprintf(w, "hinet_ingest_rejected_total %d\n", s.ing.rejected.Load())
 	fmt.Fprintf(w, "hinet_ingest_apply_seconds_sum %g\n", time.Duration(s.ing.nanos.Load()).Seconds())
 
+	fmt.Fprintf(w, "hinet_admission_rejected_total %d\n", s.rejAd.Load())
+
 	fmt.Fprintf(w, "hinet_topk_batches_total %d\n", s.batch.batches.Load())
 	fmt.Fprintf(w, "hinet_topk_batched_queries_total %d\n", s.batch.queries.Load())
 	fmt.Fprintf(w, "hinet_topk_unique_queries_total %d\n", s.batch.unique.Load())
@@ -106,3 +108,33 @@ func (s *Server) writeMetrics(w io.Writer) {
 
 	fmt.Fprintf(w, "hinet_pool_workers %d\n", sparse.Parallelism(0))
 }
+
+// EndpointMetrics is a point-in-time copy of one endpoint's counters,
+// exported for tests and the load-generation harness.
+type EndpointMetrics struct {
+	Requests uint64
+	Errors   uint64
+	Latency  time.Duration // cumulative
+}
+
+// Endpoints returns a snapshot of the per-endpoint counters keyed by
+// route pattern.
+func (s *Server) Endpoints() map[string]EndpointMetrics {
+	out := make(map[string]EndpointMetrics, len(s.met.endpoints))
+	for name, st := range s.met.endpoints {
+		out[name] = EndpointMetrics{
+			Requests: st.requests.Load(),
+			Errors:   st.errors.Load(),
+			Latency:  time.Duration(st.latency.Load()),
+		}
+	}
+	return out
+}
+
+// AdmissionRejected returns the number of heavy requests turned away at
+// the admission semaphore (503s from a full queue, not cancellations).
+func (s *Server) AdmissionRejected() uint64 { return s.rejAd.Load() }
+
+// CacheStats exposes the result cache counters for tests and the load
+// harness.
+func (s *Server) CacheStats() CacheStats { return s.cache.Stats() }

@@ -56,6 +56,7 @@ type Options struct {
 	BatchWindow   time.Duration // extra wait to widen batches (default 0: natural coalescing)
 	Workers       int           // sparse pool worker cap (0 = leave as configured)
 	MaxConcurrent int           // concurrent heavy queries admitted (default 4×workers)
+	AdmissionWait time.Duration // max time queued for admission before 503 (default 5s, < 0 fail-fast)
 }
 
 func (o Options) withDefaults() Options {
@@ -74,6 +75,9 @@ func (o Options) withDefaults() Options {
 	if o.MaxBatch == 0 {
 		o.MaxBatch = 64
 	}
+	if o.AdmissionWait == 0 {
+		o.AdmissionWait = 5 * time.Second
+	}
 	return o
 }
 
@@ -86,6 +90,7 @@ type Server struct {
 	met   *metrics
 	ing   ingestStats
 	sem   chan struct{}
+	rejAd atomic.Uint64 // heavy requests rejected at admission
 	mux   *http.ServeMux
 	hs    *http.Server
 	ln    net.Listener
@@ -174,20 +179,46 @@ func (s *Server) route(pattern string, heavy bool, h http.HandlerFunc) {
 		start := time.Now()
 		rec := &statusRecorder{ResponseWriter: w, code: http.StatusOK}
 		if heavy {
-			select {
-			case s.sem <- struct{}{}:
-				defer func() { <-s.sem }()
-			case <-r.Context().Done():
-				// The only way out of the wait is the client going
-				// away — report that, not overload.
-				httpError(rec, http.StatusServiceUnavailable, "request canceled while queued for admission")
+			release, msg := s.admit(r)
+			if release == nil {
+				httpError(rec, http.StatusServiceUnavailable, msg)
 				st.observe(rec.code, time.Since(start))
 				return
 			}
+			defer release()
 		}
 		h(rec, r)
 		st.observe(rec.code, time.Since(start))
 	})
+}
+
+// admit acquires an admission slot, waiting at most opts.AdmissionWait
+// (negative: fail fast, no queueing). On success it returns the release
+// function; on rejection it returns nil and the 503 message. Bounding
+// the wait is what turns saturation into prompt, visible 503s instead
+// of an unbounded queue of hung requests.
+func (s *Server) admit(r *http.Request) (release func(), msg string) {
+	// Fast path: a free slot costs no timer.
+	select {
+	case s.sem <- struct{}{}:
+		return func() { <-s.sem }, ""
+	default:
+	}
+	if s.opts.AdmissionWait < 0 {
+		s.rejAd.Add(1)
+		return nil, "server at admission capacity"
+	}
+	t := time.NewTimer(s.opts.AdmissionWait)
+	defer t.Stop()
+	select {
+	case s.sem <- struct{}{}:
+		return func() { <-s.sem }, ""
+	case <-t.C:
+		s.rejAd.Add(1)
+		return nil, "server at admission capacity"
+	case <-r.Context().Done():
+		return nil, "request canceled while queued for admission"
+	}
 }
 
 type statusRecorder struct {
@@ -331,8 +362,9 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			"unique":  s.batch.unique.Load(),
 			"largest": uint64(s.batch.largest.Load()),
 		},
-		"workers":        sparse.Parallelism(0),
-		"max_concurrent": cap(s.sem),
+		"workers":            sparse.Parallelism(0),
+		"max_concurrent":     cap(s.sem),
+		"admission_rejected": s.rejAd.Load(),
 	})
 }
 
