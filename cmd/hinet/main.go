@@ -66,6 +66,7 @@ func main() {
 	cacheCap := fs.Int("cache", 4096, "serve: result cache entries (-1 disables)")
 	window := fs.Duration("batch-window", 0, "serve: extra wait to widen top-k batches")
 	papers := fs.Int("papers", 0, "serve: corpus size in papers (0 = library default)")
+	pprofFlag := fs.Bool("pprof", false, "serve: expose net/http/pprof under /debug/pprof/")
 	pathSpec := fs.String("path", "A-P-V-P-A", "pathsim: symmetric meta-path over the DBLP schema (e.g. A-P-A)")
 	emit := fs.Int("emit", 0, "ingest: emit N sample paper-arrival deltas as JSONL to stdout and exit")
 	file := fs.String("file", "", "ingest: JSONL delta file to apply (\"-\" reads stdin)")
@@ -109,7 +110,7 @@ func main() {
 	case "dbnet":
 		runDBNet(*seed)
 	case "serve":
-		runServe(*seed, *k, *addr, *workers, *cacheCap, *window, *papers)
+		runServe(*seed, *k, *addr, *workers, *cacheCap, *window, *papers, *pprofFlag)
 	case "ingest":
 		runIngest(*seed, *emit, *file, *server, *refresh, *papers)
 	case "loadgen":
@@ -143,7 +144,7 @@ subcommands:
   pathsim    top-k peer search on a DBLP meta-path [-path A-P-V-P-A]
   dbnet      relational DB -> information network conversion demo
   serve      online HTTP query server (snapshots, result cache, batched top-k)
-             [-addr A] [-workers N] [-cache N] [-batch-window D] [-papers N]
+             [-addr A] [-workers N] [-cache N] [-batch-window D] [-papers N] [-pprof]
   ingest     stream JSONL deltas into a corpus or a running server
              [-emit N] [-file F|-] [-server URL] [-refresh-models] [-papers N]
   loadgen    deterministic load generator, trace record/replay, capacity sweep
@@ -234,7 +235,7 @@ func runIngest(seed int64, emit int, file, server string, refresh bool, papers i
 	}
 }
 
-func runServe(seed int64, k int, addr string, workers, cacheCap int, window time.Duration, papers int) {
+func runServe(seed int64, k int, addr string, workers, cacheCap int, window time.Duration, papers int, pprof bool) {
 	opts := serve.Options{
 		Addr:          addr,
 		Seed:          seed,
@@ -242,6 +243,7 @@ func runServe(seed int64, k int, addr string, workers, cacheCap int, window time
 		CacheCapacity: cacheCap,
 		BatchWindow:   window,
 		Workers:       workers,
+		Pprof:         pprof,
 	}
 	if papers > 0 {
 		opts.Models.Corpus.Papers = papers

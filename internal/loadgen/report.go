@@ -9,11 +9,14 @@
 package loadgen
 
 import (
+	"cmp"
 	"encoding/json"
 	"fmt"
 	"io"
 	"runtime"
 	"slices"
+	"strconv"
+	"strings"
 	"time"
 )
 
@@ -80,6 +83,7 @@ type Report struct {
 	SLO       map[string]any    `json:"slo"`
 	Verdict   string            `json:"verdict"` // "pass" | violation text
 	Endpoints []EndpointReport  `json:"endpoints"`
+	Stages    []StageLatency    `json:"server_stages,omitempty"`
 	Sweep     *SweepReport      `json:"sweep,omitempty"`
 }
 
@@ -135,6 +139,96 @@ func cacheHitRate(before, after map[string]float64) float64 {
 	return hits / (hits + misses)
 }
 
+// StageLatency summarizes one server-side request stage over the run
+// window: where the server spent its time, as seen from the tracer's
+// hinet_stage_duration_seconds histograms in the bracketing /metrics
+// scrapes. Quantiles are bucket upper bounds (octave resolution), in
+// microseconds like every other latency column.
+type StageLatency struct {
+	Endpoint string `json:"endpoint"`
+	Stage    string `json:"stage"`
+	Count    uint64 `json:"count"`
+	P50US    int64  `json:"p50_us"`
+	P99US    int64  `json:"p99_us"`
+}
+
+// labelVal extracts one label's value from a flat Prometheus label
+// list (`endpoint="/v1/rank",stage="params",le="+Inf"`).
+func labelVal(labels, name string) (string, bool) {
+	marker := name + `="`
+	i := strings.Index(labels, marker)
+	if i < 0 {
+		return "", false
+	}
+	rest := labels[i+len(marker):]
+	j := strings.IndexByte(rest, '"')
+	if j < 0 {
+		return "", false
+	}
+	return rest[:j], true
+}
+
+// stageLatencies derives per-endpoint-per-stage latency summaries from
+// the delta of the bracketing scrapes' stage histogram buckets. Stages
+// the run never touched (zero delta) are dropped; nil scrapes yield nil.
+func stageLatencies(before, after map[string]float64) []StageLatency {
+	const prefix = "hinet_stage_duration_seconds_bucket{"
+	type seriesKey struct{ endpoint, stage string }
+	type bucket struct{ le, cum float64 }
+	acc := map[seriesKey][]bucket{}
+	for key, v := range after {
+		if !strings.HasPrefix(key, prefix) || !strings.HasSuffix(key, "}") {
+			continue
+		}
+		labels := key[len(prefix) : len(key)-1]
+		ep, ok1 := labelVal(labels, "endpoint")
+		st, ok2 := labelVal(labels, "stage")
+		leStr, ok3 := labelVal(labels, "le")
+		if !ok1 || !ok2 || !ok3 {
+			continue
+		}
+		le, err := strconv.ParseFloat(leStr, 64) // "+Inf" parses to +Inf
+		if err != nil {
+			continue
+		}
+		k := seriesKey{ep, st}
+		acc[k] = append(acc[k], bucket{le, v - before[key]})
+	}
+	out := make([]StageLatency, 0, len(acc))
+	for k, bs := range acc {
+		slices.SortFunc(bs, func(a, b bucket) int { return cmp.Compare(a.le, b.le) })
+		total := bs[len(bs)-1].cum // the +Inf bucket is the count
+		if total <= 0 || len(bs) < 2 {
+			continue
+		}
+		finite := bs[:len(bs)-1]
+		quant := func(q float64) int64 {
+			rank := q * total
+			for _, b := range finite {
+				if b.cum >= rank {
+					return int64(b.le * 1e6)
+				}
+			}
+			// Off the top of the finite bounds: report the widest one.
+			return int64(finite[len(finite)-1].le * 1e6)
+		}
+		out = append(out, StageLatency{
+			Endpoint: k.endpoint,
+			Stage:    k.stage,
+			Count:    uint64(total),
+			P50US:    quant(0.50),
+			P99US:    quant(0.99),
+		})
+	}
+	slices.SortFunc(out, func(a, b StageLatency) int {
+		if c := cmp.Compare(a.Endpoint, b.Endpoint); c != 0 {
+			return c
+		}
+		return cmp.Compare(a.Stage, b.Stage)
+	})
+	return out
+}
+
 // BuildReport assembles the JSON report for a run. cfg supplies the
 // schedule parameters echoed into the context block.
 func BuildReport(cfg Config, res *RunResult, slo SLO) *Report {
@@ -170,6 +264,7 @@ func BuildReport(cfg Config, res *RunResult, slo SLO) *Report {
 		},
 		Verdict:   verdict,
 		Endpoints: endpointReports(res),
+		Stages:    stageLatencies(res.MetricsBefore, res.MetricsAfter),
 	}
 	return r
 }

@@ -1,0 +1,56 @@
+package loadgen
+
+import (
+	"fmt"
+	"testing"
+)
+
+// stageSeries fabricates one stage histogram series in scrape-map form:
+// cumulative counts over the given (le seconds, cum) pairs plus +Inf.
+func stageSeries(m map[string]float64, endpoint, stage string, bounds []float64, cums []float64, total float64) {
+	for i, le := range bounds {
+		key := fmt.Sprintf("hinet_stage_duration_seconds_bucket{endpoint=%q,stage=%q,le=%q}",
+			endpoint, stage, fmt.Sprintf("%g", le))
+		m[key] = cums[i]
+	}
+	m[fmt.Sprintf("hinet_stage_duration_seconds_bucket{endpoint=%q,stage=%q,le=\"+Inf\"}", endpoint, stage)] = total
+}
+
+func TestStageLatencies(t *testing.T) {
+	bounds := []float64{0.001, 0.002, 0.004}
+	before := map[string]float64{}
+	after := map[string]float64{}
+	// kernel: 90 obs ≤ 1ms, 9 more ≤ 2ms, 1 more ≤ 4ms → p50 = 1ms,
+	// p99 = 2ms (rank 99 lands in the ≤2ms bucket: cum 99 ≥ 99).
+	stageSeries(after, "/v1/pathsim/topk", "kernel", bounds, []float64{90, 99, 100}, 100)
+	// render existed before the window and saw no new traffic → dropped.
+	stageSeries(before, "/v1/pathsim/topk", "render", bounds, []float64{5, 5, 5}, 5)
+	stageSeries(after, "/v1/pathsim/topk", "render", bounds, []float64{5, 5, 5}, 5)
+	// params on another endpoint: all 10 obs beyond the widest bound →
+	// quantiles clamp to it.
+	stageSeries(after, "/v1/rank", "params", bounds, []float64{0, 0, 0}, 10)
+
+	got := stageLatencies(before, after)
+	if len(got) != 2 {
+		t.Fatalf("stages = %+v, want 2 entries", got)
+	}
+	// Sorted by endpoint then stage: /v1/pathsim/topk before /v1/rank.
+	k := got[0]
+	if k.Endpoint != "/v1/pathsim/topk" || k.Stage != "kernel" || k.Count != 100 {
+		t.Fatalf("first entry = %+v", k)
+	}
+	if k.P50US != 1000 || k.P99US != 2000 {
+		t.Errorf("kernel quantiles = p50 %d p99 %d, want 1000/2000", k.P50US, k.P99US)
+	}
+	p := got[1]
+	if p.Endpoint != "/v1/rank" || p.Stage != "params" || p.Count != 10 {
+		t.Fatalf("second entry = %+v", p)
+	}
+	if p.P50US != 4000 || p.P99US != 4000 {
+		t.Errorf("beyond-range quantiles = p50 %d p99 %d, want clamp to 4000", p.P50US, p.P99US)
+	}
+
+	if s := stageLatencies(nil, nil); s != nil && len(s) != 0 {
+		t.Fatalf("nil scrapes produced stages: %+v", s)
+	}
+}

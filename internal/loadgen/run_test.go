@@ -65,6 +65,21 @@ func TestRunSmoke(t *testing.T) {
 	if rep.CacheHit < 0 {
 		t.Error("cache hit rate unavailable despite bracketing scrapes")
 	}
+	if len(rep.Stages) == 0 {
+		t.Error("no server-side stage latencies despite bracketing scrapes")
+	}
+	found := false
+	for _, st := range rep.Stages {
+		if st.Endpoint == "/v1/pathsim/topk" && st.Stage == "kernel" {
+			found = true
+			if st.Count == 0 || st.P99US <= 0 {
+				t.Errorf("kernel stage summary empty: %+v", st)
+			}
+		}
+	}
+	if !found {
+		t.Errorf("no kernel stage for topk in %+v", rep.Stages)
+	}
 	var buf bytes.Buffer
 	if err := rep.WriteJSON(&buf); err != nil {
 		t.Fatalf("WriteJSON: %v", err)

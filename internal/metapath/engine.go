@@ -30,6 +30,7 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"hinet/internal/sparse"
 )
@@ -79,13 +80,15 @@ var closedReady = func() chan struct{} {
 
 // Stats is a snapshot of the engine's counters.
 type Stats struct {
-	Epoch      int64 // cache generation (the owning network's version)
-	Entries    int   // materialized matrices currently cached
-	Hits       uint64
-	Misses     uint64
-	Products   uint64 // sparse products issued (planned splits)
-	Grams      uint64 // half-path Gram factorizations issued
-	Transposes uint64 // reversed-orientation answers derived by transpose
+	Epoch       int64 // cache generation (the owning network's version)
+	Entries     int   // materialized matrices currently cached
+	Hits        uint64
+	Misses      uint64
+	Products    uint64        // sparse products issued (planned splits)
+	Grams       uint64        // half-path Gram factorizations issued
+	Transposes  uint64        // reversed-orientation answers derived by transpose
+	ProductTime time.Duration // cumulative wall time inside Mul kernels
+	GramTime    time.Duration // cumulative wall time inside Gram kernels
 }
 
 // Engine compiles, plans, materializes and caches meta-path commuting
@@ -104,6 +107,12 @@ type Engine struct {
 	products   atomic.Uint64
 	grams      atomic.Uint64
 	transposes atomic.Uint64
+
+	// Cumulative nanoseconds spent inside the product kernels — the
+	// "where does materialization time go" split the serving tier
+	// exports (planned splits vs. Gram factorizations).
+	productNS atomic.Int64
+	gramNS    atomic.Int64
 }
 
 // New returns an engine over src with an empty cache at epoch 0.
@@ -183,13 +192,15 @@ func (e *Engine) Stats() Stats {
 	epoch, entries := e.epoch, len(e.entries)
 	e.mu.Unlock()
 	return Stats{
-		Epoch:      epoch,
-		Entries:    entries,
-		Hits:       e.hits.Load(),
-		Misses:     e.misses.Load(),
-		Products:   e.products.Load(),
-		Grams:      e.grams.Load(),
-		Transposes: e.transposes.Load(),
+		Epoch:       epoch,
+		Entries:     entries,
+		Hits:        e.hits.Load(),
+		Misses:      e.misses.Load(),
+		Products:    e.products.Load(),
+		Grams:       e.grams.Load(),
+		Transposes:  e.transposes.Load(),
+		ProductTime: time.Duration(e.productNS.Load()),
+		GramTime:    time.Duration(e.gramNS.Load()),
 	}
 }
 
@@ -297,13 +308,19 @@ func (e *Engine) compute(path []string) *sparse.Matrix {
 	if gramEligible(path) {
 		h := e.matrix(path[: rels/2+1 : rels/2+1])
 		e.grams.Add(1)
-		return h.Gram()
+		start := time.Now()
+		m := h.Gram()
+		e.gramNS.Add(int64(time.Since(start)))
+		return m
 	}
 	k := e.bestSplit(path)
 	left := e.matrix(path[: k+2 : k+2])
 	right := e.matrix(path[k+1:])
 	e.products.Add(1)
-	return left.Mul(right)
+	start := time.Now()
+	m := left.Mul(right)
+	e.productNS.Add(int64(time.Since(start)))
+	return m
 }
 
 // bestSplit returns the top-level split point (relations 0..k and

@@ -1,0 +1,152 @@
+// Latency histogram: log-spaced buckets with atomic counters, so many
+// goroutines can record observations without locks and percentile reads
+// are cheap. 16 sub-buckets per power-of-two octave bound quantile
+// error at ~6%, plenty for SLO verdicts; exact min/max/sum ride along
+// for the tails and the mean. Promoted out of internal/loadgen so the
+// server's per-endpoint and per-stage histograms and the load
+// generator's client-side measurements share one implementation.
+
+package obs
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+const (
+	histMinNS   = 1 << 10 // finest resolution: ~1µs
+	histSub     = 16      // linear sub-buckets per octave
+	histOctaves = 26      // 2^10ns .. 2^36ns ≈ 68s
+	histBuckets = histOctaves * histSub
+)
+
+// Hist is a concurrency-safe latency histogram. The zero value is not
+// ready; use NewHist.
+type Hist struct {
+	counts [histBuckets]atomic.Uint64
+	n      atomic.Uint64
+	sum    atomic.Int64 // ns
+	min    atomic.Int64 // ns
+	max    atomic.Int64 // ns
+}
+
+// NewHist returns an empty histogram ready for concurrent Observe calls.
+func NewHist() *Hist {
+	h := &Hist{}
+	h.min.Store(int64(1) << 62)
+	return h
+}
+
+// bucketOf maps a latency in nanoseconds to its bucket index.
+func bucketOf(ns int64) int {
+	v := ns / histMinNS
+	if v < 1 {
+		return 0
+	}
+	octave := bits.Len64(uint64(v)) - 1
+	if octave >= histOctaves {
+		return histBuckets - 1
+	}
+	base := int64(1) << octave
+	sub := int((v - base) * histSub / base)
+	return octave*histSub + sub
+}
+
+// bucketMid returns a representative latency (ns) for a bucket.
+func bucketMid(i int) int64 {
+	octave := i / histSub
+	sub := i % histSub
+	base := int64(1) << octave
+	return (base + (int64(sub)*base+base/2)/histSub) * histMinNS
+}
+
+// Observe records one latency.
+func (h *Hist) Observe(d time.Duration) {
+	ns := int64(d)
+	if ns < 0 {
+		ns = 0
+	}
+	h.counts[bucketOf(ns)].Add(1)
+	h.n.Add(1)
+	h.sum.Add(ns)
+	for {
+		cur := h.min.Load()
+		if ns >= cur || h.min.CompareAndSwap(cur, ns) {
+			break
+		}
+	}
+	for {
+		cur := h.max.Load()
+		if ns <= cur || h.max.CompareAndSwap(cur, ns) {
+			break
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Hist) Count() uint64 { return h.n.Load() }
+
+// Sum returns the cumulative observed latency.
+func (h *Hist) Sum() time.Duration { return time.Duration(h.sum.Load()) }
+
+// Mean returns the mean latency (0 when empty).
+func (h *Hist) Mean() time.Duration {
+	n := h.n.Load()
+	if n == 0 {
+		return 0
+	}
+	return time.Duration(h.sum.Load() / int64(n))
+}
+
+// Max returns the largest observation (0 when empty).
+func (h *Hist) Max() time.Duration {
+	if h.n.Load() == 0 {
+		return 0
+	}
+	return time.Duration(h.max.Load())
+}
+
+// Min returns the smallest observation (0 when empty).
+func (h *Hist) Min() time.Duration {
+	if h.n.Load() == 0 {
+		return 0
+	}
+	return time.Duration(h.min.Load())
+}
+
+// Quantile returns the q-quantile (q in [0,1]) from the bucket counts,
+// clamped to the exact observed min/max so the extremes are never
+// inflated by bucket width. Empty histograms return 0.
+func (h *Hist) Quantile(q float64) time.Duration {
+	n := h.n.Load()
+	if n == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return h.Min()
+	}
+	if q >= 1 {
+		return h.Max()
+	}
+	rank := uint64(q * float64(n-1))
+	var seen uint64
+	for i := 0; i < histBuckets; i++ {
+		c := h.counts[i].Load()
+		if c == 0 {
+			continue
+		}
+		seen += c
+		if seen > rank {
+			ns := bucketMid(i)
+			if lo := h.min.Load(); ns < lo {
+				ns = lo
+			}
+			if hi := h.max.Load(); ns > hi {
+				ns = hi
+			}
+			return time.Duration(ns)
+		}
+	}
+	return time.Duration(h.max.Load())
+}

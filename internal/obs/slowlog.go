@@ -1,0 +1,132 @@
+// Slow-query log: two fixed-size retention rings over completed
+// traces. The recent ring is lock-free — an atomic position counter
+// picks the slot, an atomic pointer store publishes the trace — so the
+// request hot path never contends with scrapes. The slowest ring keeps
+// the N largest totals behind a mutex, but an atomic threshold
+// (the smallest retained total) lets the common case — a request
+// faster than everything retained — skip the lock entirely.
+
+package obs
+
+import (
+	"slices"
+	"sync"
+	"sync/atomic"
+)
+
+// Slowlog retains completed traces: the keep-N most recent and the
+// keep-N slowest since boot. Traces are immutable once inserted.
+type Slowlog struct {
+	recent []atomic.Pointer[Trace]
+	pos    atomic.Uint64 // next insertion sequence (1-based)
+
+	keep  int          // slowest-ring capacity
+	minNS atomic.Int64 // smallest total retained in slow; -1 until full
+	mu    sync.Mutex
+	slow  []*Trace
+}
+
+func newSlowlog(recent, slowest int) *Slowlog {
+	l := &Slowlog{
+		recent: make([]atomic.Pointer[Trace], recent),
+		keep:   slowest,
+		slow:   make([]*Trace, 0, slowest),
+	}
+	l.minNS.Store(-1)
+	return l
+}
+
+// insert publishes a finished trace into both rings. The sequence
+// stamp happens-before the pointer store, so readers that observe the
+// trace also observe its seq.
+func (l *Slowlog) insert(t *Trace) {
+	seq := l.pos.Add(1)
+	t.seq = seq
+	l.recent[(seq-1)%uint64(len(l.recent))].Store(t)
+
+	// Fast path: the ring is full and this trace is no slower than the
+	// fastest retained one.
+	if m := l.minNS.Load(); m >= 0 && t.total <= m {
+		return
+	}
+	l.mu.Lock()
+	if len(l.slow) < l.keep {
+		l.slow = append(l.slow, t)
+		if len(l.slow) == l.keep {
+			l.minNS.Store(l.slowMin())
+		}
+	} else {
+		// Replace the fastest retained trace in place (no allocation).
+		mi := 0
+		for i, s := range l.slow {
+			if s.total < l.slow[mi].total {
+				mi = i
+			}
+		}
+		if t.total > l.slow[mi].total {
+			l.slow[mi] = t
+			l.minNS.Store(l.slowMin())
+		}
+	}
+	l.mu.Unlock()
+}
+
+// slowMin returns the smallest total currently retained (call with mu
+// held and slow non-empty).
+func (l *Slowlog) slowMin() int64 {
+	m := l.slow[0].total
+	for _, s := range l.slow[1:] {
+		if s.total < m {
+			m = s.total
+		}
+	}
+	return m
+}
+
+// Recent returns the retained most-recent traces, newest first.
+func (l *Slowlog) Recent() []*Trace {
+	if l == nil {
+		return nil
+	}
+	out := make([]*Trace, 0, len(l.recent))
+	for i := range l.recent {
+		if t := l.recent[i].Load(); t != nil {
+			out = append(out, t)
+		}
+	}
+	slices.SortFunc(out, func(a, b *Trace) int {
+		switch {
+		case a.seq > b.seq:
+			return -1
+		case a.seq < b.seq:
+			return 1
+		}
+		return 0
+	})
+	return out
+}
+
+// Slowest returns the retained slowest traces, slowest first.
+func (l *Slowlog) Slowest() []*Trace {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	out := slices.Clone(l.slow)
+	l.mu.Unlock()
+	slices.SortFunc(out, func(a, b *Trace) int {
+		switch {
+		case a.total > b.total:
+			return -1
+		case a.total < b.total:
+			return 1
+		// Ties resolve by insertion order so the listing is stable.
+		case a.seq < b.seq:
+			return -1
+		case a.seq > b.seq:
+			return 1
+		}
+		return 0
+	})
+	return out
+}

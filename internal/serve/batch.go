@@ -32,10 +32,11 @@ type topKReq struct {
 }
 
 type topKResp struct {
-	pairs []pathsim.Pair
-	epoch int64
-	batch int // size of the coalesced batch this query rode in
-	err   error
+	pairs  []pathsim.Pair
+	epoch  int64
+	batch  int           // size of the coalesced batch this query rode in
+	kernel time.Duration // wall time of the BatchTopK call that answered it
+	err    error
 }
 
 // batcher owns the queue and the single dispatcher goroutine.
@@ -217,7 +218,9 @@ func (b *batcher) flushGroup(group []topKReq) {
 	if len(live) == 0 {
 		return
 	}
+	kstart := time.Now()
 	res := ix.BatchTopK(xs, kmax)
+	kernel := time.Since(kstart)
 	b.batches.Add(1)
 	b.queries.Add(uint64(len(live)))
 	b.unique.Add(uint64(len(xs)))
@@ -229,7 +232,7 @@ func (b *batcher) flushGroup(group []topKReq) {
 		if r.k < len(pairs) {
 			pairs = pairs[:r.k]
 		}
-		r.out <- topKResp{pairs: pairs, epoch: r.epoch, batch: len(live)}
+		r.out <- topKResp{pairs: pairs, epoch: r.epoch, batch: len(live), kernel: kernel}
 	}
 }
 

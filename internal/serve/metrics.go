@@ -1,25 +1,32 @@
 // Per-endpoint serving counters and the /metrics exposition. The
 // registry's endpoint set is fixed at construction, so the hot path is
 // pure atomics — no locks, no map writes. Exposition is Prometheus
-// text format assembled by hand (the repo is stdlib-only).
+// text format assembled by hand (the repo is stdlib-only); the series
+// set is fixed at boot — endpoint families, stage histograms and
+// gauges are all pre-declared — so the metric name sequence never
+// varies between scrapes (pinned by TestMetricsDeterministicOrder).
 
 package serve
 
 import (
 	"fmt"
 	"io"
+	"runtime"
 	"slices"
 	"sync/atomic"
 	"time"
 
+	"hinet/internal/obs"
 	"hinet/internal/sparse"
 )
 
-// endpointStats counts one endpoint's traffic.
+// endpointStats counts one endpoint's traffic. Latency goes into a
+// shared obs histogram, so /metrics can report a real Prometheus
+// histogram (buckets + sum + count) instead of a lossy mean.
 type endpointStats struct {
 	requests atomic.Uint64
 	errors   atomic.Uint64
-	latency  atomic.Int64 // cumulative nanoseconds
+	lat      *obs.Hist
 }
 
 func (e *endpointStats) observe(code int, d time.Duration) {
@@ -27,7 +34,7 @@ func (e *endpointStats) observe(code int, d time.Duration) {
 	if code >= 400 {
 		e.errors.Add(1)
 	}
-	e.latency.Add(int64(d))
+	e.lat.Observe(d)
 }
 
 // metrics is the fixed per-endpoint registry.
@@ -38,7 +45,7 @@ type metrics struct {
 func newMetrics(endpoints ...string) *metrics {
 	m := &metrics{endpoints: make(map[string]*endpointStats, len(endpoints))}
 	for _, e := range endpoints {
-		m.endpoints[e] = &endpointStats{}
+		m.endpoints[e] = &endpointStats{lat: obs.NewHist()}
 	}
 	return m
 }
@@ -51,8 +58,9 @@ func (m *metrics) get(endpoint string) *endpointStats {
 }
 
 // writeMetrics renders the Prometheus text exposition for /metrics:
-// snapshot identity, per-endpoint request/error/latency counters, cache
-// hit rates, and batching effectiveness.
+// snapshot identity, per-endpoint request counters and latency
+// histograms, per-stage duration histograms from the tracer, cache hit
+// rates, batching effectiveness, and process/pool runtime gauges.
 func (s *Server) writeMetrics(w io.Writer) {
 	if snap := s.store.Current(); snap != nil {
 		fmt.Fprintf(w, "hinet_snapshot_epoch %d\n", snap.Epoch)
@@ -65,8 +73,9 @@ func (s *Server) writeMetrics(w io.Writer) {
 		}
 		fmt.Fprintf(w, "hinet_pathsim_index_nnz %d\n", snap.PathSim.NNZ())
 
-		// Meta-path engine: materialization-cache effectiveness and how
-		// the planner is evaluating products for this snapshot.
+		// Meta-path engine: materialization-cache effectiveness, how the
+		// planner is evaluating products, and where the product wall
+		// time goes (planned splits vs. Gram factorizations).
 		es := snap.Engine().Stats()
 		fmt.Fprintf(w, "hinet_metapath_cache_hits_total %d\n", es.Hits)
 		fmt.Fprintf(w, "hinet_metapath_cache_misses_total %d\n", es.Misses)
@@ -74,6 +83,8 @@ func (s *Server) writeMetrics(w io.Writer) {
 		fmt.Fprintf(w, "hinet_metapath_products_total %d\n", es.Products)
 		fmt.Fprintf(w, "hinet_metapath_gram_products_total %d\n", es.Grams)
 		fmt.Fprintf(w, "hinet_metapath_transposes_total %d\n", es.Transposes)
+		fmt.Fprintf(w, "hinet_metapath_product_seconds_total %g\n", es.ProductTime.Seconds())
+		fmt.Fprintf(w, "hinet_metapath_gram_seconds_total %g\n", es.GramTime.Seconds())
 	}
 
 	names := make([]string, 0, len(s.met.endpoints))
@@ -85,8 +96,20 @@ func (s *Server) writeMetrics(w io.Writer) {
 		st := s.met.endpoints[e]
 		fmt.Fprintf(w, "hinet_http_requests_total{endpoint=%q} %d\n", e, st.requests.Load())
 		fmt.Fprintf(w, "hinet_http_errors_total{endpoint=%q} %d\n", e, st.errors.Load())
-		fmt.Fprintf(w, "hinet_http_latency_seconds_sum{endpoint=%q} %g\n", e,
-			time.Duration(st.latency.Load()).Seconds())
+	}
+	// Request-duration histograms follow the counters so the flat
+	// counter block stays easy to eyeball.
+	for _, e := range names {
+		s.met.endpoints[e].lat.WriteProm(w, "hinet_request_duration_seconds",
+			fmt.Sprintf("endpoint=%q", e))
+	}
+	// Per-stage duration histograms from the span tracer. Families and
+	// stages are declared at boot, so this block's series set is fixed.
+	for _, f := range s.obs.Families() {
+		for _, stage := range f.Stages() {
+			f.Stage(stage).WriteProm(w, "hinet_stage_duration_seconds",
+				fmt.Sprintf("endpoint=%q,stage=%q", f.Name(), stage))
+		}
 	}
 
 	cs := s.cache.Stats()
@@ -106,7 +129,18 @@ func (s *Server) writeMetrics(w io.Writer) {
 	fmt.Fprintf(w, "hinet_topk_unique_queries_total %d\n", s.batch.unique.Load())
 	fmt.Fprintf(w, "hinet_topk_largest_batch %d\n", s.batch.largest.Load())
 
+	// Process and pool runtime gauges.
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	fmt.Fprintf(w, "hinet_goroutines %d\n", runtime.NumGoroutine())
+	fmt.Fprintf(w, "hinet_heap_alloc_bytes %d\n", ms.HeapAlloc)
+	fmt.Fprintf(w, "hinet_gc_cycles_total %d\n", ms.NumGC)
+	fmt.Fprintf(w, "hinet_gc_pause_seconds_total %g\n", float64(ms.PauseTotalNs)/1e9)
 	fmt.Fprintf(w, "hinet_pool_workers %d\n", sparse.Parallelism(0))
+	fmt.Fprintf(w, "hinet_pool_queue_depth %d\n", sparse.QueueDepth())
+	hits, misses := sparse.SpgemmPoolStats()
+	fmt.Fprintf(w, "hinet_spgemm_scratch_hits_total %d\n", hits)
+	fmt.Fprintf(w, "hinet_spgemm_scratch_misses_total %d\n", misses)
 }
 
 // EndpointMetrics is a point-in-time copy of one endpoint's counters,
@@ -125,7 +159,7 @@ func (s *Server) Endpoints() map[string]EndpointMetrics {
 		out[name] = EndpointMetrics{
 			Requests: st.requests.Load(),
 			Errors:   st.errors.Load(),
-			Latency:  time.Duration(st.latency.Load()),
+			Latency:  st.lat.Sum(),
 		}
 	}
 	return out
@@ -138,3 +172,7 @@ func (s *Server) AdmissionRejected() uint64 { return s.rejAd.Load() }
 // CacheStats exposes the result cache counters for tests and the load
 // harness.
 func (s *Server) CacheStats() CacheStats { return s.cache.Stats() }
+
+// Obs exposes the observability registry (stage histograms, slowlog)
+// for tests and embedders.
+func (s *Server) Obs() *obs.Registry { return s.obs }

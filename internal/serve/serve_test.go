@@ -231,7 +231,7 @@ func TestTopKInvalidPaths(t *testing.T) {
 func TestTopKOutOfRangeRegression(t *testing.T) {
 	s := newTestServer(t, Options{})
 	snap := s.Snapshot()
-	vpv, err := snap.PathIndex("V-P-V")
+	vpv, err := snap.PathIndex(context.Background(), "V-P-V")
 	if err != nil {
 		t.Fatal(err)
 	}

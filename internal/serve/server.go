@@ -19,9 +19,17 @@
 //     queries into per-(epoch, path) pathsim.BatchTopK calls that fan
 //     out over the shared sparse worker pool.
 //
+// Every request is traced (internal/obs): the route wrapper mints one
+// span trace per request, handlers chain named stage spans through it,
+// and Finish feeds per-endpoint-per-stage histograms (/metrics,
+// /v1/stats) plus the slow-query log (/v1/debug/slowlog). Appending
+// debug=1 to any query echoes the request's own span tree in the
+// response.
+//
 // Endpoints: /healthz, /metrics, /v1/stats, /v1/rank, /v1/clusters,
-// /v1/pathsim/topk, and POST /v1/rebuild. See docs/ARCHITECTURE.md
-// ("Serving layer") and the README quickstart.
+// /v1/pathsim/topk, POST /v1/rebuild, POST /v1/ingest, and
+// /v1/debug/slowlog (plus /debug/pprof/* when Options.Pprof is set).
+// See docs/ARCHITECTURE.md ("Serving layer") and the README quickstart.
 package serve
 
 import (
@@ -31,6 +39,8 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"net/http/pprof"
+	"net/url"
 	"slices"
 	"strconv"
 	"sync/atomic"
@@ -40,6 +50,7 @@ import (
 	"hinet/internal/eval"
 	"hinet/internal/hin"
 	"hinet/internal/ingest"
+	"hinet/internal/obs"
 	"hinet/internal/pathsim"
 	"hinet/internal/sparse"
 )
@@ -57,6 +68,9 @@ type Options struct {
 	Workers       int           // sparse pool worker cap (0 = leave as configured)
 	MaxConcurrent int           // concurrent heavy queries admitted (default 4×workers)
 	AdmissionWait time.Duration // max time queued for admission before 503 (default 5s, < 0 fail-fast)
+
+	Pprof   bool // expose net/http/pprof under /debug/pprof/
+	NoTrace bool // disable per-request span traces (stage histograms and slowlog stay empty)
 }
 
 func (o Options) withDefaults() Options {
@@ -88,6 +102,7 @@ type Server struct {
 	cache *Cache
 	batch *batcher
 	met   *metrics
+	obs   *obs.Registry
 	ing   ingestStats
 	sem   chan struct{}
 	rejAd atomic.Uint64 // heavy requests rejected at admission
@@ -120,15 +135,30 @@ func New(opts Options) *Server {
 		opts:  opts,
 		store: NewStore(opts.Models),
 		cache: NewCache(opts.CacheCapacity, opts.CacheShards),
+		obs:   obs.NewRegistry(obs.Options{}),
 		sem:   make(chan struct{}, opts.MaxConcurrent),
 		mux:   http.NewServeMux(),
 	}
 	s.store.Rebuild(opts.Seed)
 	s.batch = newBatcher(opts.MaxBatch, opts.BatchWindow)
 	s.met = newMetrics(
-		"/healthz", "/metrics", "/v1/stats", "/v1/rank",
-		"/v1/clusters", "/v1/pathsim/topk", "/v1/rebuild", "/v1/ingest",
+		"/healthz", "/metrics", "/v1/stats", "/v1/rank", "/v1/clusters",
+		"/v1/pathsim/topk", "/v1/rebuild", "/v1/ingest", "/v1/debug/slowlog",
 	)
+	// Every endpoint's trace family and stage plan is declared here, at
+	// boot, so the /metrics and /v1/stats series sets are fixed for the
+	// process lifetime and the request path never mutates registry maps.
+	for e := range s.met.endpoints {
+		s.obs.Family(e)
+	}
+	s.obs.Family("/v1/stats").Declare("collect", "serialize")
+	s.obs.Family("/v1/rank").Declare("params", "rank", "render", "serialize")
+	s.obs.Family("/v1/clusters").Declare("params", "cluster", "score", "serialize")
+	s.obs.Family("/v1/pathsim/topk").Declare(
+		"admission", "params", "resolve", "query", "cache", "batch", "kernel", "render", "serialize")
+	s.obs.Family("/v1/rebuild").Declare("admission", "params", "rebuild", "serialize")
+	s.obs.Family("/v1/ingest").Declare("admission", "decode", "apply", "serialize")
+
 	s.route("/healthz", false, s.handleHealthz)
 	s.route("/metrics", false, s.handleMetrics)
 	s.route("/v1/stats", false, s.handleStats)
@@ -137,6 +167,14 @@ func New(opts Options) *Server {
 	s.route("/v1/pathsim/topk", true, s.handleTopK)
 	s.route("/v1/rebuild", true, s.handleRebuild)
 	s.route("/v1/ingest", true, s.handleIngest)
+	s.route("/v1/debug/slowlog", false, s.handleSlowlog)
+	if opts.Pprof {
+		s.mux.HandleFunc("/debug/pprof/", pprof.Index)
+		s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	return s
 }
 
@@ -170,25 +208,44 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	return err
 }
 
-// route registers an instrumented handler. Heavy endpoints additionally
-// pass through the admission semaphore, bounding concurrent expensive
+// route registers an instrumented handler: each request gets a span
+// trace (unless Options.NoTrace) carried in the statusRecorder, and the
+// wrapper finishes it — closing any span the handler left open, feeding
+// the stage histograms and the slowlog — before recording the endpoint
+// counters. Heavy endpoints additionally pass through the admission
+// semaphore under an "admission" span, bounding concurrent expensive
 // work independently of the sparse pool's own worker cap.
 func (s *Server) route(pattern string, heavy bool, h http.HandlerFunc) {
 	st := s.met.get(pattern)
 	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
-		start := time.Now()
-		rec := &statusRecorder{ResponseWriter: w, code: http.StatusOK}
+		var start time.Time
+		var tr *obs.Trace
+		if s.opts.NoTrace {
+			start = time.Now()
+		} else {
+			tr = s.obs.StartTrace(pattern)
+		}
+		rec := &statusRecorder{ResponseWriter: w, code: http.StatusOK, tr: tr}
+		finish := func() {
+			d := tr.Finish(rec.code)
+			if tr == nil {
+				d = time.Since(start)
+			}
+			st.observe(rec.code, d)
+		}
 		if heavy {
+			ad := tr.Start("admission")
 			release, msg := s.admit(r)
+			tr.End(ad)
 			if release == nil {
 				httpError(rec, http.StatusServiceUnavailable, msg)
-				st.observe(rec.code, time.Since(start))
+				finish()
 				return
 			}
 			defer release()
 		}
 		h(rec, r)
-		st.observe(rec.code, time.Since(start))
+		finish()
 	})
 }
 
@@ -224,11 +281,33 @@ func (s *Server) admit(r *http.Request) (release func(), msg string) {
 type statusRecorder struct {
 	http.ResponseWriter
 	code int
+	tr   *obs.Trace // this request's trace (nil when tracing is off)
 }
 
 func (r *statusRecorder) WriteHeader(code int) {
 	r.code = code
 	r.ResponseWriter.WriteHeader(code)
+}
+
+// traceOf recovers the request's trace from the writer the route
+// wrapper installed. Handlers invoked outside route (none today) just
+// get nil, which the whole obs API tolerates.
+func traceOf(w http.ResponseWriter) *obs.Trace {
+	if rec, ok := w.(*statusRecorder); ok {
+		return rec.tr
+	}
+	return nil
+}
+
+// debugTrace echoes the request's own span tree into the payload when
+// the client asked for it with debug=1. The trace is still open — the
+// serialize span is rendered up to "now" — which is exactly what the
+// client can observe from inside the request.
+func debugTrace(q url.Values, tr *obs.Trace, payload map[string]any) map[string]any {
+	if tr != nil && q.Get("debug") == "1" {
+		payload["trace"] = tr.Snapshot()
+	}
+	return payload
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {
@@ -243,9 +322,11 @@ func httpError(w http.ResponseWriter, code int, format string, args ...any) {
 	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
 }
 
-// intParam parses an integer query parameter with a default.
-func intParam(r *http.Request, name string, def int) (int, error) {
-	v := r.URL.Query().Get(name)
+// intParam parses an integer query parameter with a default. Handlers
+// parse the URL query once and pass the values in (url.Query re-parses
+// and re-allocates on every call).
+func intParam(q url.Values, name string, def int) (int, error) {
+	v := q.Get(name)
 	if v == "" {
 		return def, nil
 	}
@@ -269,16 +350,30 @@ type scoredObject struct {
 // carries the snapshot epoch and the path, so neither a rebuild nor a
 // different path can ever serve a stale or foreign answer. It returns
 // the answer, the epoch it came from, and whether it was a cache hit.
+//
+// A trace carried by ctx gets child spans under the caller's open span:
+// "cache" (noted hit/miss), then on a miss "batch" covering queue wait
+// plus compute, with a "kernel" child pinned to the BatchTopK wall time
+// measured by the dispatcher.
 func (s *Server) topK(ctx context.Context, snap *Snapshot, ix *pathsim.Index, x, k int) ([]pathsim.Pair, int64, bool, error) {
+	tr := obs.FromContext(ctx)
 	pathKey := ix.Path.String()
 	key := topKKey(snap.Epoch, pathKey, x, k)
+	sp := tr.Start("cache")
 	if v, ok := s.cache.Get(key); ok {
+		tr.Note("hit")
+		tr.End(sp)
 		return v.([]pathsim.Pair), snap.Epoch, true, nil
 	}
+	tr.Note("miss")
+	sp = tr.Next(sp, "batch")
 	resp, err := s.batch.TopK(ctx, topKReq{x: x, k: k, ix: ix, pathKey: pathKey, epoch: snap.Epoch})
 	if err != nil {
+		tr.End(sp)
 		return nil, 0, false, err
 	}
+	tr.AddTimed(sp, "kernel", resp.kernel)
+	tr.End(sp)
 	// Batch results alias one shared arena (pathsim.BatchTopK); clone
 	// before caching so one retained entry cannot pin its whole batch's
 	// backing array for the cache entry's lifetime.
@@ -318,17 +413,65 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	s.writeMetrics(w)
 }
 
+// handleSlowlog serves the trace retention buffers: the N slowest
+// completed requests since boot and the N most recent, as span trees.
+func (s *Server) handleSlowlog(w http.ResponseWriter, r *http.Request) {
+	log := s.obs.Log()
+	render := func(traces []*obs.Trace) []*obs.TraceJSON {
+		out := make([]*obs.TraceJSON, len(traces))
+		for i, t := range traces {
+			out[i] = t.Snapshot()
+		}
+		return out
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"slowest": render(log.Slowest()),
+		"recent":  render(log.Recent()),
+	})
+}
+
+// latencyStats summarizes request and stage latency quantiles for
+// /v1/stats. The key set is static — every endpoint and every declared
+// stage is always present, populated or not — so the response shape
+// never depends on which requests happened to arrive first (the replay
+// harness digests response shapes).
+func (s *Server) latencyStats() map[string]any {
+	quant := func(h *obs.Hist) map[string]any {
+		return map[string]any{
+			"count":  h.Count(),
+			"p50_us": float64(h.Quantile(0.50)) / 1e3,
+			"p95_us": float64(h.Quantile(0.95)) / 1e3,
+			"p99_us": float64(h.Quantile(0.99)) / 1e3,
+		}
+	}
+	out := make(map[string]any)
+	for _, f := range s.obs.Families() {
+		entry := quant(s.met.get(f.Name()).lat)
+		stages := make(map[string]any)
+		for _, stage := range f.Stages() {
+			stages[stage] = quant(f.Stage(stage))
+		}
+		entry["stages"] = stages
+		out[f.Name()] = entry
+	}
+	return out
+}
+
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	snap := s.store.Current()
 	if snap == nil {
 		httpError(w, http.StatusServiceUnavailable, "no snapshot")
 		return
 	}
+	tr := traceOf(w)
+	sp := tr.Start("collect")
+	q := r.URL.Query()
 	objects := map[string]int{}
 	for _, t := range snap.Corpus.Net.Types() {
 		objects[string(t)] = snap.Corpus.Net.Count(t)
 	}
-	writeJSON(w, http.StatusOK, map[string]any{
+	es := snap.Engine().Stats()
+	payload := map[string]any{
 		"epoch":         snap.Epoch,
 		"seed":          snap.Seed,
 		"built_at":      snap.BuiltAt.UTC().Format(time.RFC3339Nano),
@@ -338,17 +481,16 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			"dim": snap.PathSim.Dim(),
 			"nnz": snap.PathSim.NNZ(),
 		},
-		"metapath": func() map[string]any {
-			es := snap.Engine().Stats()
-			return map[string]any{
-				"cache_hits":    es.Hits,
-				"cache_misses":  es.Misses,
-				"cache_entries": es.Entries,
-				"products":      es.Products,
-				"gram_products": es.Grams,
-				"transposes":    es.Transposes,
-			}
-		}(),
+		"metapath": map[string]any{
+			"cache_hits":      es.Hits,
+			"cache_misses":    es.Misses,
+			"cache_entries":   es.Entries,
+			"products":        es.Products,
+			"gram_products":   es.Grams,
+			"transposes":      es.Transposes,
+			"product_seconds": es.ProductTime.Seconds(),
+			"gram_seconds":    es.GramTime.Seconds(),
+		},
 		"cache": s.cache.Stats(),
 		"ingest": map[string]any{
 			"batches":       s.ing.batches.Load(),
@@ -362,10 +504,13 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			"unique":  s.batch.unique.Load(),
 			"largest": uint64(s.batch.largest.Load()),
 		},
+		"latency":            s.latencyStats(),
 		"workers":            sparse.Parallelism(0),
 		"max_concurrent":     cap(s.sem),
 		"admission_rejected": s.rejAd.Load(),
-	})
+	}
+	tr.Next(sp, "serialize")
+	writeJSON(w, http.StatusOK, debugTrace(q, tr, payload))
 }
 
 func (s *Server) handleRank(w http.ResponseWriter, r *http.Request) {
@@ -374,15 +519,19 @@ func (s *Server) handleRank(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusServiceUnavailable, "no snapshot")
 		return
 	}
-	top, err := intParam(r, "top", 10)
+	tr := traceOf(w)
+	sp := tr.Start("params")
+	q := r.URL.Query()
+	top, err := intParam(q, "top", 10)
 	if err != nil || top < 0 {
 		httpError(w, http.StatusBadRequest, "top must be a non-negative integer")
 		return
 	}
-	metric := r.URL.Query().Get("metric")
+	metric := q.Get("metric")
 	if metric == "" {
 		metric = "pagerank"
 	}
+	sp = tr.Next(sp, "rank")
 	var scores []float64
 	var ids []int
 	var iters int
@@ -401,18 +550,21 @@ func (s *Server) handleRank(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "unknown metric %q (want pagerank|authority|hub)", metric)
 		return
 	}
+	sp = tr.Next(sp, "render")
 	rows := make([]scoredObject, 0, len(ids))
 	for _, id := range ids {
 		rows = append(rows, scoredObject{ID: id, Name: snap.Corpus.Net.Name(dblp.TypeAuthor, id), Score: scores[id]})
 	}
-	writeJSON(w, http.StatusOK, map[string]any{
+	payload := map[string]any{
 		"metric":     metric,
 		"graph":      pathAPA.String(),
 		"epoch":      snap.Epoch,
 		"iterations": iters,
 		"converged":  converged,
 		"top":        rows,
-	})
+	}
+	tr.Next(sp, "serialize")
+	writeJSON(w, http.StatusOK, debugTrace(q, tr, payload))
 }
 
 func (s *Server) handleClusters(w http.ResponseWriter, r *http.Request) {
@@ -421,12 +573,15 @@ func (s *Server) handleClusters(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusServiceUnavailable, "no snapshot")
 		return
 	}
-	top, err := intParam(r, "top", 5)
+	tr := traceOf(w)
+	sp := tr.Start("params")
+	q := r.URL.Query()
+	top, err := intParam(q, "top", 5)
 	if err != nil || top < 0 {
 		httpError(w, http.StatusBadRequest, "top must be a non-negative integer")
 		return
 	}
-	algo := r.URL.Query().Get("algo")
+	algo := q.Get("algo")
 	if algo == "" {
 		algo = "rankclus"
 	}
@@ -434,6 +589,7 @@ func (s *Server) handleClusters(w http.ResponseWriter, r *http.Request) {
 	switch algo {
 	case "rankclus":
 		m := snap.RankClus
+		sp = tr.Next(sp, "cluster")
 		clusters := make([]map[string]any, m.K)
 		for k := 0; k < m.K; k++ {
 			venues := make([]scoredObject, 0, top)
@@ -446,15 +602,20 @@ func (s *Server) handleClusters(w http.ResponseWriter, r *http.Request) {
 			}
 			clusters[k] = map[string]any{"id": k, "venues": venues, "authors": authors}
 		}
-		writeJSON(w, http.StatusOK, map[string]any{
+		sp = tr.Next(sp, "score")
+		nmi := nmiAligned(c.VenueArea, m.Assign)
+		payload := map[string]any{
 			"algo":     algo,
 			"epoch":    snap.Epoch,
 			"k":        m.K,
-			"nmi":      nmiAligned(c.VenueArea, m.Assign),
+			"nmi":      nmi,
 			"clusters": clusters,
-		})
+		}
+		tr.Next(sp, "serialize")
+		writeJSON(w, http.StatusOK, debugTrace(q, tr, payload))
 	case "netclus":
 		m := snap.NetClus
+		sp = tr.Next(sp, "cluster")
 		// Attribute-type order matches Corpus.Star: author, venue, term.
 		attrs := []struct {
 			idx int
@@ -472,14 +633,19 @@ func (s *Server) handleClusters(w http.ResponseWriter, r *http.Request) {
 			}
 			clusters[k] = entry
 		}
-		writeJSON(w, http.StatusOK, map[string]any{
+		sp = tr.Next(sp, "score")
+		nmiPaper := nmiAligned(c.PaperArea, m.AssignCenter)
+		nmiVenue := nmiAligned(c.VenueArea, m.AssignAttr(1))
+		payload := map[string]any{
 			"algo":      algo,
 			"epoch":     snap.Epoch,
 			"k":         m.K,
-			"nmi_paper": nmiAligned(c.PaperArea, m.AssignCenter),
-			"nmi_venue": nmiAligned(c.VenueArea, m.AssignAttr(1)),
+			"nmi_paper": nmiPaper,
+			"nmi_venue": nmiVenue,
 			"clusters":  clusters,
-		})
+		}
+		tr.Next(sp, "serialize")
+		writeJSON(w, http.StatusOK, debugTrace(q, tr, payload))
 	default:
 		httpError(w, http.StatusBadRequest, "unknown algo %q (want rankclus|netclus)", algo)
 	}
@@ -501,7 +667,14 @@ func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusServiceUnavailable, "no snapshot")
 		return
 	}
-	k, err := intParam(r, "k", 10)
+	tr := traceOf(w)
+	sp := tr.Start("params")
+	q := r.URL.Query()
+	ctx := r.Context()
+	if tr != nil {
+		ctx = obs.WithTrace(ctx, tr)
+	}
+	k, err := intParam(q, "k", 10)
 	if err != nil || k < 1 {
 		httpError(w, http.StatusBadRequest, "k must be a positive integer")
 		return
@@ -509,8 +682,10 @@ func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
 	// path= selects the meta-path; empty keeps the prebuilt APVPA
 	// index. The engine validates the spec — any parse/schema/symmetry
 	// problem is the client's, hence 400, and the snapshot memoizes the
-	// index so repeat queries pay one lookup.
-	ix, err := snap.PathIndex(r.URL.Query().Get("path"))
+	// index so repeat queries pay one lookup (the resolve span's note
+	// says which way it went: prebuilt, cached, or built).
+	sp = tr.Next(sp, "resolve")
+	ix, err := snap.PathIndex(ctx, q.Get("path"))
 	if err != nil {
 		httpError(w, http.StatusBadRequest, "invalid path: %v", err)
 		return
@@ -520,9 +695,9 @@ func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
 	// object up by name within that type.
 	endpoint := ix.Path[0]
 	x := -1
-	name := r.URL.Query().Get("name")
+	name := q.Get("name")
 	if name == "" {
-		name = r.URL.Query().Get("author")
+		name = q.Get("author")
 	}
 	if name != "" {
 		if x = snap.Corpus.Net.Lookup(endpoint, name); x < 0 {
@@ -530,7 +705,7 @@ func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	} else {
-		x, err = intParam(r, "id", -1)
+		x, err = intParam(q, "id", -1)
 		if err != nil {
 			httpError(w, http.StatusBadRequest, "%v", err)
 			return
@@ -540,7 +715,8 @@ func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "need id in [0,%d) or name=<%s name>", ix.Dim(), endpoint)
 		return
 	}
-	pairs, epoch, hit, err := s.topK(r.Context(), snap, ix, x, k)
+	sp = tr.Next(sp, "query")
+	pairs, epoch, hit, err := s.topK(ctx, snap, ix, x, k)
 	if err != nil {
 		httpError(w, http.StatusServiceUnavailable, "%v", err)
 		return
@@ -549,18 +725,21 @@ func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
 	if hit {
 		source = "cache"
 	}
+	sp = tr.Next(sp, "render")
 	results := make([]scoredObject, len(pairs))
 	for i, p := range pairs {
 		results[i] = scoredObject{ID: p.ID, Name: snap.Corpus.Net.Name(endpoint, p.ID), Score: p.Score}
 	}
-	writeJSON(w, http.StatusOK, map[string]any{
+	payload := map[string]any{
 		"query":   map[string]any{"id": x, "name": snap.Corpus.Net.Name(endpoint, x)},
 		"path":    ix.Path.String(),
 		"k":       k,
 		"epoch":   epoch,
 		"source":  source,
 		"results": results,
-	})
+	}
+	tr.Next(sp, "serialize")
+	writeJSON(w, http.StatusOK, debugTrace(q, tr, payload))
 }
 
 // ingestRequest is the POST /v1/ingest body: a delta batch plus
@@ -580,6 +759,9 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusMethodNotAllowed, "ingest requires POST")
 		return
 	}
+	tr := traceOf(w)
+	sp := tr.Start("decode")
+	q := r.URL.Query()
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxIngestBody))
 	dec.DisallowUnknownFields()
 	var req ingestRequest
@@ -593,6 +775,7 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "ingest body carries no deltas")
 		return
 	}
+	sp = tr.Next(sp, "apply")
 	start := time.Now()
 	snap, sum, err := s.store.Ingest(req.Deltas, req.RefreshModels)
 	if err != nil {
@@ -607,11 +790,13 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	s.ing.batches.Add(1)
 	s.ing.deltas.Add(uint64(len(req.Deltas)))
 	s.ing.nanos.Add(int64(time.Since(start)))
-	writeJSON(w, http.StatusOK, map[string]any{
+	payload := map[string]any{
 		"epoch":         snap.Epoch,
 		"applied":       sum,
 		"build_seconds": snap.BuildTime.Seconds(),
-	})
+	}
+	tr.Next(sp, "serialize")
+	writeJSON(w, http.StatusOK, debugTrace(q, tr, payload))
 }
 
 func (s *Server) handleRebuild(w http.ResponseWriter, r *http.Request) {
@@ -619,20 +804,26 @@ func (s *Server) handleRebuild(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusMethodNotAllowed, "rebuild requires POST")
 		return
 	}
+	tr := traceOf(w)
+	sp := tr.Start("params")
+	q := r.URL.Query()
 	cur := s.store.Current()
 	def := s.opts.Seed + 1
 	if cur != nil {
 		def = cur.Seed + 1
 	}
-	seed, err := intParam(r, "seed", int(def))
+	seed, err := intParam(q, "seed", int(def))
 	if err != nil {
 		httpError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
+	sp = tr.Next(sp, "rebuild")
 	snap := s.store.Rebuild(int64(seed))
-	writeJSON(w, http.StatusOK, map[string]any{
+	payload := map[string]any{
 		"epoch":         snap.Epoch,
 		"seed":          snap.Seed,
 		"build_seconds": snap.BuildTime.Seconds(),
-	})
+	}
+	tr.Next(sp, "serialize")
+	writeJSON(w, http.StatusOK, debugTrace(q, tr, payload))
 }

@@ -11,6 +11,7 @@
 package serve
 
 import (
+	"context"
 	"errors"
 	"sync"
 	"sync/atomic"
@@ -22,6 +23,7 @@ import (
 	"hinet/internal/ingest"
 	"hinet/internal/metapath"
 	"hinet/internal/netclus"
+	"hinet/internal/obs"
 	"hinet/internal/pathsim"
 	"hinet/internal/rank"
 	"hinet/internal/stats"
@@ -81,9 +83,13 @@ func (s *Snapshot) Engine() *metapath.Engine { return s.Corpus.Net.PathEngine() 
 // prebuilt APVPA index) into a PathSim index over this snapshot,
 // building and memoizing it on first use. Errors are client errors —
 // unparseable specs, unknown types, schema-less hops, asymmetric paths
-// — and map to HTTP 400.
-func (s *Snapshot) PathIndex(spec string) (*pathsim.Index, error) {
+// — and map to HTTP 400. A trace carried by ctx (obs.WithTrace) has
+// its current span annotated with how the index was resolved:
+// "prebuilt", "cached", or "built".
+func (s *Snapshot) PathIndex(ctx context.Context, spec string) (*pathsim.Index, error) {
+	tr := obs.FromContext(ctx)
 	if spec == "" {
+		tr.Note("prebuilt")
 		return s.PathSim, nil
 	}
 	path, err := s.Corpus.Net.ParseMetaPath(spec)
@@ -92,6 +98,7 @@ func (s *Snapshot) PathIndex(spec string) (*pathsim.Index, error) {
 	}
 	key := path.String()
 	if v, ok := s.paths.Load(key); ok {
+		tr.Note("cached")
 		return v.(*pathsim.Index), nil
 	}
 	// NewIndexE validates symmetry and length; its errors go to the
@@ -100,6 +107,7 @@ func (s *Snapshot) PathIndex(spec string) (*pathsim.Index, error) {
 	if err != nil {
 		return nil, err
 	}
+	tr.Note("built")
 	if s.pathCount.Load() >= maxPathIndexes {
 		return ix, nil
 	}

@@ -105,6 +105,21 @@ func threshold() int {
 	return int(workLimit.Load())
 }
 
+// QueueDepth reports the number of tasks currently waiting on the
+// shared pool's queue — a point-in-time backlog gauge for /metrics. A
+// zero depth with busy workers is normal (runTasks callers help drain);
+// a persistently high depth means kernels are arriving faster than the
+// configured Parallelism can retire them.
+func QueueDepth() int {
+	sharedPool.mu.Lock()
+	t := sharedPool.tasks
+	sharedPool.mu.Unlock()
+	if t == nil {
+		return 0
+	}
+	return len(t)
+}
+
 // taskQueue returns the shared task channel, growing the pool to n
 // resident workers. Workers are cheap (blocked goroutines); each one
 // retires after a task if the Parallelism cap has dropped below its
@@ -235,7 +250,21 @@ type spgemmScratch struct {
 	base    int
 }
 
-var spgemmPool sync.Pool
+var (
+	spgemmPool sync.Pool
+
+	// Pool effectiveness counters: a hit reuses pooled scratch, a miss
+	// allocates fresh (first use, GC reclaim, or a too-small pooled
+	// buffer). Exported via SpgemmPoolStats for the serving metrics.
+	spgemmHits   atomic.Uint64
+	spgemmMisses atomic.Uint64
+)
+
+// SpgemmPoolStats returns the cumulative SpGEMM scratch-pool hit and
+// miss counts since process start.
+func SpgemmPoolStats() (hits, misses uint64) {
+	return spgemmHits.Load(), spgemmMisses.Load()
+}
 
 // getSpgemm returns scratch with acc/stamp sized n whose stamp marks
 // base+1 … base+maxMark are guaranteed unused.
@@ -243,6 +272,7 @@ func getSpgemm(n, maxMark int) *spgemmScratch {
 	if v := spgemmPool.Get(); v != nil {
 		s := v.(*spgemmScratch)
 		if cap(s.acc) >= n {
+			spgemmHits.Add(1)
 			s.acc = s.acc[:n]
 			s.stamp = s.stamp[:n]
 			if s.base > math.MaxInt-maxMark-1 {
@@ -258,6 +288,7 @@ func getSpgemm(n, maxMark int) *spgemmScratch {
 			return s
 		}
 	}
+	spgemmMisses.Add(1)
 	return &spgemmScratch{
 		acc:     make([]float64, n),
 		stamp:   make([]int, n),
