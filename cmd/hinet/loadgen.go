@@ -29,31 +29,32 @@ import (
 // loadgenFlags carries the loadgen-specific flag values out of main's
 // shared FlagSet.
 type loadgenFlags struct {
-	seed         int64
-	k            int
-	papers       int
-	workers      int
-	cacheCap     int
-	window       time.Duration
-	server       string
-	arrival      string
-	rate         float64
-	duration     time.Duration
-	concurrency  int
-	requests     int
-	mix          string
-	zipf         float64
-	paths        string
-	record       string
-	replay       string
-	out          string
-	sweep        bool
-	sweepSteps   int
-	stepDuration time.Duration
-	sloP99       time.Duration
-	sloErrors    float64
-	strict       bool
-	scheduleOnly string
+	seed            int64
+	k               int
+	papers          int
+	workers         int
+	cacheCap        int
+	window          time.Duration
+	server          string
+	arrival         string
+	rate            float64
+	duration        time.Duration
+	concurrency     int
+	requests        int
+	mix             string
+	zipf            float64
+	paths           string
+	record          string
+	replay          string
+	out             string
+	sweep           bool
+	sweepSteps      int
+	stepDuration    time.Duration
+	sloP99          time.Duration
+	sloErrors       float64
+	strict          bool
+	scheduleOnly    string
+	honorRetryAfter bool
 }
 
 func runLoadgen(f loadgenFlags) {
@@ -160,9 +161,10 @@ func runLoadgen(f loadgenFlags) {
 	}
 
 	ropts := loadgen.RunOptions{
-		Concurrency:  f.concurrency,
-		Record:       f.record != "",
-		CheckDigests: f.replay != "",
+		Concurrency:     f.concurrency,
+		Record:          f.record != "",
+		CheckDigests:    f.replay != "",
+		HonorRetryAfter: f.honorRetryAfter,
 	}
 	if f.arrival == loadgen.ArrivalClosed && ropts.Concurrency == 0 {
 		ropts.Concurrency = 8
@@ -272,6 +274,14 @@ func printSummary(res *loadgen.RunResult, report *loadgen.Report) {
 	fmt.Printf("%d requests in %s: %.1f rps, %d errors (%.2f%%), %d shed, cache hit %.0f%%\n",
 		res.Requests, res.Duration.Round(time.Millisecond), res.ThroughputRPS(),
 		res.Errors, res.ErrorRate()*100, res.Shed, report.CacheHit*100)
+	if res.ShedServer > 0 || res.Timeouts > 0 || res.Degraded > 0 {
+		fmt.Printf("overload: %d shed by server (503), %d deadline-exceeded (504), %d degraded (brownout)",
+			res.ShedServer, res.Timeouts, res.Degraded)
+		if res.Admitted.Count() > 0 {
+			fmt.Printf("; admitted p99 %s", res.Admitted.Quantile(0.99).Round(time.Microsecond))
+		}
+		fmt.Println()
+	}
 	fmt.Printf("%-10s %9s %9s %9s %9s %9s %9s\n", "cohort", "requests", "p50", "p90", "p99", "p999", "max")
 	for _, e := range report.Endpoints {
 		fmt.Printf("%-10s %9d %9s %9s %9s %9s %9s\n", e.Cohort, e.Requests,

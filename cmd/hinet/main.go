@@ -67,6 +67,11 @@ func main() {
 	window := fs.Duration("batch-window", 0, "serve: extra wait to widen top-k batches")
 	papers := fs.Int("papers", 0, "serve: corpus size in papers (0 = library default)")
 	pprofFlag := fs.Bool("pprof", false, "serve: expose net/http/pprof under /debug/pprof/")
+	defaultTimeout := fs.Duration("default-timeout", 0, "serve: per-request deadline when the client sends no ?timeout_ms (0 = none)")
+	maxConcurrent := fs.Int("max-concurrent", 0, "serve: admission ceiling for heavy queries (0 = library default)")
+	admissionFloor := fs.Int("admission-floor", 0, "serve: lowest concurrency the adaptive limiter may reach (0 = default)")
+	sloTarget := fs.Duration("slo-target", 0, "serve: admitted-query p99 target driving the adaptive limiter (0 = default 150ms)")
+	controlInterval := fs.Duration("control-interval", 0, "serve: admission controller tick (0 = default 100ms, negative disables)")
 	pathSpec := fs.String("path", "A-P-V-P-A", "pathsim: symmetric meta-path over the DBLP schema (e.g. A-P-A)")
 	emit := fs.Int("emit", 0, "ingest: emit N sample paper-arrival deltas as JSONL to stdout and exit")
 	file := fs.String("file", "", "ingest: JSONL delta file to apply (\"-\" reads stdin)")
@@ -89,6 +94,7 @@ func main() {
 	sloP99 := fs.Duration("slo-p99", 0, "loadgen: p99 latency SLO (0 = default 250ms)")
 	sloErrors := fs.Float64("slo-errors", 0, "loadgen: max error-rate SLO in [0,1] (0 = default 0.01)")
 	strict := fs.Bool("strict", false, "loadgen: exit nonzero on any error, mismatch or empty run")
+	honorRetryAfter := fs.Bool("honor-retry-after", false, "loadgen: closed-loop workers back off per 503 Retry-After hints")
 	scheduleOnly := fs.String("schedule-only", "", "loadgen: write the generated schedule to FILE and exit")
 	_ = fs.Parse(os.Args[2:])
 
@@ -110,7 +116,13 @@ func main() {
 	case "dbnet":
 		runDBNet(*seed)
 	case "serve":
-		runServe(*seed, *k, *addr, *workers, *cacheCap, *window, *papers, *pprofFlag)
+		runServe(serveFlags{
+			seed: *seed, k: *k, addr: *addr, workers: *workers,
+			cacheCap: *cacheCap, window: *window, papers: *papers,
+			pprof: *pprofFlag, defaultTimeout: *defaultTimeout,
+			maxConcurrent: *maxConcurrent, admissionFloor: *admissionFloor,
+			sloTarget: *sloTarget, controlInterval: *controlInterval,
+		})
 	case "ingest":
 		runIngest(*seed, *emit, *file, *server, *refresh, *papers)
 	case "loadgen":
@@ -122,7 +134,7 @@ func main() {
 			zipf: *zipf, paths: *lgPaths, record: *record, replay: *replay,
 			out: *out, sweep: *sweep, sweepSteps: *sweepSteps,
 			stepDuration: *stepDuration, sloP99: *sloP99, sloErrors: *sloErrors,
-			strict: *strict, scheduleOnly: *scheduleOnly,
+			strict: *strict, scheduleOnly: *scheduleOnly, honorRetryAfter: *honorRetryAfter,
 		})
 	default:
 		fmt.Fprintf(os.Stderr, "hinet: unknown subcommand %q\n", cmd)
@@ -145,11 +157,14 @@ subcommands:
   dbnet      relational DB -> information network conversion demo
   serve      online HTTP query server (snapshots, result cache, batched top-k)
              [-addr A] [-workers N] [-cache N] [-batch-window D] [-papers N] [-pprof]
+             [-default-timeout D] [-max-concurrent N] [-admission-floor N]
+             [-slo-target D] [-control-interval D]
   ingest     stream JSONL deltas into a corpus or a running server
              [-emit N] [-file F|-] [-server URL] [-refresh-models] [-papers N]
   loadgen    deterministic load generator, trace record/replay, capacity sweep
              [-arrival poisson|closed|bursty] [-rate R] [-duration D] [-mix SPEC]
              [-record F | -replay F | -schedule-only F] [-sweep] [-out F] [-strict]
+             [-honor-retry-after]
 `)
 }
 
@@ -235,19 +250,43 @@ func runIngest(seed int64, emit int, file, server string, refresh bool, papers i
 	}
 }
 
-func runServe(seed int64, k int, addr string, workers, cacheCap int, window time.Duration, papers int, pprof bool) {
+// serveFlags carries the serve-specific flag values out of main's
+// shared FlagSet.
+type serveFlags struct {
+	seed            int64
+	k               int
+	addr            string
+	workers         int
+	cacheCap        int
+	window          time.Duration
+	papers          int
+	pprof           bool
+	defaultTimeout  time.Duration
+	maxConcurrent   int
+	admissionFloor  int
+	sloTarget       time.Duration
+	controlInterval time.Duration
+}
+
+func runServe(f serveFlags) {
 	opts := serve.Options{
-		Addr:          addr,
-		Seed:          seed,
-		Models:        serve.ModelConfig{K: k},
-		CacheCapacity: cacheCap,
-		BatchWindow:   window,
-		Workers:       workers,
-		Pprof:         pprof,
+		Addr:            f.addr,
+		Seed:            f.seed,
+		Models:          serve.ModelConfig{K: f.k},
+		CacheCapacity:   f.cacheCap,
+		BatchWindow:     f.window,
+		Workers:         f.workers,
+		Pprof:           f.pprof,
+		DefaultTimeout:  f.defaultTimeout,
+		MaxConcurrent:   f.maxConcurrent,
+		AdmissionFloor:  f.admissionFloor,
+		SLOTargetP99:    f.sloTarget,
+		ControlInterval: f.controlInterval,
 	}
-	if papers > 0 {
-		opts.Models.Corpus.Papers = papers
+	if f.papers > 0 {
+		opts.Models.Corpus.Papers = f.papers
 	}
+	seed := f.seed
 	fmt.Printf("building snapshot (seed %d)...\n", seed)
 	s := serve.New(opts)
 	snap := s.Snapshot()

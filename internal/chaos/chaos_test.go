@@ -1,0 +1,109 @@
+package chaos
+
+import (
+	"testing"
+	"time"
+)
+
+// TestNilInjectorIsInert: production code passes nil; every method must
+// be a cheap no-op.
+func TestNilInjectorIsInert(t *testing.T) {
+	var i *Injector
+	if fail, delay := i.RequestFault(); fail || delay != 0 {
+		t.Errorf("nil RequestFault = (%v, %v)", fail, delay)
+	}
+	if d := i.KernelDelay(); d != 0 {
+		t.Errorf("nil KernelDelay = %v", d)
+	}
+	if st := i.Stats(); st != (Stats{}) {
+		t.Errorf("nil Stats = %+v", st)
+	}
+}
+
+// TestDeterministicSequences: two injectors with the same config
+// produce bit-identical fault sequences — the property every chaos
+// test in the serving tier leans on.
+func TestDeterministicSequences(t *testing.T) {
+	cfg := Config{
+		Seed:         99,
+		KernelDelay:  3 * time.Millisecond,
+		KernelJitter: 2 * time.Millisecond,
+		ErrorEvery:   7, ErrorBurst: 2,
+		SpikeEvery: 5, SpikeBurst: 1, SpikeDelay: time.Millisecond,
+	}
+	a, b := New(cfg), New(cfg)
+	for n := 0; n < 200; n++ {
+		af, ad := a.RequestFault()
+		bf, bd := b.RequestFault()
+		if af != bf || ad != bd {
+			t.Fatalf("request %d diverged: (%v,%v) vs (%v,%v)", n, af, ad, bf, bd)
+		}
+		if ak, bk := a.KernelDelay(), b.KernelDelay(); ak != bk {
+			t.Fatalf("kernel %d diverged: %v vs %v", n, ak, bk)
+		}
+	}
+	if a.Stats() != b.Stats() {
+		t.Fatalf("stats diverged: %+v vs %+v", a.Stats(), b.Stats())
+	}
+}
+
+// TestBurstPattern: Every=5, Burst=2 fails exactly calls 0,1 of each
+// cycle of five.
+func TestBurstPattern(t *testing.T) {
+	inj := New(Config{ErrorEvery: 5, ErrorBurst: 2})
+	for n := 0; n < 25; n++ {
+		fail, _ := inj.RequestFault()
+		want := n%5 < 2
+		if fail != want {
+			t.Fatalf("call %d: fail = %v, want %v", n, fail, want)
+		}
+	}
+	if st := inj.Stats(); st.Requests != 25 || st.Errors != 10 {
+		t.Errorf("stats = %+v, want 25 requests, 10 errors", st)
+	}
+}
+
+// TestKernelJitterBounded: delay is always base ≤ d < base+jitter, and
+// different seeds actually change the jitter stream.
+func TestKernelJitterBounded(t *testing.T) {
+	base, jitter := 2*time.Millisecond, 3*time.Millisecond
+	a := New(Config{Seed: 1, KernelDelay: base, KernelJitter: jitter})
+	b := New(Config{Seed: 2, KernelDelay: base, KernelJitter: jitter})
+	diverged := false
+	for n := 0; n < 100; n++ {
+		da, db := a.KernelDelay(), b.KernelDelay()
+		for _, d := range []time.Duration{da, db} {
+			if d < base || d >= base+jitter {
+				t.Fatalf("call %d: delay %v outside [%v, %v)", n, d, base, base+jitter)
+			}
+		}
+		if da != db {
+			diverged = true
+		}
+	}
+	if !diverged {
+		t.Error("different seeds produced identical jitter streams")
+	}
+}
+
+// TestSpikePattern: spikes stall without failing when no error pattern
+// is configured.
+func TestSpikePattern(t *testing.T) {
+	inj := New(Config{SpikeEvery: 4, SpikeBurst: 1, SpikeDelay: 7 * time.Millisecond})
+	for n := 0; n < 12; n++ {
+		fail, delay := inj.RequestFault()
+		if fail {
+			t.Fatalf("call %d failed with no error pattern", n)
+		}
+		wantDelay := time.Duration(0)
+		if n%4 == 0 {
+			wantDelay = 7 * time.Millisecond
+		}
+		if delay != wantDelay {
+			t.Fatalf("call %d: delay %v, want %v", n, delay, wantDelay)
+		}
+	}
+	if st := inj.Stats(); st.Spikes != 3 {
+		t.Errorf("spikes = %d, want 3", st.Spikes)
+	}
+}

@@ -1,0 +1,8 @@
+//go:build race
+
+package chaos_test
+
+// raceEnabled reports whether the race detector is instrumenting this
+// build. The overload sweep's capacity thresholds assume native-speed
+// request handling and are skipped under its 10-20x slowdown.
+const raceEnabled = true

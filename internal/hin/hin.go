@@ -16,6 +16,7 @@ package hin
 
 import (
 	"cmp"
+	"context"
 	"fmt"
 	"slices"
 	"sync"
@@ -579,6 +580,14 @@ func (n *Network) CommutingMatrix(p MetaPath) *sparse.Matrix {
 // into 400s rather than crashes.
 func (n *Network) CommutingMatrixE(p MetaPath) (*sparse.Matrix, error) {
 	return n.PathEngine().Commute(fromMetaPath(p))
+}
+
+// CommutingMatrixCtx is CommutingMatrixE with cooperative cancellation
+// threaded into the engine's materialization (see
+// metapath.Engine.CommuteCtx): a cancelled ctx stops the product chain
+// at its next row-block checkpoint and returns ctx.Err().
+func (n *Network) CommutingMatrixCtx(ctx context.Context, p MetaPath) (*sparse.Matrix, error) {
+	return n.PathEngine().CommuteCtx(ctx, fromMetaPath(p))
 }
 
 // Projection builds the homogeneous weighted graph on type p[0] induced

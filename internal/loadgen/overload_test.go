@@ -1,0 +1,111 @@
+package loadgen
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestRetryAfterParsing: the JSON body's millisecond hint wins over the
+// header, the header's whole seconds are honored when the body has no
+// hint, and both are capped at the ceiling.
+func TestRetryAfterParsing(t *testing.T) {
+	cases := []struct {
+		name    string
+		header  string
+		body    string
+		ceiling time.Duration
+		want    time.Duration
+	}{
+		{"body wins", "2", `{"error":"overloaded","retry_after_ms":250}`, time.Second, 250 * time.Millisecond},
+		{"header fallback", "2", `{"error":"overloaded"}`, 5 * time.Second, 2 * time.Second},
+		{"body capped", "", `{"retry_after_ms":9000}`, time.Second, time.Second},
+		{"header capped", "30", ``, time.Second, time.Second},
+		{"no hint", "", `{}`, time.Second, 0},
+		{"garbage body falls back", "1", `not json`, time.Second, time.Second},
+	}
+	for _, tc := range cases {
+		resp := &http.Response{Header: http.Header{}}
+		if tc.header != "" {
+			resp.Header.Set("Retry-After", tc.header)
+		}
+		if got := retryAfter(resp, []byte(tc.body), tc.ceiling); got != tc.want {
+			t.Errorf("%s: retryAfter = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}
+
+// TestBodyDegraded: both compact and indented encodings of the
+// brownout annotation are recognized; absence and false are not.
+func TestBodyDegraded(t *testing.T) {
+	if !bodyDegraded([]byte(`{"degraded":true,"results":[]}`)) {
+		t.Error("compact encoding not detected")
+	}
+	if !bodyDegraded([]byte("{\n  \"degraded\": true\n}")) {
+		t.Error("indented encoding not detected")
+	}
+	if bodyDegraded([]byte(`{"degraded":false}`)) {
+		t.Error("degraded:false misread as degraded")
+	}
+	if bodyDegraded([]byte(`{"results":[]}`)) {
+		t.Error("absent annotation misread as degraded")
+	}
+}
+
+// TestHonorRetryAfterClosedLoop: a closed-loop run against a server
+// that sheds with a backoff hint slows down when HonorRetryAfter is
+// set, and counts every shed either way.
+func TestHonorRetryAfterClosedLoop(t *testing.T) {
+	var hits atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		// Shed every other request with a 40ms hint.
+		if hits.Add(1)%2 == 0 {
+			w.Header().Set("Retry-After", "1")
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusServiceUnavailable)
+			w.Write([]byte(`{"error":"overloaded","class":"query","retry_after_ms":40}`))
+			return
+		}
+		w.Write([]byte(`{"ok":true}`))
+	}))
+	defer ts.Close()
+
+	events := make([]Event, 8)
+	for i := range events {
+		events[i] = Event{Cohort: "t", Path: "/"}
+	}
+	target := NewTarget(ts.URL)
+
+	start := time.Now()
+	res, err := Run(target, events, RunOptions{Concurrency: 1, HonorRetryAfter: true})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	elapsed := time.Since(start)
+	if res.ShedServer != 4 {
+		t.Fatalf("ShedServer = %d, want 4", res.ShedServer)
+	}
+	if res.Admitted.Count() != 4 {
+		t.Fatalf("Admitted = %d, want 4", res.Admitted.Count())
+	}
+	// Four sheds × 40ms backoff: the run cannot finish faster than the
+	// honored hints allow.
+	if elapsed < 160*time.Millisecond {
+		t.Errorf("run took %v with HonorRetryAfter; backoff hints were not honored", elapsed)
+	}
+
+	hits.Store(0)
+	start = time.Now()
+	res, err = Run(target, events, RunOptions{Concurrency: 1})
+	if err != nil {
+		t.Fatalf("Run (no honor): %v", err)
+	}
+	if got := time.Since(start); got > 150*time.Millisecond {
+		t.Errorf("run without HonorRetryAfter took %v; sheds should not stall it", got)
+	}
+	if res.ShedServer != 4 {
+		t.Errorf("ShedServer = %d without honoring, want 4 (counting is independent)", res.ShedServer)
+	}
+}

@@ -38,10 +38,18 @@ func DefaultSLO() SLO {
 }
 
 // Check returns "" when res meets the SLO, else a human-readable
-// violation description.
+// violation description. The latency bound is judged over admitted
+// (2xx) requests when any were recorded: a shed request answers in
+// microseconds by design, and a timed-out one is already counted by the
+// error-rate bound — folding either into the latency signal would let a
+// server "pass" p99 by shedding, or fail it for refusing promptly.
 func (s SLO) Check(res *RunResult) string {
-	if p99 := res.Overall.Quantile(0.99); s.P99 > 0 && p99 > s.P99 {
-		return fmt.Sprintf("p99 %v exceeds SLO %v", p99.Round(time.Microsecond), s.P99)
+	h := res.Overall
+	if res.Admitted != nil && res.Admitted.Count() > 0 {
+		h = res.Admitted
+	}
+	if p99 := h.Quantile(0.99); s.P99 > 0 && p99 > s.P99 {
+		return fmt.Sprintf("admitted p99 %v exceeds SLO %v", p99.Round(time.Microsecond), s.P99)
 	}
 	if er := res.ErrorRate(); er > s.MaxErrorRate {
 		return fmt.Sprintf("error rate %.2f%% exceeds SLO %.2f%%", er*100, s.MaxErrorRate*100)
@@ -52,39 +60,47 @@ func (s SLO) Check(res *RunResult) string {
 // EndpointReport is the per-cohort slice of a report. Latencies are in
 // microseconds to keep the JSON integral and diff-friendly.
 type EndpointReport struct {
-	Cohort     string  `json:"cohort"`
-	Requests   uint64  `json:"requests"`
-	Errors     uint64  `json:"errors"`
-	Mismatches uint64  `json:"mismatches,omitempty"`
-	Shed       uint64  `json:"shed,omitempty"`
-	MeanUS     int64   `json:"mean_us"`
-	P50US      int64   `json:"p50_us"`
-	P90US      int64   `json:"p90_us"`
-	P99US      int64   `json:"p99_us"`
-	P999US     int64   `json:"p999_us"`
-	MaxUS      int64   `json:"max_us"`
-	ErrorRate  float64 `json:"error_rate"`
+	Cohort        string  `json:"cohort"`
+	Requests      uint64  `json:"requests"`
+	Errors        uint64  `json:"errors"`
+	Mismatches    uint64  `json:"mismatches,omitempty"`
+	Shed          uint64  `json:"shed,omitempty"`
+	ShedServer    uint64  `json:"shed_server,omitempty"`
+	Timeouts      uint64  `json:"timeouts,omitempty"`
+	Degraded      uint64  `json:"degraded,omitempty"`
+	MeanUS        int64   `json:"mean_us"`
+	P50US         int64   `json:"p50_us"`
+	P90US         int64   `json:"p90_us"`
+	P99US         int64   `json:"p99_us"`
+	P999US        int64   `json:"p999_us"`
+	MaxUS         int64   `json:"max_us"`
+	AdmittedP99US int64   `json:"admitted_p99_us,omitempty"`
+	ErrorRate     float64 `json:"error_rate"`
 }
 
 // Report is the JSON document for a single measured run.
 type Report struct {
-	Schema    string            `json:"schema"`
-	Context   map[string]string `json:"context"`
-	Requests  uint64            `json:"requests"`
-	Errors    uint64            `json:"errors"`
-	Mismatch  uint64            `json:"mismatches,omitempty"`
-	Shed      uint64            `json:"shed,omitempty"`
-	DurationS float64           `json:"duration_s"`
-	RPS       float64           `json:"throughput_rps"`
-	ErrorRate float64           `json:"error_rate"`
-	P50US     int64             `json:"p50_us"`
-	P99US     int64             `json:"p99_us"`
-	CacheHit  float64           `json:"cache_hit_rate"`
-	SLO       map[string]any    `json:"slo"`
-	Verdict   string            `json:"verdict"` // "pass" | violation text
-	Endpoints []EndpointReport  `json:"endpoints"`
-	Stages    []StageLatency    `json:"server_stages,omitempty"`
-	Sweep     *SweepReport      `json:"sweep,omitempty"`
+	Schema        string            `json:"schema"`
+	Context       map[string]string `json:"context"`
+	Requests      uint64            `json:"requests"`
+	Errors        uint64            `json:"errors"`
+	Mismatch      uint64            `json:"mismatches,omitempty"`
+	Shed          uint64            `json:"shed,omitempty"`
+	ShedServer    uint64            `json:"shed_server,omitempty"`
+	Timeouts      uint64            `json:"timeouts,omitempty"`
+	Degraded      uint64            `json:"degraded,omitempty"`
+	DurationS     float64           `json:"duration_s"`
+	RPS           float64           `json:"throughput_rps"`
+	ErrorRate     float64           `json:"error_rate"`
+	P50US         int64             `json:"p50_us"`
+	P99US         int64             `json:"p99_us"`
+	AdmittedP99US int64             `json:"admitted_p99_us,omitempty"`
+	CacheHit      float64           `json:"cache_hit_rate"`
+	SLO           map[string]any    `json:"slo"`
+	Verdict       string            `json:"verdict"` // "pass" | violation text
+	Endpoints     []EndpointReport  `json:"endpoints"`
+	Stages        []StageLatency    `json:"server_stages,omitempty"`
+	Sweep         *SweepReport      `json:"sweep,omitempty"`
 }
 
 // us rounds a duration to integral microseconds for report fields.
@@ -101,12 +117,18 @@ func endpointReports(res *RunResult) []EndpointReport {
 			Errors:     c.Errors,
 			Mismatches: c.Mismatches,
 			Shed:       c.Shed,
+			ShedServer: c.ShedServer,
+			Timeouts:   c.Timeouts,
+			Degraded:   c.Degraded,
 			MeanUS:     us(c.Hist.Mean()),
 			P50US:      us(c.Hist.Quantile(0.50)),
 			P90US:      us(c.Hist.Quantile(0.90)),
 			P99US:      us(c.Hist.Quantile(0.99)),
 			P999US:     us(c.Hist.Quantile(0.999)),
 			MaxUS:      us(c.Hist.Max()),
+		}
+		if c.Admitted != nil && c.Admitted.Count() > 0 {
+			er.AdmittedP99US = us(c.Admitted.Quantile(0.99))
 		}
 		if total := c.Requests + c.Shed; total > 0 {
 			er.ErrorRate = float64(c.Errors+c.Shed) / float64(total)
@@ -248,16 +270,19 @@ func BuildReport(cfg Config, res *RunResult, slo SLO) *Report {
 			"duration": cfg.Duration.String(),
 			"zipf_s":   fmt.Sprintf("%g", cfg.ZipfS),
 		},
-		Requests:  res.Requests,
-		Errors:    res.Errors,
-		Mismatch:  res.Mismatches,
-		Shed:      res.Shed,
-		DurationS: res.Duration.Seconds(),
-		RPS:       res.ThroughputRPS(),
-		ErrorRate: res.ErrorRate(),
-		P50US:     us(res.Overall.Quantile(0.50)),
-		P99US:     us(res.Overall.Quantile(0.99)),
-		CacheHit:  cacheHitRate(res.MetricsBefore, res.MetricsAfter),
+		Requests:   res.Requests,
+		Errors:     res.Errors,
+		Mismatch:   res.Mismatches,
+		Shed:       res.Shed,
+		ShedServer: res.ShedServer,
+		Timeouts:   res.Timeouts,
+		Degraded:   res.Degraded,
+		DurationS:  res.Duration.Seconds(),
+		RPS:        res.ThroughputRPS(),
+		ErrorRate:  res.ErrorRate(),
+		P50US:      us(res.Overall.Quantile(0.50)),
+		P99US:      us(res.Overall.Quantile(0.99)),
+		CacheHit:   cacheHitRate(res.MetricsBefore, res.MetricsAfter),
 		SLO: map[string]any{
 			"p99_us":         us(slo.P99),
 			"max_error_rate": slo.MaxErrorRate,
@@ -265,6 +290,9 @@ func BuildReport(cfg Config, res *RunResult, slo SLO) *Report {
 		Verdict:   verdict,
 		Endpoints: endpointReports(res),
 		Stages:    stageLatencies(res.MetricsBefore, res.MetricsAfter),
+	}
+	if res.Admitted != nil && res.Admitted.Count() > 0 {
+		r.AdmittedP99US = us(res.Admitted.Quantile(0.99))
 	}
 	return r
 }

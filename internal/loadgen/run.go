@@ -9,6 +9,8 @@ package loadgen
 
 import (
 	"bufio"
+	"bytes"
+	"encoding/json"
 	"fmt"
 	"io"
 	"net/http"
@@ -53,6 +55,13 @@ type RunOptions struct {
 	// Record runs the schedule sequentially and writes the observed
 	// status and digest back into each event (implies Concurrency 1).
 	Record bool
+	// HonorRetryAfter makes closed-loop workers back off after a 503:
+	// the worker sleeps for the server's retry_after_ms hint (or the
+	// Retry-After header) before taking its next event, capped at
+	// RetryAfterCap (default 1s). Open-loop runs ignore it — an
+	// open-loop harness models clients that do not cooperate.
+	HonorRetryAfter bool
+	RetryAfterCap   time.Duration
 	// Observer, when set, sees every completed request: the worker index
 	// (-1 open-loop), the event, the status (0 = transport error) and
 	// the response body. Must be safe for concurrent calls across
@@ -66,7 +75,11 @@ type CohortResult struct {
 	Errors     uint64 // transport errors + unexpected >= 400 statuses
 	Mismatches uint64 // status/digest deviations from the recorded trace
 	Shed       uint64 // open-loop arrivals dropped at the in-flight cap
-	Hist       *Hist
+	ShedServer uint64 // 503s: requests the server shed under overload
+	Timeouts   uint64 // 504s: requests that ran out of deadline server-side
+	Degraded   uint64 // 2xx responses annotated "degraded": true (brownout)
+	Hist       *Hist  // all completed requests, sheds and timeouts included
+	Admitted   *Hist  // successful (2xx) requests only — the goodput latency
 }
 
 // RunResult is the measurement of one schedule execution.
@@ -76,7 +89,11 @@ type RunResult struct {
 	Errors     uint64
 	Mismatches uint64
 	Shed       uint64
+	ShedServer uint64 // server-side 503 sheds (see CohortResult)
+	Timeouts   uint64 // server-side 504 deadline expirations
+	Degraded   uint64 // brownout-annotated 2xx responses
 	Overall    *Hist
+	Admitted   *Hist // successful (2xx) requests only
 	Cohorts    map[string]*CohortResult
 	// MetricsBefore/MetricsAfter are /metrics scrapes bracketing the
 	// run (nil when the target exposes none); report.go derives cache
@@ -106,20 +123,24 @@ func (r *RunResult) ThroughputRPS() float64 {
 
 // runState is the mutable half of a run, shared by workers.
 type runState struct {
-	target  Target
-	opts    RunOptions
-	overall *Hist
-	cohorts map[string]*cohortCounters
+	target   Target
+	opts     RunOptions
+	overall  *Hist
+	admitted *Hist
+	cohorts  map[string]*cohortCounters
 
-	requests, errors, mismatches, shed atomic.Uint64
+	requests, errors, mismatches, shed     atomic.Uint64
+	shedServer, timeouts, degradedResponse atomic.Uint64
 
 	mu     sync.Mutex
 	detail []string
 }
 
 type cohortCounters struct {
-	requests, errors, mismatches, shed atomic.Uint64
-	hist                               *Hist
+	requests, errors, mismatches, shed     atomic.Uint64
+	shedServer, timeouts, degradedResponse atomic.Uint64
+	hist                                   *Hist
+	admitted                               *Hist
 }
 
 // Run executes the events of a trace against the target and returns the
@@ -131,10 +152,13 @@ func Run(t Target, events []Event, opts RunOptions) (*RunResult, error) {
 	if opts.Record {
 		opts.Concurrency = 1
 	}
-	st := &runState{target: t, opts: opts, overall: newHist(), cohorts: map[string]*cohortCounters{}}
+	if opts.RetryAfterCap == 0 {
+		opts.RetryAfterCap = time.Second
+	}
+	st := &runState{target: t, opts: opts, overall: newHist(), admitted: newHist(), cohorts: map[string]*cohortCounters{}}
 	for i := range events {
 		if _, ok := st.cohorts[events[i].Cohort]; !ok {
-			st.cohorts[events[i].Cohort] = &cohortCounters{hist: newHist()}
+			st.cohorts[events[i].Cohort] = &cohortCounters{hist: newHist(), admitted: newHist()}
 		}
 	}
 
@@ -154,7 +178,11 @@ func Run(t Target, events []Event, opts RunOptions) (*RunResult, error) {
 		Errors:        st.errors.Load(),
 		Mismatches:    st.mismatches.Load(),
 		Shed:          st.shed.Load(),
+		ShedServer:    st.shedServer.Load(),
+		Timeouts:      st.timeouts.Load(),
+		Degraded:      st.degradedResponse.Load(),
 		Overall:       st.overall,
+		Admitted:      st.admitted,
 		Cohorts:       make(map[string]*CohortResult, len(st.cohorts)),
 		MetricsBefore: before,
 		MetricsAfter:  after,
@@ -165,7 +193,11 @@ func Run(t Target, events []Event, opts RunOptions) (*RunResult, error) {
 			Errors:     c.errors.Load(),
 			Mismatches: c.mismatches.Load(),
 			Shed:       c.shed.Load(),
+			ShedServer: c.shedServer.Load(),
+			Timeouts:   c.timeouts.Load(),
+			Degraded:   c.degradedResponse.Load(),
 			Hist:       c.hist,
+			Admitted:   c.admitted,
 		}
 	}
 	st.mu.Lock()
@@ -183,7 +215,9 @@ func runClosed(st *runState, events []Event) {
 		go func(worker int) {
 			defer wg.Done()
 			for ev := range ch {
-				st.do(worker, ev)
+				if backoff := st.do(worker, ev); backoff > 0 && st.opts.HonorRetryAfter {
+					time.Sleep(backoff)
+				}
 			}
 		}(w)
 	}
@@ -222,7 +256,10 @@ func runOpen(st *runState, events []Event) {
 }
 
 // do issues one request, records its latency, and checks expectations.
-func (st *runState) do(worker int, ev *Event) {
+// The return value is the server's backoff hint (zero unless the
+// request was shed with a Retry-After); closed-loop workers honor it
+// when opts.HonorRetryAfter is set.
+func (st *runState) do(worker int, ev *Event) time.Duration {
 	method := ev.Method
 	if method == "" {
 		method = http.MethodGet
@@ -234,7 +271,7 @@ func (st *runState) do(worker int, ev *Event) {
 	req, err := http.NewRequest(method, st.target.BaseURL+ev.Path, body)
 	if err != nil {
 		st.fail(worker, ev, fmt.Sprintf("build request %s: %v", ev.Path, err))
-		return
+		return 0
 	}
 	if ev.Body != "" {
 		req.Header.Set("Content-Type", "application/json")
@@ -246,7 +283,7 @@ func (st *runState) do(worker int, ev *Event) {
 		c.hist.Observe(time.Since(t0))
 		st.overall.Observe(time.Since(t0))
 		st.fail(worker, ev, fmt.Sprintf("%s %s: %v", method, ev.Path, err))
-		return
+		return 0
 	}
 	respBody, _ := io.ReadAll(io.LimitReader(resp.Body, 4<<20))
 	resp.Body.Close()
@@ -257,6 +294,23 @@ func (st *runState) do(worker int, ev *Event) {
 	c.requests.Add(1)
 
 	status := resp.StatusCode
+	var backoff time.Duration
+	switch {
+	case status == http.StatusServiceUnavailable:
+		st.shedServer.Add(1)
+		c.shedServer.Add(1)
+		backoff = retryAfter(resp, respBody, st.opts.RetryAfterCap)
+	case status == http.StatusGatewayTimeout:
+		st.timeouts.Add(1)
+		c.timeouts.Add(1)
+	case status < 400:
+		st.admitted.Observe(lat)
+		c.admitted.Observe(lat)
+		if bodyDegraded(respBody) {
+			st.degradedResponse.Add(1)
+			c.degradedResponse.Add(1)
+		}
+	}
 	if st.opts.Record {
 		ev.ExpectStatus = status
 		ev.Digest = Digest(ev.Cohort, status, respBody)
@@ -279,6 +333,36 @@ func (st *runState) do(worker int, ev *Event) {
 	if st.opts.Observer != nil {
 		st.opts.Observer(worker, ev, status, respBody)
 	}
+	return backoff
+}
+
+// retryAfter extracts the server's backoff hint from a shed response:
+// the JSON body's retry_after_ms field wins (millisecond resolution),
+// falling back to the Retry-After header (whole seconds), capped.
+func retryAfter(resp *http.Response, body []byte, ceiling time.Duration) time.Duration {
+	var d time.Duration
+	var hint struct {
+		RetryAfterMS int `json:"retry_after_ms"`
+	}
+	if json.Unmarshal(body, &hint) == nil && hint.RetryAfterMS > 0 {
+		d = time.Duration(hint.RetryAfterMS) * time.Millisecond
+	} else if v := resp.Header.Get("Retry-After"); v != "" {
+		if secs, err := strconv.Atoi(v); err == nil && secs > 0 {
+			d = time.Duration(secs) * time.Second
+		}
+	}
+	if d > ceiling {
+		d = ceiling
+	}
+	return d
+}
+
+// bodyDegraded reports whether a 2xx JSON body carries the brownout
+// annotation. A substring probe (both compact and indented encodings)
+// keeps the hot path free of a full JSON parse.
+func bodyDegraded(body []byte) bool {
+	return bytes.Contains(body, []byte(`"degraded": true`)) ||
+		bytes.Contains(body, []byte(`"degraded":true`))
 }
 
 // fail records a transport-level failure (no HTTP status).

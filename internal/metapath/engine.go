@@ -26,6 +26,7 @@
 package metapath
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"sync"
@@ -232,58 +233,86 @@ func (e *Engine) Validate(path []string) error {
 // may be shared with other callers through the cache — sparse matrices
 // are immutable by convention).
 func (e *Engine) Commute(path []string) (*sparse.Matrix, error) {
+	return e.CommuteCtx(context.Background(), path)
+}
+
+// CommuteCtx is Commute with cooperative cancellation threaded through
+// the whole materialization chain: the planner recursion, the cached
+// singleflight waits, and the SpGEMM kernels themselves (MulCtx /
+// GramCtx row-block checkpoints). On cancellation it returns ctx.Err();
+// a cancelled in-flight computation withdraws its cache entry, so
+// waiters with live contexts simply retry and recompute — a dead
+// caller can never poison the cache. With a non-cancelable ctx it is
+// exactly Commute.
+func (e *Engine) CommuteCtx(ctx context.Context, path []string) (*sparse.Matrix, error) {
 	if err := e.Validate(path); err != nil {
 		return nil, err
 	}
-	return e.matrix(path), nil
+	return e.matrix(ctx, path)
 }
 
 // matrix materializes a validated path through the cache.
-func (e *Engine) matrix(path []string) *sparse.Matrix {
+func (e *Engine) matrix(ctx context.Context, path []string) (*sparse.Matrix, error) {
 	canon, rev := canonicalize(path)
 	if !rev {
-		return e.cached(path, func() *sparse.Matrix { return e.compute(path) })
+		return e.cached(ctx, path, e.compute)
 	}
 	// Reversed orientation: materialize the canonical orientation, then
 	// derive this one by a cheap O(nnz) transpose — also cached, so
 	// repeated reverse queries are pure lookups.
-	return e.cached(path, func() *sparse.Matrix {
-		m := e.cached(canon, func() *sparse.Matrix { return e.compute(canon) })
+	return e.cached(ctx, path, func(ctx context.Context, _ []string) (*sparse.Matrix, error) {
+		m, err := e.cached(ctx, canon, e.compute)
+		if err != nil {
+			return nil, err
+		}
 		e.transposes.Add(1)
-		return m.Transpose()
+		return m.Transpose(), nil
 	})
 }
 
 // cached runs compute under a singleflight entry for path. When the
-// cache is full, the value is computed but not retained.
-func (e *Engine) cached(path []string, compute func() *sparse.Matrix) *sparse.Matrix {
+// cache is full, the value is computed but not retained. A waiter whose
+// ctx dies while another goroutine computes abandons the wait (the
+// computation itself keeps running for the live callers); a computing
+// goroutine that fails — panic or cancellation — withdraws the entry so
+// later callers retry.
+func (e *Engine) cached(ctx context.Context, path []string, compute func(context.Context, []string) (*sparse.Matrix, error)) (*sparse.Matrix, error) {
 	key := join(path)
 	e.mu.Lock()
 	if ent, ok := e.entries[key]; ok {
 		e.mu.Unlock()
-		<-ent.ready
+		if done := ctx.Done(); done != nil {
+			select {
+			case <-ent.ready:
+			case <-done:
+				return nil, ctx.Err()
+			}
+		} else {
+			<-ent.ready
+		}
 		if ent.m == nil {
-			// The computing goroutine panicked and withdrew the entry;
-			// retry against the refreshed map.
-			return e.cached(path, compute)
+			// The computing goroutine panicked (or was cancelled) and
+			// withdrew the entry; retry against the refreshed map.
+			return e.cached(ctx, path, compute)
 		}
 		e.hits.Add(1)
-		return ent.m
+		return ent.m, nil
 	}
 	e.misses.Add(1)
 	if len(e.entries) >= maxEntries {
 		e.mu.Unlock()
-		return compute()
+		return compute(ctx, path)
 	}
 	ent := &entry{ready: make(chan struct{}), path: path}
 	e.entries[key] = ent
 	e.mu.Unlock()
 	defer func() {
 		if ent.m == nil {
-			// compute panicked: drop the entry so later calls retry, and
-			// release waiters (they observe the nil and recompute). The
-			// pointer check keeps a concurrent Invalidate + re-register
-			// under the same key from losing the fresh entry.
+			// compute panicked or was cancelled: drop the entry so later
+			// calls retry, and release waiters (they observe the nil and
+			// recompute). The pointer check keeps a concurrent Invalidate
+			// + re-register under the same key from losing the fresh
+			// entry.
 			e.mu.Lock()
 			if e.entries[key] == ent {
 				delete(e.entries, key)
@@ -292,49 +321,68 @@ func (e *Engine) cached(path []string, compute func() *sparse.Matrix) *sparse.Ma
 		}
 		close(ent.ready)
 	}()
-	ent.m = compute()
-	return ent.m
+	m, err := compute(ctx, path)
+	if err != nil {
+		return nil, err
+	}
+	ent.m = m
+	return m, nil
 }
 
 // compute evaluates a validated path with the planner. Sub-chains
 // recurse through matrix(), so every intermediate lands in the cache
 // under its own canonical key and is shared across top-level paths
 // (e.g. A-P-V-P-A's half A-P-V also answers V-P-A requests).
-func (e *Engine) compute(path []string) *sparse.Matrix {
+func (e *Engine) compute(ctx context.Context, path []string) (*sparse.Matrix, error) {
 	rels := len(path) - 1
 	if rels == 1 {
-		return e.src.Relation(path[0], path[1])
+		return e.src.Relation(path[0], path[1]), nil
 	}
 	if gramEligible(path) {
-		h := e.matrix(path[: rels/2+1 : rels/2+1])
+		h, err := e.matrix(ctx, path[:rels/2+1:rels/2+1])
+		if err != nil {
+			return nil, err
+		}
 		e.grams.Add(1)
 		start := time.Now()
-		m := h.Gram()
+		m, err := h.GramCtx(ctx)
 		e.gramNS.Add(int64(time.Since(start)))
-		return m
+		return m, err
 	}
-	k := e.bestSplit(path)
-	left := e.matrix(path[: k+2 : k+2])
-	right := e.matrix(path[k+1:])
+	k, err := e.bestSplit(ctx, path)
+	if err != nil {
+		return nil, err
+	}
+	left, err := e.matrix(ctx, path[:k+2:k+2])
+	if err != nil {
+		return nil, err
+	}
+	right, err := e.matrix(ctx, path[k+1:])
+	if err != nil {
+		return nil, err
+	}
 	e.products.Add(1)
 	start := time.Now()
-	m := left.Mul(right)
+	m, err := left.MulCtx(ctx, right)
 	e.productNS.Add(int64(time.Since(start)))
-	return m
+	return m, err
 }
 
 // bestSplit returns the top-level split point (relations 0..k and
 // k+1..rels-1) chosen by the chain planner.
-func (e *Engine) bestSplit(path []string) int {
-	dims, nnz := e.leafStats(path)
+func (e *Engine) bestSplit(ctx context.Context, path []string) (int, error) {
+	dims, nnz, err := e.leafStats(ctx, path)
+	if err != nil {
+		return 0, err
+	}
 	dp := planChain(dims, nnz)
-	return dp.split[0][len(nnz)-1]
+	return dp.split[0][len(nnz)-1], nil
 }
 
 // leafStats materializes (through the cache) the relation matrices
 // along the path and returns the chain dimensions and per-leaf nonzero
 // counts the planner costs against.
-func (e *Engine) leafStats(path []string) (dims []int, nnz []float64) {
+func (e *Engine) leafStats(ctx context.Context, path []string) (dims []int, nnz []float64, err error) {
 	rels := len(path) - 1
 	dims = make([]int, rels+1)
 	nnz = make([]float64, rels)
@@ -342,9 +390,13 @@ func (e *Engine) leafStats(path []string) (dims []int, nnz []float64) {
 		dims[i] = e.src.Count(t)
 	}
 	for i := 0; i < rels; i++ {
-		nnz[i] = float64(e.matrix(path[i : i+2 : i+2]).NNZ())
+		leaf, err := e.matrix(ctx, path[i:i+2:i+2])
+		if err != nil {
+			return nil, nil, err
+		}
+		nnz[i] = float64(leaf.NNZ())
 	}
-	return dims, nnz
+	return dims, nnz, nil
 }
 
 // gramEligible reports whether the path can be evaluated as H·Hᵀ of its

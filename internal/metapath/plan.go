@@ -12,6 +12,7 @@
 package metapath
 
 import (
+	"context"
 	"fmt"
 	"strings"
 )
@@ -98,7 +99,10 @@ func (e *Engine) Plan(path []string) (*Plan, error) {
 	if err := e.Validate(path); err != nil {
 		return nil, err
 	}
-	dims, nnz := e.leafStats(path)
+	dims, nnz, err := e.leafStats(context.Background(), path)
+	if err != nil {
+		return nil, err
+	}
 	dp := planChain(dims, nnz)
 	n := len(nnz)
 	p := &Plan{

@@ -115,6 +115,75 @@ func (h *Hist) Min() time.Duration {
 	return time.Duration(h.min.Load())
 }
 
+// HistSnap is a point-in-time copy of a histogram's bucket counts,
+// used to compute quantiles over a *window* of observations (the delta
+// between two snapshots) rather than the process lifetime. The
+// admission controller's p99 signal is windowed this way: a cumulative
+// p99 would never recover after one bad burst.
+type HistSnap struct {
+	counts [histBuckets]uint64
+	n      uint64
+}
+
+// Count returns the number of observations in the snapshot.
+func (s *HistSnap) Count() uint64 { return s.n }
+
+// Snap captures the current bucket counts. Concurrent Observe calls may
+// land on either side of the snapshot; windows are approximate by one
+// in-flight observation, which is fine for control loops.
+func (h *Hist) Snap() HistSnap {
+	var s HistSnap
+	for i := range s.counts {
+		s.counts[i] = h.counts[i].Load()
+	}
+	s.n = h.n.Load()
+	return s
+}
+
+// CountSince returns the number of observations recorded after prev was
+// taken.
+func (h *Hist) CountSince(prev *HistSnap) uint64 {
+	return h.n.Load() - prev.n
+}
+
+// QuantileSince returns the q-quantile of the observations recorded
+// after prev was taken, from the bucket-count deltas. Unlike Quantile
+// it cannot clamp to exact min/max (those are lifetime values), so the
+// answer is a bucket midpoint — ~6% resolution, plenty for an SLO
+// comparison. An empty window returns 0.
+func (h *Hist) QuantileSince(prev *HistSnap, q float64) time.Duration {
+	var n uint64
+	var delta [histBuckets]uint64
+	for i := range delta {
+		c := h.counts[i].Load() - prev.counts[i]
+		delta[i] = c
+		n += c
+	}
+	if n == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := uint64(q * float64(n-1))
+	var seen uint64
+	last := 0
+	for i, c := range delta {
+		if c == 0 {
+			continue
+		}
+		last = i
+		seen += c
+		if seen > rank {
+			return time.Duration(bucketMid(i))
+		}
+	}
+	return time.Duration(bucketMid(last))
+}
+
 // Quantile returns the q-quantile (q in [0,1]) from the bucket counts,
 // clamped to the exact observed min/max so the extremes are never
 // inflated by bucket width. Empty histograms return 0.

@@ -13,6 +13,7 @@ package pathsim
 
 import (
 	"cmp"
+	"context"
 	"fmt"
 	"math/bits"
 	"slices"
@@ -57,10 +58,18 @@ func NewIndex(n *hin.Network, path hin.MetaPath) *Index {
 // NewIndexE is the non-panicking NewIndex: the constructor the serving
 // layer uses to turn client-supplied meta-paths into indexes (or 400s).
 func NewIndexE(n *hin.Network, path hin.MetaPath) (*Index, error) {
+	return NewIndexCtx(context.Background(), n, path)
+}
+
+// NewIndexCtx is NewIndexE with cooperative cancellation threaded into
+// the commuting-matrix materialization: a dead caller (deadline hit,
+// client gone) stops the SpGEMM chain at its next row-block checkpoint
+// and gets ctx.Err() back.
+func NewIndexCtx(ctx context.Context, n *hin.Network, path hin.MetaPath) (*Index, error) {
 	if !path.Symmetric() || len(path) < 3 {
 		return nil, fmt.Errorf("meta path must be symmetric with length >= 3, got %q", path.String())
 	}
-	m, err := n.CommutingMatrixE(path)
+	m, err := n.CommutingMatrixCtx(ctx, path)
 	if err != nil {
 		return nil, err
 	}
@@ -181,10 +190,20 @@ func (ix *Index) TopK(x, k int) []Pair {
 // threshold as their real cost warrants. Out-of-range entries of xs
 // yield empty result slices, like TopK.
 func (ix *Index) BatchTopK(xs []int, k int) [][]Pair {
+	out, _ := ix.BatchTopKCtx(context.Background(), xs, k)
+	return out
+}
+
+// BatchTopKCtx is BatchTopK with cooperative cancellation: the query
+// fan-out polls ctx between blocks (sparse.ParRangeCtx), so a batch
+// whose callers have all given up stops burning pool workers. On
+// cancellation it returns ctx.Err() and the partial results must be
+// discarded. With a non-cancelable ctx it is exactly BatchTopK.
+func (ix *Index) BatchTopKCtx(ctx context.Context, xs []int, k int) ([][]Pair, error) {
 	out := make([][]Pair, len(xs))
 	rows := ix.M.Rows()
 	if k <= 0 || rows == 0 {
-		return out
+		return out, nil
 	}
 	offsets := make([]int, len(xs)+1)
 	for i, x := range xs {
@@ -199,12 +218,15 @@ func (ix *Index) BatchTopK(xs []int, k int) [][]Pair {
 	arena := make([]Pair, offsets[len(xs)])
 	avg := ix.M.NNZ() / rows
 	perQuery := (1 + avg) * (1 + bits.Len(uint(min(k, rows))))
-	sparse.ParRange(len(xs), len(xs)*perQuery, func(lo, hi int) {
+	err := sparse.ParRangeCtx(ctx, len(xs), len(xs)*perQuery, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			out[i] = ix.topKInto(xs[i], k, arena[offsets[i]:offsets[i]:offsets[i+1]])
 		}
 	})
-	return out
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 // AllScores materializes the full similarity row of x (dense), useful

@@ -16,8 +16,8 @@ func TestAdmissionShedsNotHangs(t *testing.T) {
 	s := newTestServer(t, Options{MaxConcurrent: 1, AdmissionWait: 50 * time.Millisecond})
 
 	// Occupy the only admission slot directly.
-	s.sem <- struct{}{}
-	defer func() { <-s.sem }()
+	s.adm.sem <- struct{}{}
+	defer func() { <-s.adm.sem }()
 
 	start := time.Now()
 	code := get(t, s, "GET", "/v1/pathsim/topk?id=0&k=5", nil)
@@ -45,8 +45,8 @@ func TestAdmissionShedsNotHangs(t *testing.T) {
 // TestAdmissionFailFast: AdmissionWait < 0 rejects without waiting.
 func TestAdmissionFailFast(t *testing.T) {
 	s := newTestServer(t, Options{MaxConcurrent: 1, AdmissionWait: -1})
-	s.sem <- struct{}{}
-	defer func() { <-s.sem }()
+	s.adm.sem <- struct{}{}
+	defer func() { <-s.adm.sem }()
 
 	start := time.Now()
 	code := get(t, s, "GET", "/v1/pathsim/topk?id=0&k=5", nil)
@@ -61,11 +61,11 @@ func TestAdmissionFailFast(t *testing.T) {
 // TestAdmissionRecovers: once the slot frees, the same request serves.
 func TestAdmissionRecovers(t *testing.T) {
 	s := newTestServer(t, Options{MaxConcurrent: 1, AdmissionWait: -1})
-	s.sem <- struct{}{}
+	s.adm.sem <- struct{}{}
 	if code := get(t, s, "GET", "/v1/pathsim/topk?id=0&k=5", nil); code != http.StatusServiceUnavailable {
 		t.Fatalf("saturated: got %d, want 503", code)
 	}
-	<-s.sem
+	<-s.adm.sem
 	if code := get(t, s, "GET", "/v1/pathsim/topk?id=0&k=5", nil); code != http.StatusOK {
 		t.Fatalf("after release: got %d, want 200", code)
 	}

@@ -5,7 +5,13 @@
 // batch computes, new arrivals pile up in the queue and form the next
 // batch, so an idle server adds no latency and a loaded server batches
 // automatically. An optional window keeps a batch open a little longer
-// to trade first-query latency for wider batches.
+// to trade first-query latency for wider batches; the admission
+// controller widens it dynamically under load (setWindow).
+//
+// Deadlines propagate into the kernel: each request carries its
+// context, already-dead requests are dropped from a batch before the
+// kernel runs, and if every rider of a batch is gone the kernel call
+// itself is cancelled mid-flight.
 
 package serve
 
@@ -18,12 +24,14 @@ import (
 	"sync/atomic"
 	"time"
 
+	"hinet/internal/chaos"
 	"hinet/internal/pathsim"
 )
 
 var errShutdown = errors.New("serve: server is shutting down")
 
 type topKReq struct {
+	ctx     context.Context // caller's context: deadline + disconnect signal
 	x, k    int
 	ix      *pathsim.Index // index the query runs against
 	pathKey string         // resolved path string (group + cache key component)
@@ -43,7 +51,8 @@ type topKResp struct {
 type batcher struct {
 	queue    chan topKReq
 	maxBatch int
-	window   time.Duration
+	windowNS atomic.Int64 // coalescing window in ns (adaptive, see setWindow)
+	inj      *chaos.Injector
 	quit     chan struct{}
 	done     chan struct{}
 	stopOnce sync.Once
@@ -54,20 +63,25 @@ type batcher struct {
 	largest atomic.Int64  // widest batch observed (in requests)
 }
 
-func newBatcher(maxBatch int, window time.Duration) *batcher {
+func newBatcher(maxBatch int, window time.Duration, inj *chaos.Injector) *batcher {
 	if maxBatch <= 0 {
 		maxBatch = 64
 	}
 	b := &batcher{
 		queue:    make(chan topKReq, 4*maxBatch),
 		maxBatch: maxBatch,
-		window:   window,
+		inj:      inj,
 		quit:     make(chan struct{}),
 		done:     make(chan struct{}),
 	}
+	b.windowNS.Store(int64(window))
 	go b.run()
 	return b
 }
+
+// setWindow adjusts the coalescing window; the admission controller
+// calls it each tick to widen batches while the limit is depressed.
+func (b *batcher) setWindow(d time.Duration) { b.windowNS.Store(int64(d)) }
 
 // TopK submits one query against req.ix and blocks until its batch is
 // answered, the context is canceled, or the batcher shuts down.
@@ -76,6 +90,7 @@ func (b *batcher) TopK(ctx context.Context, req topKReq) (topKResp, error) {
 		return topKResp{}, err
 	}
 	out := make(chan topKResp, 1)
+	req.ctx = ctx
 	req.out = out
 	select {
 	case b.queue <- req:
@@ -88,8 +103,8 @@ func (b *batcher) TopK(ctx context.Context, req topKReq) (topKResp, error) {
 	case resp := <-out:
 		return resp, resp.err
 	case <-ctx.Done():
-		// The dispatcher will still complete the query into the
-		// buffered out channel; nothing leaks.
+		// The dispatcher will still complete (or drop) the query into
+		// the buffered out channel; nothing leaks.
 		return topKResp{}, ctx.Err()
 	case <-b.quit:
 		// The dispatcher may already be gone (the enqueue above can
@@ -105,6 +120,19 @@ func (b *batcher) TopK(ctx context.Context, req topKReq) (topKResp, error) {
 func (b *batcher) stop() {
 	b.stopOnce.Do(func() { close(b.quit) })
 	<-b.done
+}
+
+// stopCtx is stop with a deadline: it signals shutdown and waits for
+// the dispatcher to finish at most until ctx expires, so Shutdown
+// stays bounded even if a kernel call is mid-flight.
+func (b *batcher) stopCtx(ctx context.Context) error {
+	b.stopOnce.Do(func() { close(b.quit) })
+	select {
+	case <-b.done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
 }
 
 func (b *batcher) run() {
@@ -139,10 +167,11 @@ func (b *batcher) fill(batch []topKReq) []topKReq {
 			break
 		}
 	}
-	if b.window <= 0 || len(batch) >= b.maxBatch {
+	window := time.Duration(b.windowNS.Load())
+	if window <= 0 || len(batch) >= b.maxBatch {
 		return batch
 	}
-	timer := time.NewTimer(b.window)
+	timer := time.NewTimer(window)
 	defer timer.Stop()
 	for len(batch) < b.maxBatch {
 		select {
@@ -193,7 +222,12 @@ func (b *batcher) flush(batch []topKReq) {
 	}
 }
 
-// flushGroup answers one same-index group of a batch.
+// flushGroup answers one same-index group of a batch. Requests whose
+// context is already dead are dropped before the kernel runs (their
+// waiter has moved on; the buffered out channel absorbs the reply), and
+// a watcher cancels the kernel mid-flight if every remaining rider
+// disconnects while it computes — a batch never outlives all of its
+// askers.
 func (b *batcher) flushGroup(group []topKReq) {
 	ix := group[0].ix
 	n := ix.Dim()
@@ -202,6 +236,10 @@ func (b *batcher) flushGroup(group []topKReq) {
 	live := make([]topKReq, 0, len(group))
 	kmax := 0
 	for _, r := range group {
+		if r.ctx != nil && r.ctx.Err() != nil {
+			r.out <- topKResp{err: r.ctx.Err()}
+			continue
+		}
 		if r.x < 0 || r.x >= n {
 			r.out <- topKResp{err: fmt.Errorf("serve: id %d out of range [0,%d)", r.x, n)}
 			continue
@@ -218,9 +256,46 @@ func (b *batcher) flushGroup(group []topKReq) {
 	if len(live) == 0 {
 		return
 	}
+
+	// Kernel context: cancelled once ALL live riders are gone. The
+	// watcher waits on each rider's Done in turn — order is irrelevant,
+	// all of them must fire — and exits via stop on normal completion.
+	// A rider with a non-cancellable context (nil Done) parks the
+	// watcher until stop: the kernel then always runs to completion,
+	// which is the correct behavior when someone still wants the answer.
+	kctx, cancel := context.WithCancel(context.Background())
+	stop := make(chan struct{})
+	go func() {
+		for _, r := range live {
+			var dc <-chan struct{}
+			if r.ctx != nil {
+				dc = r.ctx.Done()
+			}
+			select {
+			case <-dc:
+			case <-stop:
+				return
+			}
+		}
+		cancel()
+	}()
+
+	if d := b.inj.KernelDelay(); d > 0 {
+		time.Sleep(d)
+	}
 	kstart := time.Now()
-	res := ix.BatchTopK(xs, kmax)
+	res, err := ix.BatchTopKCtx(kctx, xs, kmax)
 	kernel := time.Since(kstart)
+	close(stop)
+	cancel()
+	if err != nil {
+		// Abandoned mid-flight: every rider already left, but deliver
+		// the error anyway (buffered channels) for uniformity.
+		for _, r := range live {
+			r.out <- topKResp{err: err}
+		}
+		return
+	}
 	b.batches.Add(1)
 	b.queries.Add(uint64(len(live)))
 	b.unique.Add(uint64(len(xs)))

@@ -124,6 +124,22 @@ func (s *Server) writeMetrics(w io.Writer) {
 
 	fmt.Fprintf(w, "hinet_admission_rejected_total %d\n", s.rejAd.Load())
 
+	// Overload protection: the adaptive limiter and brownout state.
+	fmt.Fprintf(w, "hinet_admission_limit %d\n", s.adm.Limit())
+	fmt.Fprintf(w, "hinet_admission_ceiling %d\n", s.adm.ceil)
+	fmt.Fprintf(w, "hinet_admission_floor %d\n", s.adm.floor)
+	fmt.Fprintf(w, "hinet_admission_inflight %d\n", s.adm.inflight.Load())
+	fmt.Fprintf(w, "hinet_admission_shed_total{class=\"query\"} %d\n", s.adm.shedQuery.Load())
+	fmt.Fprintf(w, "hinet_admission_shed_total{class=\"write\"} %d\n", s.adm.shedWrite.Load())
+	degraded := 0
+	if s.adm.Degraded() {
+		degraded = 1
+	}
+	fmt.Fprintf(w, "hinet_degraded %d\n", degraded)
+	fmt.Fprintf(w, "hinet_brownouts_total %d\n", s.adm.brownouts.Load())
+	fmt.Fprintf(w, "hinet_degraded_responses_total %d\n", s.adm.degradedServed.Load())
+	fmt.Fprintf(w, "hinet_timeouts_total %d\n", s.adm.timeouts.Load())
+
 	fmt.Fprintf(w, "hinet_topk_batches_total %d\n", s.batch.batches.Load())
 	fmt.Fprintf(w, "hinet_topk_batched_queries_total %d\n", s.batch.queries.Load())
 	fmt.Fprintf(w, "hinet_topk_unique_queries_total %d\n", s.batch.unique.Load())
@@ -168,6 +184,34 @@ func (s *Server) Endpoints() map[string]EndpointMetrics {
 // AdmissionRejected returns the number of heavy requests turned away at
 // the admission semaphore (503s from a full queue, not cancellations).
 func (s *Server) AdmissionRejected() uint64 { return s.rejAd.Load() }
+
+// AdmissionState is a point-in-time copy of the overload-protection
+// state, exported for tests and the load harness.
+type AdmissionState struct {
+	Limit, Floor, Ceiling int
+	Inflight              int64
+	Degraded              bool
+	ShedQuery, ShedWrite  uint64
+	Brownouts             uint64
+	DegradedResponses     uint64
+	Timeouts              uint64
+}
+
+// Admission returns the adaptive limiter's current state and counters.
+func (s *Server) Admission() AdmissionState {
+	return AdmissionState{
+		Limit:             s.adm.Limit(),
+		Floor:             s.adm.floor,
+		Ceiling:           s.adm.ceil,
+		Inflight:          s.adm.inflight.Load(),
+		Degraded:          s.adm.Degraded(),
+		ShedQuery:         s.adm.shedQuery.Load(),
+		ShedWrite:         s.adm.shedWrite.Load(),
+		Brownouts:         s.adm.brownouts.Load(),
+		DegradedResponses: s.adm.degradedServed.Load(),
+		Timeouts:          s.adm.timeouts.Load(),
+	}
+}
 
 // CacheStats exposes the result cache counters for tests and the load
 // harness.

@@ -43,9 +43,12 @@ import (
 	"net/url"
 	"slices"
 	"strconv"
+	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
+	"hinet/internal/chaos"
 	"hinet/internal/dblp"
 	"hinet/internal/eval"
 	"hinet/internal/hin"
@@ -66,8 +69,24 @@ type Options struct {
 	MaxBatch      int           // top-k coalescing cap (default 64)
 	BatchWindow   time.Duration // extra wait to widen batches (default 0: natural coalescing)
 	Workers       int           // sparse pool worker cap (0 = leave as configured)
-	MaxConcurrent int           // concurrent heavy queries admitted (default 4×workers)
+	MaxConcurrent int           // admission ceiling for heavy queries (default 4×workers)
 	AdmissionWait time.Duration // max time queued for admission before 503 (default 5s, < 0 fail-fast)
+
+	// Overload protection (see admission.go and the OPERATIONS.md
+	// runbook). The adaptive limiter walks the effective concurrency
+	// limit between AdmissionFloor and MaxConcurrent, comparing the
+	// windowed p99 of admitted query requests against SLOTargetP99
+	// every ControlInterval.
+	DefaultTimeout  time.Duration // per-request deadline when the client sends no timeout_ms (0 = none)
+	SLOTargetP99    time.Duration // admission controller's p99 target (default 150ms)
+	AdmissionFloor  int           // lowest adaptive limit (default max(1, MaxConcurrent/8))
+	ControlInterval time.Duration // controller tick (default 100ms; < 0 disables the controller)
+	BatchWindowMax  time.Duration // widest adaptive batch window under overload (default 2ms)
+	BrownoutEnter   int           // consecutive over-target ticks before brownout (default 5)
+	BrownoutExit    int           // consecutive healthy ticks before recovery (default 10)
+	BrownoutK       int           // top-k truncation during brownout (default 5)
+
+	Chaos *chaos.Injector // deterministic fault injection (tests; nil in production)
 
 	Pprof   bool // expose net/http/pprof under /debug/pprof/
 	NoTrace bool // disable per-request span traces (stage histograms and slowlog stay empty)
@@ -92,10 +111,32 @@ func (o Options) withDefaults() Options {
 	if o.AdmissionWait == 0 {
 		o.AdmissionWait = 5 * time.Second
 	}
+	if o.SLOTargetP99 == 0 {
+		o.SLOTargetP99 = 150 * time.Millisecond
+	}
+	if o.ControlInterval == 0 {
+		o.ControlInterval = 100 * time.Millisecond
+	}
+	if o.BatchWindowMax == 0 {
+		o.BatchWindowMax = 2 * time.Millisecond
+	}
+	if o.BatchWindowMax < o.BatchWindow {
+		o.BatchWindowMax = o.BatchWindow
+	}
+	if o.BrownoutEnter == 0 {
+		o.BrownoutEnter = 5
+	}
+	if o.BrownoutExit == 0 {
+		o.BrownoutExit = 10
+	}
+	if o.BrownoutK == 0 {
+		o.BrownoutK = 5
+	}
 	return o
 }
 
-// Server wires the store, cache and batcher behind an http.Handler.
+// Server wires the store, cache, batcher and admission controller
+// behind an http.Handler.
 type Server struct {
 	opts  Options
 	store *Store
@@ -104,11 +145,14 @@ type Server struct {
 	met   *metrics
 	obs   *obs.Registry
 	ing   ingestStats
-	sem   chan struct{}
+	adm   *admission
 	rejAd atomic.Uint64 // heavy requests rejected at admission
 	mux   *http.ServeMux
 	hs    *http.Server
 	ln    net.Listener
+
+	shutOnce sync.Once
+	shutErr  error
 }
 
 // ingestStats counts the ingestion write path (see /metrics and
@@ -131,16 +175,25 @@ func New(opts Options) *Server {
 	if opts.MaxConcurrent == 0 {
 		opts.MaxConcurrent = 4 * sparse.Parallelism(0)
 	}
+	if opts.AdmissionFloor == 0 {
+		opts.AdmissionFloor = max(1, opts.MaxConcurrent/8)
+	}
 	s := &Server{
 		opts:  opts,
 		store: NewStore(opts.Models),
 		cache: NewCache(opts.CacheCapacity, opts.CacheShards),
 		obs:   obs.NewRegistry(obs.Options{}),
-		sem:   make(chan struct{}, opts.MaxConcurrent),
 		mux:   http.NewServeMux(),
 	}
+	s.adm = newAdmission(opts.AdmissionFloor, opts.MaxConcurrent,
+		opts.SLOTargetP99, opts.ControlInterval, opts.BrownoutEnter, opts.BrownoutExit)
 	s.store.Rebuild(opts.Seed)
-	s.batch = newBatcher(opts.MaxBatch, opts.BatchWindow)
+	s.batch = newBatcher(opts.MaxBatch, opts.BatchWindow, opts.Chaos)
+	if opts.ControlInterval > 0 {
+		go s.controlLoop()
+	} else {
+		close(s.adm.done) // no controller goroutine to wait for at shutdown
+	}
 	s.met = newMetrics(
 		"/healthz", "/metrics", "/v1/stats", "/v1/rank", "/v1/clusters",
 		"/v1/pathsim/topk", "/v1/rebuild", "/v1/ingest", "/v1/debug/slowlog",
@@ -159,15 +212,15 @@ func New(opts Options) *Server {
 	s.obs.Family("/v1/rebuild").Declare("admission", "params", "rebuild", "serialize")
 	s.obs.Family("/v1/ingest").Declare("admission", "decode", "apply", "serialize")
 
-	s.route("/healthz", false, s.handleHealthz)
-	s.route("/metrics", false, s.handleMetrics)
-	s.route("/v1/stats", false, s.handleStats)
-	s.route("/v1/rank", false, s.handleRank)
-	s.route("/v1/clusters", false, s.handleClusters)
-	s.route("/v1/pathsim/topk", true, s.handleTopK)
-	s.route("/v1/rebuild", true, s.handleRebuild)
-	s.route("/v1/ingest", true, s.handleIngest)
-	s.route("/v1/debug/slowlog", false, s.handleSlowlog)
+	s.route("/healthz", classCritical, s.handleHealthz)
+	s.route("/metrics", classCritical, s.handleMetrics)
+	s.route("/v1/stats", classCheap, s.handleStats)
+	s.route("/v1/rank", classCheap, s.handleRank)
+	s.route("/v1/clusters", classCheap, s.handleClusters)
+	s.route("/v1/pathsim/topk", classQuery, s.handleTopK)
+	s.route("/v1/rebuild", classWrite, s.handleRebuild)
+	s.route("/v1/ingest", classWrite, s.handleIngest)
+	s.route("/v1/debug/slowlog", classCheap, s.handleSlowlog)
 	if opts.Pprof {
 		s.mux.HandleFunc("/debug/pprof/", pprof.Index)
 		s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -197,26 +250,76 @@ func (s *Server) Start() (string, error) {
 	return ln.Addr().String(), nil
 }
 
-// Shutdown drains in-flight HTTP requests (bounded by ctx), then stops
-// the batching queue. Safe to call whether or not Start was used.
+// Shutdown drains in-flight HTTP requests, stops the admission
+// controller, and drains the batching queue — every phase bounded by
+// ctx's deadline, so a wedged in-flight batch cannot hang the caller.
+// Safe to call whether or not Start was used; idempotent: the second
+// and later calls are no-ops returning the first call's error.
 func (s *Server) Shutdown(ctx context.Context) error {
-	var err error
-	if s.hs != nil {
-		err = s.hs.Shutdown(ctx)
+	s.shutOnce.Do(func() {
+		var err error
+		if s.hs != nil {
+			err = s.hs.Shutdown(ctx)
+		}
+		s.adm.stop()
+		if berr := s.batch.stopCtx(ctx); err == nil {
+			err = berr
+		}
+		s.shutErr = err
+	})
+	return s.shutErr
+}
+
+// controlLoop drives the admission controller: every tick, one AIMD
+// step against the latest latency window and pool backlog, then the
+// batch window tracks the limit (full window at the floor, configured
+// base at the ceiling).
+func (s *Server) controlLoop() {
+	defer close(s.adm.done)
+	t := time.NewTicker(s.adm.interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.adm.quit:
+			return
+		case <-t.C:
+			s.controlStep()
+		}
 	}
-	s.batch.stop()
-	return err
+}
+
+// controlStep is one controller tick (exposed separately so tests can
+// drive the control loop deterministically with ControlInterval < 0).
+func (s *Server) controlStep() {
+	s.adm.step(sparse.QueueDepth())
+	s.batch.setWindow(s.adaptiveWindow())
+}
+
+// adaptiveWindow interpolates the batch window linearly between the
+// configured base (at the ceiling) and BatchWindowMax (at the floor):
+// the more the limiter squeezes concurrency, the longer batches stay
+// open, trading first-query latency for wider, cheaper kernel calls.
+func (s *Server) adaptiveWindow() time.Duration {
+	base, widest := s.opts.BatchWindow, s.opts.BatchWindowMax
+	span := s.adm.ceil - s.adm.floor
+	if span <= 0 || widest <= base {
+		return base
+	}
+	frac := float64(s.adm.ceil-s.adm.Limit()) / float64(span)
+	return base + time.Duration(frac*float64(widest-base))
 }
 
 // route registers an instrumented handler: each request gets a span
 // trace (unless Options.NoTrace) carried in the statusRecorder, and the
 // wrapper finishes it — closing any span the handler left open, feeding
 // the stage histograms and the slowlog — before recording the endpoint
-// counters. Heavy endpoints additionally pass through the admission
-// semaphore under an "admission" span, bounding concurrent expensive
-// work independently of the sparse pool's own worker cap.
-func (s *Server) route(pattern string, heavy bool, h http.HandlerFunc) {
+// counters. Heavy endpoints (classQuery, classWrite) additionally get
+// their per-request deadline installed (timeout_ms or DefaultTimeout),
+// pass through the admission limiter under an "admission" span, and —
+// when admitted and successful — feed the controller's latency signal.
+func (s *Server) route(pattern, class string, h http.HandlerFunc) {
 	st := s.met.get(pattern)
+	heavy := class == classQuery || class == classWrite
 	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
 		var start time.Time
 		var tr *obs.Trace
@@ -226,22 +329,54 @@ func (s *Server) route(pattern string, heavy bool, h http.HandlerFunc) {
 			tr = s.obs.StartTrace(pattern)
 		}
 		rec := &statusRecorder{ResponseWriter: w, code: http.StatusOK, tr: tr}
+		admitted := false
 		finish := func() {
 			d := tr.Finish(rec.code)
 			if tr == nil {
 				d = time.Since(start)
 			}
 			st.observe(rec.code, d)
+			if rec.code == http.StatusGatewayTimeout {
+				s.adm.timeouts.Add(1)
+			}
+			if admitted && class == classQuery && rec.code < 400 {
+				// The controller's feedback signal: full-request latency
+				// (admission wait included — queueing delay is exactly
+				// what the limiter must react to) of successful queries.
+				s.adm.lat.Observe(d)
+			}
 		}
 		if heavy {
+			// Deadline propagation starts here: the ctx flows through
+			// admission → batcher → materialization → kernel dispatch.
+			if d := s.requestTimeout(r); d > 0 {
+				ctx, cancel := context.WithTimeout(r.Context(), d)
+				defer cancel()
+				r = r.WithContext(ctx)
+			}
+			if fail, delay := s.opts.Chaos.RequestFault(); fail || delay > 0 {
+				if delay > 0 {
+					time.Sleep(delay)
+				}
+				if fail {
+					httpError(rec, http.StatusInternalServerError, "chaos: injected fault")
+					finish()
+					return
+				}
+			}
 			ad := tr.Start("admission")
-			release, msg := s.admit(r)
+			release, code, msg := s.admit(r, class)
 			tr.End(ad)
 			if release == nil {
-				httpError(rec, http.StatusServiceUnavailable, msg)
+				if msg == "" {
+					s.shed(rec, class)
+				} else {
+					httpError(rec, code, "%s", msg)
+				}
 				finish()
 				return
 			}
+			admitted = true
 			defer release()
 		}
 		h(rec, r)
@@ -249,33 +384,93 @@ func (s *Server) route(pattern string, heavy bool, h http.HandlerFunc) {
 	})
 }
 
-// admit acquires an admission slot, waiting at most opts.AdmissionWait
-// (negative: fail fast, no queueing). On success it returns the release
-// function; on rejection it returns nil and the 503 message. Bounding
-// the wait is what turns saturation into prompt, visible 503s instead
-// of an unbounded queue of hung requests.
-func (s *Server) admit(r *http.Request) (release func(), msg string) {
+// requestTimeout resolves the request's deadline: an explicit
+// timeout_ms query parameter wins, otherwise Options.DefaultTimeout
+// (0 = none). The RawQuery substring probe keeps the common
+// no-timeout-configured path completely allocation-free.
+func (s *Server) requestTimeout(r *http.Request) time.Duration {
+	if strings.Contains(r.URL.RawQuery, "timeout_ms") {
+		if v := r.URL.Query().Get("timeout_ms"); v != "" {
+			if ms, err := strconv.Atoi(v); err == nil && ms > 0 {
+				return time.Duration(ms) * time.Millisecond
+			}
+		}
+	}
+	return s.opts.DefaultTimeout
+}
+
+// admit acquires an admission slot for the given class, waiting at most
+// opts.AdmissionWait (negative: fail fast, no queueing). On success it
+// returns the release function; on rejection it returns a nil release
+// with the response status — 503 with an empty msg means "shed, use the
+// machine-readable overload body", 504 means the request's own deadline
+// expired while queued. Bounding the wait is what turns saturation into
+// prompt, visible 503s instead of an unbounded queue of hung requests.
+//
+// Class policy: writes (ingest/rebuild) shed without queueing whenever
+// the server is degraded or inflight is at 3/4 of the adaptive limit —
+// they are the first load to go, protecting query capacity.
+func (s *Server) admit(r *http.Request, class string) (release func(), code int, msg string) {
+	a := s.adm
+	if class == classWrite {
+		lim := int(a.limit.Load())
+		if a.degraded.Load() || int(a.inflight.Load()) >= (lim*3+3)/4 {
+			a.shedWrite.Add(1)
+			s.rejAd.Add(1)
+			return nil, http.StatusServiceUnavailable, ""
+		}
+	}
 	// Fast path: a free slot costs no timer.
 	select {
-	case s.sem <- struct{}{}:
-		return func() { <-s.sem }, ""
+	case a.sem <- struct{}{}:
+		a.inflight.Add(1)
+		return func() { a.inflight.Add(-1); <-a.sem }, 0, ""
 	default:
 	}
 	if s.opts.AdmissionWait < 0 {
+		a.shedFor(class)
 		s.rejAd.Add(1)
-		return nil, "server at admission capacity"
+		return nil, http.StatusServiceUnavailable, ""
 	}
 	t := time.NewTimer(s.opts.AdmissionWait)
 	defer t.Stop()
 	select {
-	case s.sem <- struct{}{}:
-		return func() { <-s.sem }, ""
+	case a.sem <- struct{}{}:
+		a.inflight.Add(1)
+		return func() { a.inflight.Add(-1); <-a.sem }, 0, ""
 	case <-t.C:
+		a.shedFor(class)
 		s.rejAd.Add(1)
-		return nil, "server at admission capacity"
+		return nil, http.StatusServiceUnavailable, ""
 	case <-r.Context().Done():
-		return nil, "request canceled while queued for admission"
+		if errors.Is(r.Context().Err(), context.DeadlineExceeded) {
+			return nil, http.StatusGatewayTimeout, "deadline exceeded while queued for admission"
+		}
+		return nil, http.StatusServiceUnavailable, "request canceled while queued for admission"
 	}
+}
+
+// shedFor attributes one shed to the class's counter.
+func (a *admission) shedFor(class string) {
+	if class == classWrite {
+		a.shedWrite.Add(1)
+	} else {
+		a.shedQuery.Add(1)
+	}
+}
+
+// shed writes the machine-readable overload response every shed path
+// shares: a Retry-After header (seconds, for generic clients) plus a
+// JSON body with the class that was shed and a millisecond-resolution
+// backoff hint (loadgen honors it in closed-loop mode).
+func (s *Server) shed(w http.ResponseWriter, class string) {
+	ms := s.adm.retryAfterMS()
+	w.Header().Set("Retry-After", strconv.Itoa((ms+999)/1000))
+	writeJSON(w, http.StatusServiceUnavailable, map[string]any{
+		"error":          "overloaded",
+		"class":          class,
+		"retry_after_ms": ms,
+	})
 }
 
 type statusRecorder struct {
@@ -506,8 +701,22 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		},
 		"latency":            s.latencyStats(),
 		"workers":            sparse.Parallelism(0),
-		"max_concurrent":     cap(s.sem),
+		"max_concurrent":     cap(s.adm.sem),
 		"admission_rejected": s.rejAd.Load(),
+		"admission": map[string]any{
+			"limit":              s.adm.Limit(),
+			"floor":              s.adm.floor,
+			"ceiling":            s.adm.ceil,
+			"inflight":           s.adm.inflight.Load(),
+			"degraded":           s.adm.Degraded(),
+			"windowed_p99_us":    float64(s.adm.windowedP99.Load()) / 1e3,
+			"slo_target_p99_us":  float64(s.adm.slo) / 1e3,
+			"shed_query":         s.adm.shedQuery.Load(),
+			"shed_write":         s.adm.shedWrite.Load(),
+			"brownouts":          s.adm.brownouts.Load(),
+			"degraded_responses": s.adm.degradedServed.Load(),
+			"timeouts":           s.adm.timeouts.Load(),
+		},
 	}
 	tr.Next(sp, "serialize")
 	writeJSON(w, http.StatusOK, debugTrace(q, tr, payload))
@@ -679,14 +888,33 @@ func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "k must be a positive integer")
 		return
 	}
+	// Brownout: truncate k and answer from already-materialized state
+	// only — no index builds, no kernel dispatches (cache misses shed).
+	degraded := s.adm.Degraded()
+	if degraded && k > s.opts.BrownoutK {
+		k = s.opts.BrownoutK
+	}
 	// path= selects the meta-path; empty keeps the prebuilt APVPA
 	// index. The engine validates the spec — any parse/schema/symmetry
 	// problem is the client's, hence 400, and the snapshot memoizes the
 	// index so repeat queries pay one lookup (the resolve span's note
 	// says which way it went: prebuilt, cached, or built).
 	sp = tr.Next(sp, "resolve")
-	ix, err := snap.PathIndex(ctx, q.Get("path"))
-	if err != nil {
+	var ix *pathsim.Index
+	if degraded {
+		var ok bool
+		if ix, ok = snap.PathIndexCached(q.Get("path")); !ok {
+			tr.Note("degraded-shed")
+			s.adm.shedFor(classQuery)
+			s.shed(w, classQuery)
+			return
+		}
+	} else if ix, err = snap.PathIndex(ctx, q.Get("path")); err != nil {
+		if ctx.Err() != nil {
+			tr.Note("deadline")
+			httpError(w, http.StatusGatewayTimeout, "deadline exceeded while resolving path: %v", ctx.Err())
+			return
+		}
 		httpError(w, http.StatusBadRequest, "invalid path: %v", err)
 		return
 	}
@@ -716,8 +944,33 @@ func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	sp = tr.Next(sp, "query")
-	pairs, epoch, hit, err := s.topK(ctx, snap, ix, x, k)
-	if err != nil {
+	var pairs []pathsim.Pair
+	var epoch int64
+	var hit bool
+	if degraded {
+		// Cache-only: a hit serves (annotated), a miss sheds — the
+		// brownout's whole point is that no query reaches the kernels.
+		sp2 := tr.Start("cache")
+		v, ok := s.cache.Get(topKKey(snap.Epoch, ix.Path.String(), x, k))
+		if !ok {
+			tr.Note("miss")
+			tr.End(sp2)
+			s.adm.shedFor(classQuery)
+			s.shed(w, classQuery)
+			return
+		}
+		tr.Note("hit")
+		tr.End(sp2)
+		pairs, epoch, hit = v.([]pathsim.Pair), snap.Epoch, true
+	} else if pairs, epoch, hit, err = s.topK(ctx, snap, ix, x, k); err != nil {
+		if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+			// Partial-work accounting: the trace's open spans show the
+			// stage the deadline landed in; the note marks it for the
+			// slowlog.
+			tr.Note("deadline")
+			httpError(w, http.StatusGatewayTimeout, "deadline exceeded: %v", err)
+			return
+		}
 		httpError(w, http.StatusServiceUnavailable, "%v", err)
 		return
 	}
@@ -737,6 +990,10 @@ func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
 		"epoch":   epoch,
 		"source":  source,
 		"results": results,
+	}
+	if degraded {
+		s.adm.degradedServed.Add(1)
+		payload["degraded"] = true
 	}
 	tr.Next(sp, "serialize")
 	writeJSON(w, http.StatusOK, debugTrace(q, tr, payload))

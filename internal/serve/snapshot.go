@@ -101,9 +101,10 @@ func (s *Snapshot) PathIndex(ctx context.Context, spec string) (*pathsim.Index, 
 		tr.Note("cached")
 		return v.(*pathsim.Index), nil
 	}
-	// NewIndexE validates symmetry and length; its errors go to the
-	// client verbatim.
-	ix, err := pathsim.NewIndexE(s.Corpus.Net, path)
+	// NewIndexCtx validates symmetry and length (errors go to the client
+	// verbatim) and threads ctx into the materialization, so a dead
+	// caller stops the product chain; a cancelled build is not cached.
+	ix, err := pathsim.NewIndexCtx(ctx, s.Corpus.Net, path)
 	if err != nil {
 		return nil, err
 	}
@@ -116,6 +117,25 @@ func (s *Snapshot) PathIndex(ctx context.Context, spec string) (*pathsim.Index, 
 		s.pathCount.Add(1)
 	}
 	return v.(*pathsim.Index), nil
+}
+
+// PathIndexCached resolves spec only against already-materialized
+// indexes — the prebuilt one or a previously built entry of the memo
+// map. This is the brownout resolution path: a degraded server must
+// not start new commuting-matrix materializations, so anything not
+// already in memory reports false (and the caller sheds).
+func (s *Snapshot) PathIndexCached(spec string) (*pathsim.Index, bool) {
+	if spec == "" {
+		return s.PathSim, true
+	}
+	path, err := s.Corpus.Net.ParseMetaPath(spec)
+	if err != nil {
+		return nil, false
+	}
+	if v, ok := s.paths.Load(path.String()); ok {
+		return v.(*pathsim.Index), true
+	}
+	return nil, false
 }
 
 // ModelConfig controls what a snapshot materializes.

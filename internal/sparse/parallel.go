@@ -19,6 +19,7 @@
 package sparse
 
 import (
+	"context"
 	"math"
 	"os"
 	"runtime"
@@ -333,6 +334,76 @@ func ParRange(n, work int, body func(lo, hi int)) {
 	runTasks(blocks, w, func(b int) {
 		body(n*b/blocks, n*(b+1)/blocks)
 	})
+}
+
+// ctxDone returns ctx's done channel, or nil when ctx is nil or can
+// never be canceled (context.Background and friends). A nil channel is
+// the "no cancellation" fast path: kernels skip every poll.
+func ctxDone(ctx context.Context) <-chan struct{} {
+	if ctx == nil {
+		return nil
+	}
+	return ctx.Done()
+}
+
+// chanClosed is the cooperative-cancellation poll: a single
+// non-blocking receive, cheap enough to sit inside row-block loops.
+func chanClosed(done <-chan struct{}) bool {
+	if done == nil {
+		return false
+	}
+	select {
+	case <-done:
+		return true
+	default:
+		return false
+	}
+}
+
+// ParRangeCtx is ParRange with cooperative cancellation: ctx is polled
+// before each block, and once it is done the remaining blocks are
+// skipped. Blocks already dispatched still run to completion — bodies
+// that want finer-grained cancellation can poll ctx themselves — so on
+// a non-nil return (ctx.Err()) the caller must discard any partial
+// results. With a non-cancelable ctx this is exactly ParRange.
+func ParRangeCtx(ctx context.Context, n, work int, body func(lo, hi int)) error {
+	if n <= 0 {
+		return nil
+	}
+	done := ctxDone(ctx)
+	if done == nil {
+		ParRange(n, work, body)
+		return nil
+	}
+	if chanClosed(done) {
+		return ctx.Err()
+	}
+	w := effectiveWorkers()
+	blocks := blockCount(n, w)
+	if w <= 1 || work < threshold() {
+		// Serial path: still split into blocks so long ranges observe
+		// cancellation between chunks.
+		for b := 0; b < blocks; b++ {
+			if chanClosed(done) {
+				return ctx.Err()
+			}
+			body(n*b/blocks, n*(b+1)/blocks)
+		}
+		return nil
+	}
+	runTasks(blocks, w, func(b int) {
+		if chanClosed(done) {
+			return
+		}
+		body(n*b/blocks, n*(b+1)/blocks)
+	})
+	if chanClosed(done) {
+		// Some block may have been skipped; even if none were, the
+		// caller asked to stop — report it. (A skipped block implies a
+		// closed channel, so nil is only returned for complete runs.)
+		return ctx.Err()
+	}
+	return nil
 }
 
 // ParReduce sums f over block partitions of [0, n). Partial sums are

@@ -30,6 +30,7 @@ package sparse
 
 import (
 	"cmp"
+	"context"
 	"fmt"
 	"math"
 	"slices"
@@ -546,13 +547,20 @@ type mulPart struct {
 // The accumulator/stamp/touched scratch comes from a process-wide pool
 // (see spgemmScratch), so repeated products allocate nothing beyond
 // their output.
-func (m *Matrix) mulRange(b *Matrix, lo, hi int) mulPart {
+func (m *Matrix) mulRange(b *Matrix, lo, hi int, done <-chan struct{}) mulPart {
 	s := getSpgemm(b.cols, hi)
 	acc, stamp := s.acc, s.stamp
 	touched := s.touched[:0]
 	base := s.base
 	part := mulPart{rowNNZ: make([]int, hi-lo)}
 	for r := lo; r < hi; r++ {
+		// Cooperative cancellation checkpoint, every 64 rows so the
+		// poll never shows up in kernel profiles. A cancelled call
+		// returns a truncated part; the dispatcher (mul) detects the
+		// closed channel and discards every part before assembly.
+		if done != nil && (r-lo)&63 == 63 && chanClosed(done) {
+			break
+		}
 		touched = touched[:0]
 		mark := base + r + 1
 		for i := m.rowPtr[r]; i < m.rowPtr[r+1]; i++ {
@@ -622,6 +630,27 @@ func (part *mulPart) emit(touched []int32, acc []float64, stamp []int, mark, spa
 // of the output are computed independently on the worker pool and
 // stitched together in row order.
 func (m *Matrix) Mul(b *Matrix) *Matrix {
+	out, _ := m.mul(b, nil)
+	return out
+}
+
+// MulCtx is Mul with cooperative cancellation: row-block loops poll
+// ctx, and a cancelled product stops burning CPU (already-dispatched
+// blocks finish their current 64-row stride) and returns ctx.Err()
+// with a nil matrix. With a non-cancelable ctx it is exactly Mul.
+func (m *Matrix) MulCtx(ctx context.Context, b *Matrix) (*Matrix, error) {
+	done := ctxDone(ctx)
+	if done != nil && chanClosed(done) {
+		return nil, ctx.Err()
+	}
+	out, aborted := m.mul(b, done)
+	if aborted {
+		return nil, ctx.Err()
+	}
+	return out, nil
+}
+
+func (m *Matrix) mul(b *Matrix, done <-chan struct{}) (*Matrix, bool) {
 	if m.cols != b.rows {
 		panic("sparse: Mul dimension mismatch")
 	}
@@ -635,13 +664,16 @@ func (m *Matrix) Mul(b *Matrix) *Matrix {
 	// products with little work stay serial (one scratch allocation).
 	w := effectiveWorkers()
 	if serialDispatch(w, work, b.cols, m.rows) {
-		part := m.mulRange(b, 0, m.rows)
+		part := m.mulRange(b, 0, m.rows, done)
+		if chanClosed(done) {
+			return nil, true
+		}
 		out.colIdx, out.vals = part.colIdx, part.vals
 		for r, n := range part.rowNNZ {
 			out.rowPtr[r+1] = out.rowPtr[r] + n
 		}
 		out.unit = allOnes(out.vals)
-		return out
+		return out, false
 	}
 	// One nnz-balanced block per worker, not oversubscribed: each
 	// mulRange call holds cols-sized dense scratch, so extra blocks
@@ -650,8 +682,14 @@ func (m *Matrix) Mul(b *Matrix) *Matrix {
 	blocks := len(bounds) - 1
 	parts := make([]mulPart, blocks)
 	runTasks(blocks, w, func(bk int) {
-		parts[bk] = m.mulRange(b, bounds[bk], bounds[bk+1])
+		if chanClosed(done) {
+			return
+		}
+		parts[bk] = m.mulRange(b, bounds[bk], bounds[bk+1], done)
 	})
+	if chanClosed(done) {
+		return nil, true
+	}
 	total := 0
 	for _, p := range parts {
 		total += len(p.vals)
@@ -673,7 +711,7 @@ func (m *Matrix) Mul(b *Matrix) *Matrix {
 		copy(out.vals[offsets[bk]:], parts[bk].vals)
 	})
 	out.unit = allOnes(out.vals)
-	return out
+	return out, false
 }
 
 // gramRange computes the upper-triangle entries (col ≥ row) of rows
@@ -684,13 +722,18 @@ func (m *Matrix) Mul(b *Matrix) *Matrix {
 // product. Accumulation order per output entry matches the serial loop,
 // so parallel Grams are bitwise identical to serial ones. Scratch is
 // pooled like mulRange's.
-func (m *Matrix) gramRange(t *Matrix, lo, hi int) mulPart {
+func (m *Matrix) gramRange(t *Matrix, lo, hi int, done <-chan struct{}) mulPart {
 	s := getSpgemm(t.cols, hi)
 	acc, stamp := s.acc, s.stamp
 	touched := s.touched[:0]
 	base := s.base
 	part := mulPart{rowNNZ: make([]int, hi-lo)}
 	for r := lo; r < hi; r++ {
+		// Same cancellation checkpoint as mulRange: truncated parts are
+		// discarded by gram before assembly.
+		if done != nil && (r-lo)&63 == 63 && chanClosed(done) {
+			break
+		}
 		touched = touched[:0]
 		mark := base + r + 1
 		for i := m.rowPtr[r]; i < m.rowPtr[r+1]; i++ {
@@ -768,6 +811,25 @@ func (m *Matrix) gramBlockBounds(blocks int) []int {
 // symmetric path from its half-path product. Upper-triangle row blocks
 // run in parallel on the shared worker pool.
 func (m *Matrix) Gram() *Matrix {
+	out, _ := m.gram(nil)
+	return out
+}
+
+// GramCtx is Gram with cooperative cancellation, mirroring MulCtx: a
+// cancelled factorization returns ctx.Err() with a nil matrix.
+func (m *Matrix) GramCtx(ctx context.Context) (*Matrix, error) {
+	done := ctxDone(ctx)
+	if done != nil && chanClosed(done) {
+		return nil, ctx.Err()
+	}
+	out, aborted := m.gram(done)
+	if aborted {
+		return nil, ctx.Err()
+	}
+	return out, nil
+}
+
+func (m *Matrix) gram(done <-chan struct{}) (*Matrix, bool) {
 	t := m.Transpose()
 	out := &Matrix{rows: m.rows, cols: m.rows, rowPtr: make([]int, m.rows+1)}
 	// Estimated flops: every nonzero expands into one of t's rows, and
@@ -780,7 +842,7 @@ func (m *Matrix) Gram() *Matrix {
 	var parts []mulPart
 	var bounds []int
 	if serialDispatch(w, work, m.rows, m.rows) {
-		parts = []mulPart{m.gramRange(t, 0, m.rows)}
+		parts = []mulPart{m.gramRange(t, 0, m.rows, done)}
 		bounds = []int{0, m.rows}
 	} else {
 		// One block per worker (each carries rows-sized dense scratch,
@@ -788,8 +850,14 @@ func (m *Matrix) Gram() *Matrix {
 		bounds = m.gramBlockBounds(min(w, m.rows))
 		parts = make([]mulPart, len(bounds)-1)
 		runTasks(len(parts), w, func(bk int) {
-			parts[bk] = m.gramRange(t, bounds[bk], bounds[bk+1])
+			if chanClosed(done) {
+				return
+			}
+			parts[bk] = m.gramRange(t, bounds[bk], bounds[bk+1], done)
 		})
+	}
+	if chanClosed(done) {
+		return nil, true
 	}
 	// Assemble the full symmetric CSR from the upper parts. Pass one
 	// counts row populations: each upper entry (r, c) lands in row r,
@@ -837,7 +905,7 @@ func (m *Matrix) Gram() *Matrix {
 		}
 	}
 	out.unit = allOnes(out.vals)
-	return out
+	return out, false
 }
 
 // Dense materializes the matrix as row-major [][]float64 (test helper;
