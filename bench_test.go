@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"hinet/internal/classify"
+	"hinet/internal/cluster"
 	"hinet/internal/core"
 	"hinet/internal/crossmine"
 	"hinet/internal/dblp"
@@ -835,6 +836,46 @@ func BenchmarkServeTopK(b *testing.B) {
 			}
 		})
 	})
+}
+
+// --- Sharded scatter-gather tier -------------------------------------
+
+// BenchmarkClusterTopK measures the scatter-gather top-k path through
+// the in-process sharded coordinator at 1, 2, and 4 shards on the same
+// 800-paper corpus BenchmarkServeTopK uses. Each query scatters to all
+// shards (each scans only its nnz-balanced column slice of the APVPA
+// index) and the coordinator merges the partials; the single-shard rows
+// are the scatter-gather overhead baseline — one shard scans the whole
+// index, so any gap versus multi-shard rows is pure fan-out/merge cost.
+func BenchmarkClusterTopK(b *testing.B) {
+	ctx := context.Background()
+	spec := cluster.ModelSpec{Corpus: dblp.Config{
+		VenuesPerArea: 3, AuthorsPerArea: 60, TermsPerArea: 40,
+		SharedTerms: 20, Papers: 800,
+	}}
+	// One full index up front supplies the row-nnz weights the
+	// nnz-balanced partitioner needs (the same weights `hinet serve
+	// -shards N` reads off the store's snapshot).
+	full := cluster.BuildModels(1, spec)
+	path := cluster.PathAPVPA
+	dim := full.PathSim.Dim()
+	for _, shards := range []int{1, 2, 4} {
+		part := cluster.PartitionByNNZ(string(path[0]), dim, shards, full.PathSim.M.RowNNZ)
+		coord, err := cluster.NewLocalCluster(shards, part, spec, &cluster.RoundRobin{}, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		epoch := coord.Epoch()
+		for _, k := range []int{10, 100} {
+			b.Run(fmt.Sprintf("shards=%d/k=%d", shards, k), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if _, err := coord.TopKAt(ctx, epoch, path.String(), i%dim, k); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
 }
 
 // --- Incremental ingestion & delta rebuild ---------------------------

@@ -55,6 +55,8 @@ type loadgenFlags struct {
 	strict          bool
 	scheduleOnly    string
 	honorRetryAfter bool
+	shards          int
+	shardPolicy     string
 }
 
 func runLoadgen(f loadgenFlags) {
@@ -134,11 +136,17 @@ func runLoadgen(f loadgenFlags) {
 			CacheCapacity: f.cacheCap,
 			BatchWindow:   f.window,
 			Workers:       f.workers,
+			Shards:        f.shards,
+			ShardPolicy:   f.shardPolicy,
 		}
 		if f.papers > 0 {
 			opts.Models.Corpus.Papers = f.papers
 		}
-		fmt.Printf("booting in-process server (seed %d)...\n", f.seed)
+		if f.shards > 1 {
+			fmt.Printf("booting in-process server (seed %d, %d shards)...\n", f.seed, f.shards)
+		} else {
+			fmt.Printf("booting in-process server (seed %d)...\n", f.seed)
+		}
 		s := serve.New(opts)
 		bound, err := s.Start()
 		if err != nil {

@@ -34,6 +34,7 @@ import (
 	"syscall"
 	"time"
 
+	"hinet/internal/cluster"
 	"hinet/internal/core"
 	"hinet/internal/dblp"
 	"hinet/internal/eval"
@@ -67,6 +68,8 @@ func main() {
 	window := fs.Duration("batch-window", 0, "serve: extra wait to widen top-k batches")
 	papers := fs.Int("papers", 0, "serve: corpus size in papers (0 = library default)")
 	pprofFlag := fs.Bool("pprof", false, "serve: expose net/http/pprof under /debug/pprof/")
+	shards := fs.Int("shards", 0, "serve/loadgen: scatter-gather serving tier over N in-process shards (0/1 = unsharded)")
+	shardPolicy := fs.String("shard-policy", "", "serve/loadgen: shard routing policy (round-robin|least-loaded|key-affinity)")
 	defaultTimeout := fs.Duration("default-timeout", 0, "serve: per-request deadline when the client sends no ?timeout_ms (0 = none)")
 	maxConcurrent := fs.Int("max-concurrent", 0, "serve: admission ceiling for heavy queries (0 = library default)")
 	admissionFloor := fs.Int("admission-floor", 0, "serve: lowest concurrency the adaptive limiter may reach (0 = default)")
@@ -122,6 +125,7 @@ func main() {
 			pprof: *pprofFlag, defaultTimeout: *defaultTimeout,
 			maxConcurrent: *maxConcurrent, admissionFloor: *admissionFloor,
 			sloTarget: *sloTarget, controlInterval: *controlInterval,
+			shards: *shards, shardPolicy: *shardPolicy,
 		})
 	case "ingest":
 		runIngest(*seed, *emit, *file, *server, *refresh, *papers)
@@ -135,6 +139,7 @@ func main() {
 			out: *out, sweep: *sweep, sweepSteps: *sweepSteps,
 			stepDuration: *stepDuration, sloP99: *sloP99, sloErrors: *sloErrors,
 			strict: *strict, scheduleOnly: *scheduleOnly, honorRetryAfter: *honorRetryAfter,
+			shards: *shards, shardPolicy: *shardPolicy,
 		})
 	default:
 		fmt.Fprintf(os.Stderr, "hinet: unknown subcommand %q\n", cmd)
@@ -159,12 +164,13 @@ subcommands:
              [-addr A] [-workers N] [-cache N] [-batch-window D] [-papers N] [-pprof]
              [-default-timeout D] [-max-concurrent N] [-admission-floor N]
              [-slo-target D] [-control-interval D]
+             [-shards N] [-shard-policy round-robin|least-loaded|key-affinity]
   ingest     stream JSONL deltas into a corpus or a running server
              [-emit N] [-file F|-] [-server URL] [-refresh-models] [-papers N]
   loadgen    deterministic load generator, trace record/replay, capacity sweep
              [-arrival poisson|closed|bursty] [-rate R] [-duration D] [-mix SPEC]
              [-record F | -replay F | -schedule-only F] [-sweep] [-out F] [-strict]
-             [-honor-retry-after]
+             [-honor-retry-after] [-shards N] [-shard-policy P]
 `)
 }
 
@@ -266,9 +272,15 @@ type serveFlags struct {
 	admissionFloor  int
 	sloTarget       time.Duration
 	controlInterval time.Duration
+	shards          int
+	shardPolicy     string
 }
 
 func runServe(f serveFlags) {
+	if _, err := cluster.NewPolicy(f.shardPolicy); err != nil {
+		fmt.Fprintf(os.Stderr, "hinet serve: %v\n", err)
+		os.Exit(2)
+	}
 	opts := serve.Options{
 		Addr:            f.addr,
 		Seed:            f.seed,
@@ -282,6 +294,8 @@ func runServe(f serveFlags) {
 		AdmissionFloor:  f.admissionFloor,
 		SLOTargetP99:    f.sloTarget,
 		ControlInterval: f.controlInterval,
+		Shards:          f.shards,
+		ShardPolicy:     f.shardPolicy,
 	}
 	if f.papers > 0 {
 		opts.Models.Corpus.Papers = f.papers
@@ -293,6 +307,10 @@ func runServe(f serveFlags) {
 	fmt.Printf("snapshot epoch %d built in %s (%d authors, pathsim nnz %d)\n",
 		snap.Epoch, snap.BuildTime.Round(time.Millisecond),
 		snap.PathSim.Dim(), snap.PathSim.NNZ())
+	if c := s.Coordinator(); c != nil {
+		fmt.Printf("sharded tier: %d shards, policy %s, partition %v (skew %.2f)\n",
+			c.Shards(), c.PolicyName(), c.Partition().Bounds, c.Skew())
+	}
 	bound, err := s.Start()
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "hinet serve: %v\n", err)

@@ -1,0 +1,113 @@
+// Package cluster is the sharded scatter-gather serving tier: it
+// splits the PathSim query plane of one logical snapshot across N
+// shards while keeping every answer bitwise-identical to a
+// single-process store.
+//
+// The design partitions the *similarity index* and replicates the
+// *models*:
+//
+//   - Each shard owns a contiguous candidate range [Lo, Hi) of the
+//     PathSim index's endpoint type, chosen by nnz-balanced row ranges
+//     of the commuting matrix (Partition), and holds only the matching
+//     column slice (pathsim.RangeIndex) — the one artifact whose memory
+//     and scan cost grow with the network. Gram-eligible paths never
+//     materialize the full commuting matrix on a shard.
+//   - The ranking and clustering models (PageRank, HITS, RankClus,
+//     NetClus) are deterministic functions of (seed, spec, delta
+//     history), so every shard holds an identical replica (Models);
+//     rank queries scatter over owned id ranges and merge, cluster
+//     reads route to any one replica via a Policy.
+//
+// TopK/BatchTopK queries scatter to all shards — every shard scans its
+// slice of the query's row and returns a local top-k — and the
+// coordinator merges the partials with the same bounded-heap order the
+// single-index scan uses (pathsim.MergeTopK), which is what makes the
+// merged answer bitwise-equal, tie order included.
+//
+// Writes (Ingest/Rebuild) fan out shard 0 first: shards are
+// deterministic replicas, so shard 0 acts as the validation gate — if
+// it rejects a batch nothing has changed anywhere, and if it accepts,
+// the remaining shards cannot fail differently. Each shard publishes
+// its new generation atomically, retaining the previous one so reads
+// at the prior epoch keep answering during the fan-out window; the
+// coordinator's epoch advances only after every shard has published.
+//
+// Shards are addressed through the transport-agnostic Shard interface;
+// LocalShard is the in-process implementation (an HTTP/gRPC transport
+// can wrap the same interface later without touching the coordinator).
+package cluster
+
+import (
+	"context"
+	"fmt"
+
+	"hinet/internal/core"
+	"hinet/internal/ingest"
+	"hinet/internal/netclus"
+	"hinet/internal/pathsim"
+)
+
+// Shard is one partition of the serving tier. Read methods take the
+// epoch the caller expects to query — a shard answers from its current
+// or immediately previous generation and fails with an EpochError
+// otherwise, so a coordinator can never silently mix generations.
+// Write methods return the shard's new epoch.
+type Shard interface {
+	// ID returns the shard's index in the partition.
+	ID() int
+	// Epoch returns the shard's current published epoch (0 before the
+	// first write).
+	Epoch() int64
+	// TopK answers a partial top-k query over the shard's candidate
+	// range of the given meta-path (empty spec = the prebuilt default).
+	TopK(ctx context.Context, epoch int64, path string, x, k int) ([]pathsim.Pair, error)
+	// BatchTopK answers one partial top-k per entry of xs.
+	BatchTopK(ctx context.Context, epoch int64, path string, xs []int, k int) ([][]pathsim.Pair, error)
+	// Rank returns the shard's partial top-k of the named ranking
+	// metric (pagerank|authority|hub) over its owned id range, plus the
+	// model's iteration/convergence metadata (identical on every
+	// replica).
+	Rank(ctx context.Context, epoch int64, metric string, k int) ([]pathsim.Pair, int, bool, error)
+	// Clusters returns the shard's replica clustering models.
+	Clusters(ctx context.Context, epoch int64) (*core.Model, *netclus.Model, error)
+	// Ingest applies a delta batch as a new generation (all-or-nothing)
+	// and returns the published epoch.
+	Ingest(deltas []ingest.Delta, refreshModels bool) (int64, ingest.Summary, error)
+	// Rebuild materializes a fresh generation from seed.
+	Rebuild(seed int64) (int64, error)
+	// Stats reports the shard's partition geometry and load counters.
+	Stats() ShardStats
+}
+
+// ShardStats is one shard's observable state: partition geometry, the
+// default-path slice size (the skew signal), and load counters.
+type ShardStats struct {
+	ID       int    `json:"id"`
+	Epoch    int64  `json:"epoch"`
+	Lo       int    `json:"lo"`
+	Hi       int    `json:"hi"`
+	Rows     int    `json:"rows"`
+	NNZ      int    `json:"nnz"`
+	Inflight int64  `json:"inflight"`
+	Queries  uint64 `json:"queries"`
+}
+
+// EpochError reports a query for a generation the shard no longer (or
+// does not yet) retain.
+type EpochError struct {
+	Shard int
+	Want  int64
+	Have  int64
+}
+
+func (e *EpochError) Error() string {
+	return fmt.Sprintf("cluster: shard %d cannot serve epoch %d (at epoch %d)", e.Shard, e.Want, e.Have)
+}
+
+// ClientError marks a query error caused by the request itself (bad
+// path, unknown metric) rather than shard state; the serving layer
+// maps it to HTTP 400.
+type ClientError struct{ Err error }
+
+func (e *ClientError) Error() string { return e.Err.Error() }
+func (e *ClientError) Unwrap() error { return e.Err }

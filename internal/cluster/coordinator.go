@@ -1,0 +1,325 @@
+// The scatter-gather coordinator: fans queries out to every shard,
+// merges partial top-k answers under the same strict total order the
+// single-index scan uses, and serializes write fan-out so the cluster
+// epoch advances only when every shard has published. The coordinator
+// holds no model state of its own — it is pure routing and merging —
+// which is what keeps it transport-agnostic.
+
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hinet/internal/core"
+	"hinet/internal/ingest"
+	"hinet/internal/netclus"
+	"hinet/internal/obs"
+	"hinet/internal/pathsim"
+)
+
+// Coordinator routes queries across one partition's shards.
+type Coordinator struct {
+	part   Partition
+	shards []Shard
+	policy Policy
+
+	mu    sync.Mutex   // serializes write fan-out
+	epoch atomic.Int64 // min over shard epochs, advanced after all publish
+
+	scatters atomic.Uint64 // scatter-gather fan-outs issued
+	routed   atomic.Uint64 // single-shard reads routed by policy
+}
+
+// NewCoordinator wires a coordinator over pre-built shards. The
+// coordinator's epoch starts at the minimum shard epoch (0 for empty
+// shards; call Rebuild to materialize the first generation).
+func NewCoordinator(shards []Shard, part Partition, policy Policy) *Coordinator {
+	if len(shards) == 0 {
+		panic("cluster: coordinator needs at least one shard")
+	}
+	if policy == nil {
+		policy = &RoundRobin{}
+	}
+	c := &Coordinator{part: part, shards: shards, policy: policy}
+	minEp := shards[0].Epoch()
+	for _, sh := range shards[1:] {
+		minEp = min(minEp, sh.Epoch())
+	}
+	c.epoch.Store(minEp)
+	return c
+}
+
+// NewLocalCluster builds n in-process shards over the partition,
+// materializes their first generation from seed, and returns the
+// coordinator — the `hinet serve -shards N` construction path.
+func NewLocalCluster(n int, part Partition, spec ModelSpec, policy Policy, seed int64) (*Coordinator, error) {
+	if part.Shards() != n {
+		return nil, fmt.Errorf("cluster: partition has %d ranges for %d shards", part.Shards(), n)
+	}
+	shards := make([]Shard, n)
+	for i := range shards {
+		shards[i] = NewLocalShard(i, part, spec)
+	}
+	c := NewCoordinator(shards, part, policy)
+	if _, err := c.Rebuild(seed); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// Shards returns the shard count.
+func (c *Coordinator) Shards() int { return len(c.shards) }
+
+// Shard returns shard i (tests and the restart harness).
+func (c *Coordinator) Shard(i int) Shard { return c.shards[i] }
+
+// Epoch returns the cluster epoch: the highest generation every shard
+// has published.
+func (c *Coordinator) Epoch() int64 { return c.epoch.Load() }
+
+// PolicyName returns the routing policy's knob name.
+func (c *Coordinator) PolicyName() string { return c.policy.Name() }
+
+// Partition returns the fixed candidate partition.
+func (c *Coordinator) Partition() Partition { return c.part }
+
+// Scatters returns the number of fan-out reads issued.
+func (c *Coordinator) Scatters() uint64 { return c.scatters.Load() }
+
+// Routed returns the number of single-shard reads routed by policy.
+func (c *Coordinator) Routed() uint64 { return c.routed.Load() }
+
+// inflightOf adapts the shard stats to the Policy load signal.
+func (c *Coordinator) inflightOf(i int) int64 { return c.shards[i].Stats().Inflight }
+
+// scatter runs fn against every shard concurrently at the given epoch
+// and reports per-shard wall times. The first error wins (client
+// errors take priority, so a bad path is always reported as such);
+// partial results are discarded on error.
+func (c *Coordinator) scatter(ctx context.Context, epoch int64, fn func(i int, sh Shard) error) ([]time.Duration, error) {
+	c.scatters.Add(1)
+	durs := make([]time.Duration, len(c.shards))
+	errs := make([]error, len(c.shards))
+	var wg sync.WaitGroup
+	for i, sh := range c.shards {
+		wg.Add(1)
+		go func(i int, sh Shard) {
+			defer wg.Done()
+			start := time.Now()
+			errs[i] = fn(i, sh)
+			durs[i] = time.Since(start)
+		}(i, sh)
+	}
+	wg.Wait()
+	var first error
+	for _, err := range errs {
+		if err == nil {
+			continue
+		}
+		var ce *ClientError
+		if errors.As(err, &ce) {
+			return durs, err
+		}
+		if first == nil {
+			first = err
+		}
+	}
+	return durs, first
+}
+
+// addShardSpans attaches per-shard timings as children of the caller's
+// scatter span when the context carries a trace (obs.Trace is not
+// concurrent-safe, so timings are recorded after the gather, not from
+// inside the fan-out goroutines).
+func addShardSpans(tr *obs.Trace, parent int, durs []time.Duration) {
+	for i, d := range durs {
+		tr.AddTimed(parent, fmt.Sprintf("shard%d", i), d)
+	}
+}
+
+// TopKAt scatter-gathers a top-k query at a fixed epoch: every shard
+// scans its candidate slice of the query's row, and the partials merge
+// under the single-index order (pathsim.MergeTopK), yielding an answer
+// bitwise-identical to a single-process index at that epoch.
+func (c *Coordinator) TopKAt(ctx context.Context, epoch int64, path string, x, k int) ([]pathsim.Pair, error) {
+	tr := obs.FromContext(ctx)
+	sp := tr.Start("scatter")
+	partials := make([][]pathsim.Pair, len(c.shards))
+	durs, err := c.scatter(ctx, epoch, func(i int, sh Shard) error {
+		var err error
+		partials[i], err = sh.TopK(ctx, epoch, path, x, k)
+		return err
+	})
+	addShardSpans(tr, sp, durs)
+	if err != nil {
+		tr.End(sp)
+		return nil, err
+	}
+	sp = tr.Next(sp, "merge")
+	merged := pathsim.MergeTopK(partials, k, nil)
+	tr.End(sp)
+	return merged, nil
+}
+
+// TopK is TopKAt at the current cluster epoch, retrying once if a
+// write advanced the cluster mid-flight.
+func (c *Coordinator) TopK(ctx context.Context, path string, x, k int) ([]pathsim.Pair, int64, error) {
+	for attempt := 0; ; attempt++ {
+		epoch := c.epoch.Load()
+		pairs, err := c.TopKAt(ctx, epoch, path, x, k)
+		if err == nil {
+			return pairs, epoch, nil
+		}
+		var ee *EpochError
+		if attempt < 2 && errors.As(err, &ee) && c.epoch.Load() != epoch {
+			continue
+		}
+		return nil, 0, err
+	}
+}
+
+// BatchTopKAt is the batched scatter-gather: the whole query batch
+// fans out to every shard (each answering all queries over its own
+// slice, in parallel internally), then each query's partials merge.
+func (c *Coordinator) BatchTopKAt(ctx context.Context, epoch int64, path string, xs []int, k int) ([][]pathsim.Pair, error) {
+	tr := obs.FromContext(ctx)
+	sp := tr.Start("scatter")
+	partials := make([][][]pathsim.Pair, len(c.shards))
+	durs, err := c.scatter(ctx, epoch, func(i int, sh Shard) error {
+		var err error
+		partials[i], err = sh.BatchTopK(ctx, epoch, path, xs, k)
+		return err
+	})
+	addShardSpans(tr, sp, durs)
+	if err != nil {
+		tr.End(sp)
+		return nil, err
+	}
+	sp = tr.Next(sp, "merge")
+	out := make([][]pathsim.Pair, len(xs))
+	parts := make([][]pathsim.Pair, len(c.shards))
+	for q := range xs {
+		for i := range c.shards {
+			parts[i] = partials[i][q]
+		}
+		out[q] = pathsim.MergeTopK(parts, k, nil)
+	}
+	tr.End(sp)
+	return out, nil
+}
+
+// RankAt scatter-gathers the ranking metric at a fixed epoch: each
+// shard contributes the top-k of its owned id range of the (replica)
+// score vector, and the merge reproduces the single-process
+// stats.TopK order exactly. Iteration metadata comes from shard 0's
+// replica (identical everywhere).
+func (c *Coordinator) RankAt(ctx context.Context, epoch int64, metric string, k int) ([]pathsim.Pair, int, bool, error) {
+	tr := obs.FromContext(ctx)
+	sp := tr.Start("scatter")
+	partials := make([][]pathsim.Pair, len(c.shards))
+	iters := make([]int, len(c.shards))
+	conv := make([]bool, len(c.shards))
+	durs, err := c.scatter(ctx, epoch, func(i int, sh Shard) error {
+		var err error
+		partials[i], iters[i], conv[i], err = sh.Rank(ctx, epoch, metric, k)
+		return err
+	})
+	addShardSpans(tr, sp, durs)
+	if err != nil {
+		tr.End(sp)
+		return nil, 0, false, err
+	}
+	sp = tr.Next(sp, "merge")
+	merged := pathsim.MergeTopK(partials, k, nil)
+	tr.End(sp)
+	return merged, iters[0], conv[0], nil
+}
+
+// ClustersAt routes a cluster-model read to one shard picked by the
+// routing policy (any replica answers identically).
+func (c *Coordinator) ClustersAt(ctx context.Context, epoch int64, algo string) (*core.Model, *netclus.Model, error) {
+	c.routed.Add(1)
+	i := c.policy.Pick("clusters|"+algo, len(c.shards), c.inflightOf)
+	tr := obs.FromContext(ctx)
+	sp := tr.Start(fmt.Sprintf("shard%d", i))
+	rc, nc, err := c.shards[i].Clusters(ctx, epoch)
+	tr.End(sp)
+	return rc, nc, err
+}
+
+// Ingest fans a delta batch out to every shard, shard 0 first: shards
+// are deterministic replicas, so shard 0 is the validation gate — a
+// rejected batch changes nothing anywhere, and once shard 0 accepts,
+// the rest cannot fail differently. The cluster epoch advances only
+// after every shard has published the new generation; reads at the
+// previous epoch keep answering from retained generations throughout
+// the fan-out window.
+func (c *Coordinator) Ingest(deltas []ingest.Delta, refreshModels bool) (int64, ingest.Summary, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	minEp, sum, err := c.shards[0].Ingest(deltas, refreshModels)
+	if err != nil {
+		return 0, sum, err
+	}
+	for _, sh := range c.shards[1:] {
+		ep, _, err := sh.Ingest(deltas, refreshModels)
+		if err != nil {
+			return 0, sum, fmt.Errorf("cluster: shard %d diverged on ingest accepted by shard 0: %w", sh.ID(), err)
+		}
+		minEp = min(minEp, ep)
+	}
+	c.epoch.Store(minEp)
+	return minEp, sum, nil
+}
+
+// Rebuild fans a fresh-generation build out to every shard (shard 0
+// first, same protocol as Ingest) and advances the cluster epoch once
+// all have published.
+func (c *Coordinator) Rebuild(seed int64) (int64, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	minEp, err := c.shards[0].Rebuild(seed)
+	if err != nil {
+		return 0, err
+	}
+	for _, sh := range c.shards[1:] {
+		ep, err := sh.Rebuild(seed)
+		if err != nil {
+			return 0, fmt.Errorf("cluster: shard %d diverged on rebuild accepted by shard 0: %w", sh.ID(), err)
+		}
+		minEp = min(minEp, ep)
+	}
+	c.epoch.Store(minEp)
+	return minEp, nil
+}
+
+// Stats returns every shard's stats, in shard order — the partition
+// skew view (/v1/cluster/shards, hinet_shard_* metrics).
+func (c *Coordinator) Stats() []ShardStats {
+	out := make([]ShardStats, len(c.shards))
+	for i, sh := range c.shards {
+		out[i] = sh.Stats()
+	}
+	return out
+}
+
+// Skew summarizes the partition imbalance across shards: the ratio of
+// the largest to the mean per-shard nnz (1.0 = perfectly balanced; 0
+// when the cluster is empty).
+func (c *Coordinator) Skew() float64 {
+	total, maxNNZ := 0, 0
+	for _, st := range c.Stats() {
+		total += st.NNZ
+		maxNNZ = max(maxNNZ, st.NNZ)
+	}
+	if total == 0 {
+		return 0
+	}
+	mean := float64(total) / float64(len(c.shards))
+	return float64(maxNNZ) / mean
+}

@@ -1,0 +1,357 @@
+// LocalShard: the in-process Shard implementation. One shard owns a
+// replica of the model set plus the column slice of the similarity
+// index for its candidate range; generations publish atomically behind
+// an atomic pointer (the PR 5 snapshot-store discipline), each
+// retaining its predecessor so reads at the previous epoch keep
+// answering through a write fan-out window. Every write is appended to
+// a replayable log, so Restart can rebuild the exact current state
+// from scratch — the recovery story a remote shard process will need,
+// exercised by the race suite.
+
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"slices"
+	"sync"
+	"sync/atomic"
+
+	"hinet/internal/core"
+	"hinet/internal/hin"
+	"hinet/internal/ingest"
+	"hinet/internal/netclus"
+	"hinet/internal/pathsim"
+	"hinet/internal/stats"
+)
+
+// maxRangeIndexes bounds a generation's memoized per-path range
+// indexes, mirroring the single-process snapshot's index memo cap: an
+// adversarial stream of distinct paths cannot grow shard memory
+// without bound (beyond the cap, indexes are rebuilt per request).
+const maxRangeIndexes = 64
+
+// generation is one published shard state. Immutable after publish
+// except the ranges memo (concurrent-safe, append-only).
+type generation struct {
+	epoch  int64
+	models *Models
+	def    *pathsim.RangeIndex // default-path slice, built eagerly at publish
+	prev   *generation         // immediately previous generation (nil beyond that)
+
+	ranges     sync.Map // path string → *pathsim.RangeIndex
+	rangeCount atomic.Int32
+}
+
+// writeOp is one replayable entry of the shard's write log.
+type writeOp struct {
+	rebuildSeed int64 // valid when rebuild is true
+	rebuild     bool
+	deltas      []ingest.Delta
+	refresh     bool
+}
+
+// LocalShard implements Shard in-process.
+type LocalShard struct {
+	id   int
+	part Partition
+	spec ModelSpec
+
+	mu      sync.Mutex // serializes writes, the log, and Restart
+	gen     atomic.Pointer[generation]
+	epoch   atomic.Int64 // last published epoch; never decreases, even mid-Restart
+	baseOps []writeOp    // write log since the last full rebuild
+	base    int64        // epoch the log replays from (epoch before baseOps[0])
+
+	inflight atomic.Int64
+	queries  atomic.Uint64
+}
+
+// NewLocalShard returns shard id of the partition, empty until the
+// first Rebuild. The spec's SkipPathSim is forced on — a shard never
+// materializes the full similarity index.
+func NewLocalShard(id int, part Partition, spec ModelSpec) *LocalShard {
+	spec.SkipPathSim = true
+	return &LocalShard{id: id, part: part, spec: spec}
+}
+
+// ID implements Shard.
+func (sh *LocalShard) ID() int { return sh.id }
+
+// Epoch implements Shard.
+func (sh *LocalShard) Epoch() int64 { return sh.epoch.Load() }
+
+// boundsFor resolves the shard's owned candidate range for a path
+// ending at the given endpoint type: the partitioned type uses the
+// partition's bounds (last shard absorbing appended ids), any other
+// type an even id split.
+func (sh *LocalShard) boundsFor(endpoint hin.Type, dim int) (lo, hi int) {
+	if string(endpoint) == sh.part.Of {
+		return sh.part.rangeOf(sh.id, dim)
+	}
+	return evenRange(sh.id, sh.part.Shards(), dim)
+}
+
+// newGeneration builds the publishable state around a model set.
+func (sh *LocalShard) newGeneration(m *Models, epoch int64, prev *generation) (*generation, error) {
+	endpoint := PathAPVPA[len(PathAPVPA)-1]
+	lo, hi := sh.boundsFor(endpoint, m.Corpus.Net.Count(endpoint))
+	def, err := pathsim.NewRangeIndexCtx(context.Background(), m.Corpus.Net, PathAPVPA, lo, hi)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: shard %d default index: %w", sh.id, err)
+	}
+	if prev != nil {
+		prev.prev = nil // retain exactly one predecessor
+	}
+	g := &generation{epoch: epoch, models: m, def: def, prev: prev}
+	g.ranges.Store(PathAPVPA.String(), def)
+	g.rangeCount.Store(1)
+	return g, nil
+}
+
+// publish swaps g in as the live generation. Callers hold mu.
+func (sh *LocalShard) publish(g *generation) {
+	sh.gen.Store(g)
+	sh.epoch.Store(g.epoch)
+}
+
+// Rebuild implements Shard: a fresh generation from seed. The write
+// log restarts here — a rebuild's state does not depend on prior
+// history.
+func (sh *LocalShard) Rebuild(seed int64) (int64, error) {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	epoch := sh.epoch.Load() + 1
+	g, err := sh.newGeneration(BuildModels(seed, sh.spec), epoch, sh.gen.Load())
+	if err != nil {
+		return 0, err
+	}
+	sh.base = epoch - 1
+	sh.baseOps = []writeOp{{rebuild: true, rebuildSeed: seed}}
+	sh.publish(g)
+	return epoch, nil
+}
+
+// Ingest implements Shard: all-or-nothing application of a delta
+// batch as a new generation. A validation error changes nothing and is
+// not logged.
+func (sh *LocalShard) Ingest(deltas []ingest.Delta, refreshModels bool) (int64, ingest.Summary, error) {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	cur := sh.gen.Load()
+	if cur == nil {
+		return 0, ingest.Summary{}, fmt.Errorf("cluster: shard %d has no generation to ingest into", sh.id)
+	}
+	m, sum, err := IngestModels(cur.models, deltas, refreshModels, sh.spec)
+	if err != nil {
+		return 0, sum, err
+	}
+	epoch := cur.epoch + 1
+	g, err := sh.newGeneration(m, epoch, cur)
+	if err != nil {
+		return 0, sum, err
+	}
+	sh.baseOps = append(sh.baseOps, writeOp{deltas: slices.Clone(deltas), refresh: refreshModels})
+	sh.publish(g)
+	return epoch, sum, nil
+}
+
+// Restart models a shard process restart: the live generation is
+// dropped (reads fail with an EpochError while the shard is down — the
+// published epoch counter never decreases), then the write log replays
+// from scratch and the rebuilt state publishes atomically. Because
+// every model build is deterministic, the recovered generation is
+// bit-identical to the one dropped, at the same epoch.
+func (sh *LocalShard) Restart() error {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if len(sh.baseOps) == 0 {
+		return nil
+	}
+	sh.gen.Store(nil)
+	epoch := sh.base
+	var g *generation
+	var m *Models
+	for _, op := range sh.baseOps {
+		if op.rebuild {
+			m = BuildModels(op.rebuildSeed, sh.spec)
+		} else {
+			next, _, err := IngestModels(m, op.deltas, op.refresh, sh.spec)
+			if err != nil {
+				return fmt.Errorf("cluster: shard %d replay diverged: %w", sh.id, err)
+			}
+			m = next
+		}
+		epoch++
+		next, err := sh.newGeneration(m, epoch, g)
+		if err != nil {
+			return err
+		}
+		g = next
+	}
+	sh.publish(g)
+	return nil
+}
+
+// genAt resolves the generation serving the requested epoch: the
+// current one or its retained predecessor.
+func (sh *LocalShard) genAt(epoch int64) (*generation, error) {
+	g := sh.gen.Load()
+	if g == nil {
+		return nil, &EpochError{Shard: sh.id, Want: epoch, Have: sh.epoch.Load()}
+	}
+	if g.epoch == epoch {
+		return g, nil
+	}
+	if g.prev != nil && g.prev.epoch == epoch {
+		return g.prev, nil
+	}
+	return nil, &EpochError{Shard: sh.id, Want: epoch, Have: g.epoch}
+}
+
+// rangeFor resolves a client path spec against a generation's memoized
+// range indexes (empty spec = the eagerly built default slice),
+// building and capping like the single-process snapshot's index memo.
+func (sh *LocalShard) rangeFor(ctx context.Context, g *generation, spec string) (*pathsim.RangeIndex, error) {
+	if spec == "" {
+		return g.def, nil
+	}
+	net := g.models.Corpus.Net
+	path, err := net.ParseMetaPath(spec)
+	if err != nil {
+		return nil, &ClientError{Err: err}
+	}
+	if err := pathsim.ValidatePath(path); err != nil {
+		return nil, &ClientError{Err: err}
+	}
+	key := path.String()
+	if v, ok := g.ranges.Load(key); ok {
+		return v.(*pathsim.RangeIndex), nil
+	}
+	endpoint := path[len(path)-1]
+	lo, hi := sh.boundsFor(endpoint, net.Count(endpoint))
+	ix, err := pathsim.NewRangeIndexCtx(ctx, net, path, lo, hi)
+	if err != nil {
+		if ctx.Err() != nil {
+			return nil, err
+		}
+		return nil, &ClientError{Err: err}
+	}
+	if g.rangeCount.Load() >= maxRangeIndexes {
+		return ix, nil
+	}
+	v, loaded := g.ranges.LoadOrStore(key, ix)
+	if !loaded {
+		g.rangeCount.Add(1)
+	}
+	return v.(*pathsim.RangeIndex), nil
+}
+
+// TopK implements Shard.
+func (sh *LocalShard) TopK(ctx context.Context, epoch int64, path string, x, k int) ([]pathsim.Pair, error) {
+	sh.inflight.Add(1)
+	defer sh.inflight.Add(-1)
+	sh.queries.Add(1)
+	g, err := sh.genAt(epoch)
+	if err != nil {
+		return nil, err
+	}
+	ix, err := sh.rangeFor(ctx, g, path)
+	if err != nil {
+		return nil, err
+	}
+	return ix.TopK(x, k), nil
+}
+
+// BatchTopK implements Shard.
+func (sh *LocalShard) BatchTopK(ctx context.Context, epoch int64, path string, xs []int, k int) ([][]pathsim.Pair, error) {
+	sh.inflight.Add(1)
+	defer sh.inflight.Add(-1)
+	sh.queries.Add(1)
+	g, err := sh.genAt(epoch)
+	if err != nil {
+		return nil, err
+	}
+	ix, err := sh.rangeFor(ctx, g, path)
+	if err != nil {
+		return nil, err
+	}
+	return ix.BatchTopKCtx(ctx, xs, k)
+}
+
+// Rank implements Shard: the partial top-k of the metric's score
+// vector over the shard's owned id range, under the exact
+// stats.TopK order (score descending, ties by lower id) so the merged
+// ranking is identical to the single-process one.
+func (sh *LocalShard) Rank(ctx context.Context, epoch int64, metric string, k int) ([]pathsim.Pair, int, bool, error) {
+	sh.inflight.Add(1)
+	defer sh.inflight.Add(-1)
+	sh.queries.Add(1)
+	g, err := sh.genAt(epoch)
+	if err != nil {
+		return nil, 0, false, err
+	}
+	m := g.models
+	var scores []float64
+	var iters int
+	var converged bool
+	switch metric {
+	case "pagerank":
+		scores, iters, converged = m.PageRank.Scores, m.PageRank.Iterations, m.PageRank.Converged
+	case "authority":
+		scores, iters, converged = m.HITS.Authority, m.HITS.Iterations, m.HITS.Converged
+	case "hub":
+		scores, iters, converged = m.HITS.Hub, m.HITS.Iterations, m.HITS.Converged
+	default:
+		return nil, 0, false, &ClientError{Err: fmt.Errorf("unknown metric %q (want pagerank|authority|hub)", metric)}
+	}
+	lo, hi := sh.boundsFor(PathAPA[0], len(scores))
+	if k < 0 {
+		k = 0
+	}
+	h := make([]pathsim.Pair, 0, min(k, hi-lo))
+	for id := lo; id < hi; id++ {
+		h = stats.BoundedOffer(h, k, pathsim.Pair{ID: id, Score: scores[id]}, pathsim.WorsePair)
+	}
+	slices.SortFunc(h, pathsim.ComparePairs)
+	return h, iters, converged, nil
+}
+
+// Clusters implements Shard: the replica clustering models at the
+// requested epoch (identical on every shard by determinism).
+func (sh *LocalShard) Clusters(ctx context.Context, epoch int64) (*core.Model, *netclus.Model, error) {
+	sh.inflight.Add(1)
+	defer sh.inflight.Add(-1)
+	sh.queries.Add(1)
+	g, err := sh.genAt(epoch)
+	if err != nil {
+		return nil, nil, err
+	}
+	return g.models.RankClus, g.models.NetClus, nil
+}
+
+// Models returns the live generation's model replica (nil before the
+// first write) — the hook the serving layer uses to render names and
+// cluster payloads without duplicating state access.
+func (sh *LocalShard) Models() *Models {
+	if g := sh.gen.Load(); g != nil {
+		return g.models
+	}
+	return nil
+}
+
+// Stats implements Shard.
+func (sh *LocalShard) Stats() ShardStats {
+	st := ShardStats{
+		ID:       sh.id,
+		Epoch:    sh.epoch.Load(),
+		Inflight: sh.inflight.Load(),
+		Queries:  sh.queries.Load(),
+	}
+	if g := sh.gen.Load(); g != nil {
+		st.Lo, st.Hi = g.def.Lo(), g.def.Hi()
+		st.Rows = g.def.Rows()
+		st.NNZ = g.def.NNZ()
+	}
+	return st
+}

@@ -1,0 +1,149 @@
+// The shared model recipe: one deterministic function from (seed,
+// spec) — and, for incremental generations, the previous models plus a
+// delta batch — to the full artifact set a serving generation needs.
+// Both the single-process snapshot store (internal/serve) and every
+// cluster shard build through these two functions, which is what makes
+// shards exact replicas of the single-process store: same seed, same
+// spec, same delta history ⇒ bitwise-identical models.
+
+package cluster
+
+import (
+	"hinet/internal/core"
+	"hinet/internal/dblp"
+	"hinet/internal/hin"
+	"hinet/internal/ingest"
+	"hinet/internal/netclus"
+	"hinet/internal/pathsim"
+	"hinet/internal/rank"
+	"hinet/internal/stats"
+)
+
+// Meta paths materialized at build time: APVPA (shared-venue peers,
+// the PathSim index) and APA (co-authorship, the square graph PageRank
+// and HITS run on).
+var (
+	// PathAPVPA is the default similarity path; its endpoint type is
+	// the type the cluster partitions.
+	PathAPVPA = hin.MetaPath{dblp.TypeAuthor, dblp.TypePaper, dblp.TypeVenue, dblp.TypePaper, dblp.TypeAuthor}
+	// PathAPA is the co-authorship projection the ranking models run on.
+	PathAPA = hin.MetaPath{dblp.TypeAuthor, dblp.TypePaper, dblp.TypeAuthor}
+)
+
+// ModelSpec controls what a generation materializes. It mirrors the
+// single-process store's model configuration; SkipPathSim is the shard
+// variant — shards never hold the full similarity index, only their
+// column slice, built separately from the same network.
+type ModelSpec struct {
+	Corpus   dblp.Config // corpus size/separability (zero value = library defaults)
+	K        int         // cluster count for RankClus/NetClus (0 = number of corpus areas)
+	Restarts int         // random restarts per clustering model (0 = 1)
+
+	// SkipPathSim leaves Models.PathSim nil. Shards set it: the full
+	// commuting matrix is exactly what sharding avoids materializing.
+	SkipPathSim bool
+}
+
+// Models is one generation's artifact set — everything a Snapshot
+// carries except the serving-layer memoization state.
+type Models struct {
+	Seed     int64
+	Corpus   *dblp.Corpus    // network + names + ground-truth areas
+	PageRank rank.Result     // PageRank over the co-author (APA) graph
+	HITS     rank.HITSResult // HITS over the same graph
+	RankClus *core.Model     // venue clusters (venue×author bipartite)
+	NetClus  *netclus.Model  // net-clusters of the paper star network
+	PathSim  *pathsim.Index  // prebuilt APVPA index (nil with SkipPathSim)
+}
+
+// clusterParams resolves the spec's clustering knobs against a corpus.
+func (spec ModelSpec) clusterParams(c *dblp.Corpus) (k, restarts int) {
+	k = spec.K
+	if k == 0 {
+		k = c.Areas()
+	}
+	restarts = spec.Restarts
+	if restarts == 0 {
+		restarts = 1
+	}
+	return k, restarts
+}
+
+// BuildModels materializes a fresh generation from seed: generate the
+// corpus, run the ranking models over the co-author graph, fit both
+// clustering models, and (unless spec skips it) build the default
+// PathSim index. Deterministic: equal (seed, spec) always produce
+// identical artifacts, bit for bit.
+func BuildModels(seed int64, spec ModelSpec) *Models {
+	c := dblp.Generate(stats.NewRNG(seed), spec.Corpus)
+	k, restarts := spec.clusterParams(c)
+	coauthor := c.Net.CommutingMatrix(PathAPA)
+	m := &Models{
+		Seed:     seed,
+		Corpus:   c,
+		PageRank: rank.PageRank(coauthor, rank.Options{}),
+		HITS:     rank.HITS(coauthor, rank.Options{}),
+		RankClus: core.Run(stats.NewRNG(seed+1), c.VenueAuthorBipartite(),
+			core.Options{K: k, Method: core.AuthorityRanking, Restarts: restarts}),
+		NetClus: netclus.Run(stats.NewRNG(seed+2), c.Star(),
+			netclus.Options{K: k, Restarts: restarts}),
+	}
+	if !spec.SkipPathSim {
+		m.PathSim = pathsim.NewIndex(c.Net, PathAPVPA)
+	}
+	return m
+}
+
+// IngestModels applies a delta batch to prev as an incremental
+// generation: the network is cloned copy-on-write (sharing link
+// storage, relation matrices and surviving meta-path materializations),
+// the deltas merge into the clone, and new models build from the
+// result — PageRank warm-started from the previous generation's
+// scores. The clustering models are carried over unless refreshModels
+// is set (they summarize the corpus and drift only slowly under small
+// deltas). On a validation error the clone is discarded and prev is
+// untouched — ingestion is all-or-nothing.
+//
+// Determinism carries through: two replicas holding identical prev
+// models that apply the same batch produce identical next models,
+// which is the invariant the cluster's fan-out write path stands on.
+func IngestModels(prev *Models, deltas []ingest.Delta, refreshModels bool, spec ModelSpec) (*Models, ingest.Summary, error) {
+	net := prev.Corpus.Net.Clone()
+	sum, err := ingest.Apply(net, deltas, ingest.Options{})
+	if err != nil {
+		return nil, sum, err
+	}
+	corpus := prev.Corpus.WithNetwork(net)
+	coauthor := net.CommutingMatrix(PathAPA)
+	m := &Models{
+		Seed:     prev.Seed,
+		Corpus:   corpus,
+		PageRank: rank.PageRank(coauthor, rank.Options{Start: PadScores(prev.PageRank.Scores, coauthor.Rows())}),
+		HITS:     rank.HITS(coauthor, rank.Options{}),
+		RankClus: prev.RankClus,
+		NetClus:  prev.NetClus,
+	}
+	if refreshModels {
+		k, restarts := spec.clusterParams(corpus)
+		m.RankClus = core.Run(stats.NewRNG(prev.Seed+1), corpus.VenueAuthorBipartite(),
+			core.Options{K: k, Method: core.AuthorityRanking, Restarts: restarts})
+		m.NetClus = netclus.Run(stats.NewRNG(prev.Seed+2), corpus.Star(),
+			netclus.Options{K: k, Restarts: restarts})
+	}
+	if prev.PathSim != nil || !spec.SkipPathSim {
+		m.PathSim = pathsim.NewIndex(net, PathAPVPA)
+	}
+	return m, sum, nil
+}
+
+// PadScores returns scores extended with zeros to length n (ids are
+// append-only, so a previous epoch's vector is a prefix of the new
+// object space). Same-length vectors pass through unchanged.
+func PadScores(scores []float64, n int) []float64 {
+	if len(scores) >= n {
+		return scores
+	}
+	out := make([]float64, n)
+	copy(out, scores)
+	return out
+}

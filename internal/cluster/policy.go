@@ -1,0 +1,81 @@
+// Routing policies for single-shard reads (replica selection). The
+// scatter-gather query plane always fans out to every shard; the
+// policies route the reads that any one replica can answer alone —
+// cluster-model reads today, warm-cache query affinity once shards
+// live behind a transport.
+
+package cluster
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sync/atomic"
+)
+
+// Policy picks one of n shards for a single-shard read. key is a
+// stable request identity (path, algo, query id) for affinity
+// policies; inflight exposes the current per-shard inflight counter
+// for load-aware ones. Implementations must be safe for concurrent
+// use.
+type Policy interface {
+	Name() string
+	Pick(key string, n int, inflight func(int) int64) int
+}
+
+// NewPolicy resolves a policy by its knob name: "round-robin" (default
+// for an empty name), "least-loaded", or "key-affinity".
+func NewPolicy(name string) (Policy, error) {
+	switch name {
+	case "", "round-robin":
+		return &RoundRobin{}, nil
+	case "least-loaded":
+		return &LeastLoaded{}, nil
+	case "key-affinity":
+		return KeyAffinity{}, nil
+	default:
+		return nil, fmt.Errorf("cluster: unknown routing policy %q (want round-robin|least-loaded|key-affinity)", name)
+	}
+}
+
+// RoundRobin cycles through the shards in order, ignoring key and
+// load — the simplest fair spread.
+type RoundRobin struct{ next atomic.Uint64 }
+
+func (p *RoundRobin) Name() string { return "round-robin" }
+
+func (p *RoundRobin) Pick(_ string, n int, _ func(int) int64) int {
+	return int((p.next.Add(1) - 1) % uint64(n))
+}
+
+// LeastLoaded picks the shard with the fewest inflight requests,
+// breaking ties from a rotating start position so equal-load shards
+// share the traffic instead of funneling it to shard 0.
+type LeastLoaded struct{ start atomic.Uint64 }
+
+func (p *LeastLoaded) Name() string { return "least-loaded" }
+
+func (p *LeastLoaded) Pick(_ string, n int, inflight func(int) int64) int {
+	first := int((p.start.Add(1) - 1) % uint64(n))
+	best := first
+	bestLoad := inflight(first)
+	for d := 1; d < n; d++ {
+		i := (first + d) % n
+		if load := inflight(i); load < bestLoad {
+			best, bestLoad = i, load
+		}
+	}
+	return best
+}
+
+// KeyAffinity hashes the request key onto a shard, so repeated reads
+// with the same identity land on the same replica (warm meta-path and
+// result caches once shards are remote).
+type KeyAffinity struct{}
+
+func (KeyAffinity) Name() string { return "key-affinity" }
+
+func (KeyAffinity) Pick(key string, n int, _ func(int) int64) int {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(key))
+	return int(h.Sum64() % uint64(n))
+}

@@ -192,6 +192,38 @@ func TestGoldenReplay(t *testing.T) {
 	}
 }
 
+// TestGoldenShardedReplay replays the same committed golden trace
+// through a 3-shard scatter-gather server: every digest recorded
+// against a single-process server must match the sharded tier's
+// responses — the serving-layer face of the bitwise-equivalence
+// guarantee (internal/cluster pins the kernel-level half).
+func TestGoldenShardedReplay(t *testing.T) {
+	if testing.Short() {
+		t.Skip("boots a server")
+	}
+	if *update {
+		t.Skip("fixture being rewritten")
+	}
+	target := startTestServer(t, serve.Options{Shards: 3, ShardPolicy: "least-loaded"})
+	f, err := os.Open(goldenPath)
+	if err != nil {
+		t.Fatalf("open golden trace (regenerate with -update): %v", err)
+	}
+	defer f.Close()
+	tr, err := ParseTrace(f)
+	if err != nil {
+		t.Fatalf("ParseTrace: %v", err)
+	}
+	res, err := Run(target, tr.Events, RunOptions{Concurrency: 1, CheckDigests: true})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.Errors > 0 || res.Mismatches > 0 {
+		t.Fatalf("sharded golden replay diverged: %d errors %d mismatches: %v",
+			res.Errors, res.Mismatches, res.MismatchDetails)
+	}
+}
+
 // TestGoldenTraceScheduleStable: regenerating the schedule half of the
 // golden trace (offsets, cohorts, paths, bodies) from goldenConfig must
 // reproduce the committed file exactly — the bit-determinism acceptance

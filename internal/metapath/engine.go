@@ -368,6 +368,47 @@ func (e *Engine) compute(ctx context.Context, path []string) (*sparse.Matrix, er
 	return m, err
 }
 
+// CommuteColsCtx materializes columns [lo, hi) of the commuting matrix
+// together with its full diagonal — the shard-local build of the
+// sharded PathSim tier (internal/cluster), where each shard owns a
+// candidate range but must score queries from the whole endpoint type.
+// For Gram-eligible paths it never materializes the full commuting
+// matrix: it multiplies the cached half-path product H against the
+// transpose of its own row slice (columns [lo, hi) of H·Hᵀ) and
+// derives the diagonal from per-row norms. Both are bitwise-identical
+// to slicing a full CommuteCtx product: every output entry accumulates
+// the same k-terms in the same ascending order in either kernel, and
+// IEEE multiplication commutes exactly (see the sparse slice tests).
+// Non-Gram paths fall back to slicing the full (cached) product.
+func (e *Engine) CommuteColsCtx(ctx context.Context, path []string, lo, hi int) (cols *sparse.Matrix, diag []float64, err error) {
+	if err := e.Validate(path); err != nil {
+		return nil, nil, err
+	}
+	if dim := e.src.Count(path[len(path)-1]); lo < 0 || hi < lo || hi > dim {
+		return nil, nil, fmt.Errorf("metapath: column range [%d,%d) out of [0,%d)", lo, hi, dim)
+	}
+	rels := len(path) - 1
+	if gramEligible(path) {
+		h, err := e.matrix(ctx, path[:rels/2+1:rels/2+1])
+		if err != nil {
+			return nil, nil, err
+		}
+		e.products.Add(1)
+		start := time.Now()
+		cols, err = h.MulCtx(ctx, h.RowSlice(lo, hi).Transpose())
+		e.productNS.Add(int64(time.Since(start)))
+		if err != nil {
+			return nil, nil, err
+		}
+		return cols, h.GramDiagonal(), nil
+	}
+	m, err := e.matrix(ctx, path)
+	if err != nil {
+		return nil, nil, err
+	}
+	return m.ColSlice(lo, hi), m.Diagonal(), nil
+}
+
 // bestSplit returns the top-level split point (relations 0..k and
 // k+1..rels-1) chosen by the chain planner.
 func (e *Engine) bestSplit(ctx context.Context, path []string) (int, error) {

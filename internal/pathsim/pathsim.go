@@ -61,13 +61,26 @@ func NewIndexE(n *hin.Network, path hin.MetaPath) (*Index, error) {
 	return NewIndexCtx(context.Background(), n, path)
 }
 
+// ValidatePath checks that a meta path can back a PathSim index:
+// symmetric (the similarity definition needs M[x][x] diagonals on one
+// object type) and at least three types long. Exported so the serving
+// tier validates client paths identically whether or not it builds an
+// index locally — the error text is part of the HTTP contract the
+// replay harness digests.
+func ValidatePath(path hin.MetaPath) error {
+	if !path.Symmetric() || len(path) < 3 {
+		return fmt.Errorf("meta path must be symmetric with length >= 3, got %q", path.String())
+	}
+	return nil
+}
+
 // NewIndexCtx is NewIndexE with cooperative cancellation threaded into
 // the commuting-matrix materialization: a dead caller (deadline hit,
 // client gone) stops the SpGEMM chain at its next row-block checkpoint
 // and gets ctx.Err() back.
 func NewIndexCtx(ctx context.Context, n *hin.Network, path hin.MetaPath) (*Index, error) {
-	if !path.Symmetric() || len(path) < 3 {
-		return nil, fmt.Errorf("meta path must be symmetric with length >= 3, got %q", path.String())
+	if err := ValidatePath(path); err != nil {
+		return nil, err
 	}
 	m, err := n.CommutingMatrixCtx(ctx, path)
 	if err != nil {
@@ -120,18 +133,23 @@ type Pair struct {
 	Score float64
 }
 
-// worse reports whether a ranks strictly below b in the top-k order
-// (score descending, ties by ascending id): a loses on a lower score,
-// or on a higher id at an equal score.
-func worse(a, b Pair) bool {
+// WorsePair reports whether a ranks strictly below b in the top-k
+// order (score descending, ties by ascending id): a loses on a lower
+// score, or on a higher id at an equal score. It is the strict total
+// order every top-k selection in this package uses with
+// stats.BoundedOffer; the cluster coordinator merges per-shard partial
+// answers under the same order, which is what makes merged results
+// bitwise-identical to single-index ones.
+func WorsePair(a, b Pair) bool {
 	if a.Score != b.Score {
 		return a.Score < b.Score
 	}
 	return a.ID > b.ID
 }
 
-// cmpPairs is the top-k output order: score descending, ties by id.
-func cmpPairs(a, b Pair) int {
+// ComparePairs is the top-k output order for slices.SortFunc: score
+// descending, ties by ascending id — the sort dual of WorsePair.
+func ComparePairs(a, b Pair) int {
 	if a.Score != b.Score {
 		return cmp.Compare(b.Score, a.Score)
 	}
@@ -158,9 +176,9 @@ func (ix *Index) topKInto(x, k int, dst []Pair) []Pair {
 		if den == 0 {
 			return
 		}
-		h = stats.BoundedOffer(h, k, Pair{ID: y, Score: 2 * v / den}, worse)
+		h = stats.BoundedOffer(h, k, Pair{ID: y, Score: 2 * v / den}, WorsePair)
 	})
-	slices.SortFunc(h, cmpPairs)
+	slices.SortFunc(h, ComparePairs)
 	return h
 }
 

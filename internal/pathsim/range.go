@@ -1,0 +1,187 @@
+// Range-restricted PathSim indexes: the shard-local building block of
+// the scatter-gather serving tier (internal/cluster). A RangeIndex
+// owns the candidate range [Lo, Hi) of one symmetric meta path — the
+// columns [Lo, Hi) of the commuting matrix plus the full diagonal — and
+// answers partial top-k queries for ANY query object x, restricted to
+// candidates it owns. Because the sliced columns carry the exact
+// float64 entries of the full matrix (sparse.Matrix.ColSlice preserves
+// values; the engine's range build reproduces them bitwise, see
+// metapath.Engine.CommuteColsCtx), a partial answer's scores are
+// bitwise-identical to the matching slice of a full-index scan, and
+// MergeTopK reassembles the global answer exactly.
+
+package pathsim
+
+import (
+	"context"
+	"fmt"
+	"math/bits"
+	"slices"
+
+	"hinet/internal/hin"
+	"hinet/internal/sparse"
+	"hinet/internal/stats"
+)
+
+// RangeIndex is one shard's slice of a PathSim index: candidates
+// [Lo, Hi) of the path's endpoint type, scored against any query
+// object. All query methods are read-only and safe for unsynchronized
+// concurrent use, like Index.
+type RangeIndex struct {
+	Path hin.MetaPath
+	lo   int
+	hi   int
+	cols *sparse.Matrix // dim × (hi-lo): columns [lo, hi) of the commuting matrix
+	diag []float64      // full diagonal (PathSim denominators for every object)
+}
+
+// NewRangeIndexCtx builds the [lo, hi) slice of a PathSim index over a
+// symmetric meta path without materializing the full commuting matrix
+// for Gram-factorable paths (the common case): the engine multiplies
+// the cached half-path product against its own row slice and derives
+// the full diagonal from per-row norms. Entries are bitwise-identical
+// to slicing a full NewIndexCtx build.
+func NewRangeIndexCtx(ctx context.Context, n *hin.Network, path hin.MetaPath, lo, hi int) (*RangeIndex, error) {
+	if err := ValidatePath(path); err != nil {
+		return nil, err
+	}
+	cols, diag, err := n.CommutingColsCtx(ctx, path, lo, hi)
+	if err != nil {
+		return nil, err
+	}
+	return &RangeIndex{Path: path, lo: lo, hi: hi, cols: cols, diag: diag}, nil
+}
+
+// Range slices a full index into the candidate range [lo, hi) — the
+// reference constructor the equivalence tests compare the engine-built
+// ranges against, and the cheap path when a full index already exists.
+// The diagonal is shared (it is immutable).
+func (ix *Index) Range(lo, hi int) (*RangeIndex, error) {
+	if lo < 0 || hi < lo || hi > ix.Dim() {
+		return nil, fmt.Errorf("range [%d,%d) out of [0,%d)", lo, hi, ix.Dim())
+	}
+	return &RangeIndex{Path: ix.Path, lo: lo, hi: hi, cols: ix.M.ColSlice(lo, hi), diag: ix.diag}, nil
+}
+
+// Lo returns the first candidate id this slice owns.
+func (ix *RangeIndex) Lo() int { return ix.lo }
+
+// Hi returns one past the last candidate id this slice owns.
+func (ix *RangeIndex) Hi() int { return ix.hi }
+
+// Rows returns the number of candidate objects this slice owns.
+func (ix *RangeIndex) Rows() int { return ix.hi - ix.lo }
+
+// Dim returns the number of objects the underlying index covers — the
+// valid query-id range, which is NOT restricted to [Lo, Hi).
+func (ix *RangeIndex) Dim() int { return ix.cols.Rows() }
+
+// NNZ returns the stored nonzeros of the slice — the shard's share of
+// the full index's memory and scan cost (partition-skew signal).
+func (ix *RangeIndex) NNZ() int { return ix.cols.NNZ() }
+
+// Sim returns s(x, y) for a candidate y in [Lo, Hi); out-of-range ids
+// (either side) score 0, like Index.Sim.
+func (ix *RangeIndex) Sim(x, y int) float64 {
+	if x < 0 || x >= ix.Dim() || y < ix.lo || y >= ix.hi {
+		return 0
+	}
+	den := ix.diag[x] + ix.diag[y]
+	if den == 0 {
+		return 0
+	}
+	return 2 * ix.cols.At(x, y-ix.lo) / den
+}
+
+// topKInto is the partial-selection core: scan the query's sliced row
+// (candidates ascending), bounded-heap the k best, sort. The visited
+// entries are exactly the full row-scan's entries with Lo ≤ y < Hi, in
+// the same relative order and with the same float64 scores, so the
+// result is the full TopK answer filtered to this range.
+func (ix *RangeIndex) topKInto(x, k int, dst []Pair) []Pair {
+	if x < 0 || x >= ix.Dim() || k <= 0 {
+		return nil
+	}
+	h := dst[:0]
+	dx := ix.diag[x]
+	ix.cols.Row(x, func(yl int, v float64) {
+		y := ix.lo + yl
+		if y == x || v == 0 {
+			return
+		}
+		den := dx + ix.diag[y]
+		if den == 0 {
+			return
+		}
+		h = stats.BoundedOffer(h, k, Pair{ID: y, Score: 2 * v / den}, WorsePair)
+	})
+	slices.SortFunc(h, ComparePairs)
+	return h
+}
+
+// TopK returns the k most similar candidates to x among [Lo, Hi)
+// (excluding x itself), global ids, score descending, ties by id. An
+// out-of-range x returns no results.
+func (ix *RangeIndex) TopK(x, k int) []Pair {
+	return ix.topKInto(x, k, nil)
+}
+
+// BatchTopK answers one partial TopK per entry of xs over the shared
+// worker pool, mirroring Index.BatchTopK: one arena sized by each
+// query's true result bound, O(1) allocations per batch, result slices
+// aliasing the arena.
+func (ix *RangeIndex) BatchTopK(xs []int, k int) [][]Pair {
+	out, _ := ix.BatchTopKCtx(context.Background(), xs, k)
+	return out
+}
+
+// BatchTopKCtx is BatchTopK with cooperative cancellation between
+// row blocks; on cancellation the partial results must be discarded.
+func (ix *RangeIndex) BatchTopKCtx(ctx context.Context, xs []int, k int) ([][]Pair, error) {
+	out := make([][]Pair, len(xs))
+	rows := ix.Dim()
+	if k <= 0 || rows == 0 || ix.Rows() == 0 {
+		return out, nil
+	}
+	offsets := make([]int, len(xs)+1)
+	for i, x := range xs {
+		need := 0
+		if x >= 0 && x < rows {
+			if need = ix.cols.RowNNZ(x); need > k {
+				need = k
+			}
+		}
+		offsets[i+1] = offsets[i] + need
+	}
+	arena := make([]Pair, offsets[len(xs)])
+	avg := ix.cols.NNZ() / rows
+	perQuery := (1 + avg) * (1 + bits.Len(uint(min(k, rows))))
+	err := sparse.ParRangeCtx(ctx, len(xs), len(xs)*perQuery, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out[i] = ix.topKInto(xs[i], k, arena[offsets[i]:offsets[i]:offsets[i+1]])
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// MergeTopK merges per-range partial top-k lists into the global
+// top-k, writing into dst's backing array: bounded-heap selection over
+// the concatenation under WorsePair, sorted with ComparePairs. Any
+// global top-k member ranks within the top k of its own range, so as
+// long as every partial was selected with the same k over disjoint
+// covering ranges, the merge reproduces a single-index TopK exactly —
+// scores bitwise, tie order included (the order is strict and total,
+// and partial scores are float64-identical to full-scan scores).
+func MergeTopK(parts [][]Pair, k int, dst []Pair) []Pair {
+	h := dst[:0]
+	for _, part := range parts {
+		for _, p := range part {
+			h = stats.BoundedOffer(h, k, p, WorsePair)
+		}
+	}
+	slices.SortFunc(h, ComparePairs)
+	return h
+}

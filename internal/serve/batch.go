@@ -30,12 +30,21 @@ import (
 
 var errShutdown = errors.New("serve: server is shutting down")
 
+// topKKernel is what the batcher dispatches a coalesced batch against:
+// a single-process *pathsim.Index, or the sharded tier's scatter-gather
+// coordinator (clusterKernel). Either way one call answers the whole
+// deduplicated batch.
+type topKKernel interface {
+	Dim() int
+	BatchTopKCtx(ctx context.Context, xs []int, k int) ([][]pathsim.Pair, error)
+}
+
 type topKReq struct {
 	ctx     context.Context // caller's context: deadline + disconnect signal
 	x, k    int
-	ix      *pathsim.Index // index the query runs against
-	pathKey string         // resolved path string (group + cache key component)
-	epoch   int64          // epoch of the snapshot the index belongs to
+	kern    topKKernel // kernel the query runs against
+	pathKey string     // resolved path string (group + cache key component)
+	epoch   int64      // epoch of the snapshot the kernel belongs to
 	out     chan topKResp
 }
 
@@ -229,8 +238,8 @@ func (b *batcher) flush(batch []topKReq) {
 // disconnects while it computes — a batch never outlives all of its
 // askers.
 func (b *batcher) flushGroup(group []topKReq) {
-	ix := group[0].ix
-	n := ix.Dim()
+	kern := group[0].kern
+	n := kern.Dim()
 	xs := make([]int, 0, len(group))
 	slot := make(map[int]int, len(group)) // id → index in xs
 	live := make([]topKReq, 0, len(group))
@@ -284,7 +293,7 @@ func (b *batcher) flushGroup(group []topKReq) {
 		time.Sleep(d)
 	}
 	kstart := time.Now()
-	res, err := ix.BatchTopKCtx(kctx, xs, kmax)
+	res, err := kern.BatchTopKCtx(kctx, xs, kmax)
 	kernel := time.Since(kstart)
 	close(stop)
 	cancel()

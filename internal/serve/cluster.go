@@ -1,0 +1,148 @@
+// Sharded serving glue: when Options.Shards > 1 the server fronts an
+// in-process scatter-gather cluster (internal/cluster) instead of the
+// snapshot's own index. The store keeps materializing snapshots — every
+// shard is a deterministic replica of the same recipe, so the store's
+// artifacts double as the reference the sharded answers must be
+// bitwise-equal to — and the coordinator answers the kernel-shaped
+// surfaces (top-k, rank, clusters) from partitioned candidate ranges.
+
+package serve
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+
+	"hinet/internal/cluster"
+	"hinet/internal/pathsim"
+)
+
+// clusterKernel adapts the scatter-gather coordinator to the batcher's
+// topKKernel: one coalesced batch becomes one BatchTopK fan-out at the
+// pinned epoch. Dim is the endpoint-type cardinality captured at
+// resolve time (the replica networks agree with the store's snapshot).
+type clusterKernel struct {
+	coord *cluster.Coordinator
+	path  string // resolved path spec ("" = prebuilt APVPA)
+	dim   int
+	epoch int64
+}
+
+func (ck clusterKernel) Dim() int { return ck.dim }
+
+func (ck clusterKernel) BatchTopKCtx(ctx context.Context, xs []int, k int) ([][]pathsim.Pair, error) {
+	return ck.coord.BatchTopKAt(ctx, ck.epoch, ck.path, xs, k)
+}
+
+// defaultKernel is the kernel for the default (empty path=) query
+// surface: the coordinator when sharded, the snapshot's prebuilt index
+// otherwise.
+func (s *Server) defaultKernel(snap *Snapshot) (topKKernel, string) {
+	if s.coord != nil {
+		return clusterKernel{coord: s.coord, path: "", dim: snap.PathSim.Dim(), epoch: snap.Epoch}, pathAPVPA.String()
+	}
+	return snap.PathSim, pathAPVPA.String()
+}
+
+// Coordinator exposes the scatter-gather tier (nil when unsharded);
+// tests and the bench harness reach shards through it.
+func (s *Server) Coordinator() *cluster.Coordinator { return s.coord }
+
+// clusterStats is the /v1/stats "cluster" entry. Its key set and value
+// types are identical in both modes — the replay harness digests
+// response shapes, and a trace recorded single-process must replay
+// cleanly against a sharded server (and vice versa).
+func (s *Server) clusterStats(snap *Snapshot) map[string]any {
+	if s.coord == nil {
+		return map[string]any{
+			"shards":   1,
+			"epoch":    snap.Epoch,
+			"policy":   "none",
+			"skew":     1.0,
+			"scatters": uint64(0),
+			"routed":   uint64(0),
+		}
+	}
+	return map[string]any{
+		"shards":   s.coord.Shards(),
+		"epoch":    s.coord.Epoch(),
+		"policy":   s.coord.PolicyName(),
+		"skew":     s.coord.Skew(),
+		"scatters": s.coord.Scatters(),
+		"routed":   s.coord.Routed(),
+	}
+}
+
+// handleClusterShards serves the partition-skew view: per-shard epoch,
+// candidate range, nnz, and load counters. Registered in both modes
+// (the endpoint set is fixed at boot); an unsharded server answers 404.
+func (s *Server) handleClusterShards(w http.ResponseWriter, r *http.Request) {
+	if s.coord == nil {
+		httpError(w, http.StatusNotFound, "server is not sharded (start with -shards N)")
+		return
+	}
+	tr := traceOf(w)
+	sp := tr.Start("collect")
+	q := r.URL.Query()
+	stats := s.coord.Stats()
+	shards := make([]map[string]any, len(stats))
+	for i, st := range stats {
+		shards[i] = map[string]any{
+			"id":       st.ID,
+			"epoch":    st.Epoch,
+			"lo":       st.Lo,
+			"hi":       st.Hi,
+			"rows":     st.Rows,
+			"nnz":      st.NNZ,
+			"inflight": st.Inflight,
+			"queries":  st.Queries,
+		}
+	}
+	payload := map[string]any{
+		"shards":    shards,
+		"epoch":     s.coord.Epoch(),
+		"policy":    s.coord.PolicyName(),
+		"partition": s.coord.Partition().Bounds,
+		"skew":      s.coord.Skew(),
+	}
+	tr.Next(sp, "serialize")
+	writeJSON(w, http.StatusOK, debugTrace(q, tr, payload))
+}
+
+// writeClusterMetrics appends the hinet_cluster_* / hinet_shard_*
+// series to /metrics. Nothing is emitted unsharded — a scrape config
+// keyed on these series only ever sees them on a sharded process.
+func (s *Server) writeClusterMetrics(w io.Writer) {
+	if s.coord == nil {
+		return
+	}
+	fmt.Fprintf(w, "hinet_cluster_shards %d\n", s.coord.Shards())
+	fmt.Fprintf(w, "hinet_cluster_epoch %d\n", s.coord.Epoch())
+	fmt.Fprintf(w, "hinet_cluster_skew %g\n", s.coord.Skew())
+	fmt.Fprintf(w, "hinet_cluster_scatters_total %d\n", s.coord.Scatters())
+	fmt.Fprintf(w, "hinet_cluster_routed_total %d\n", s.coord.Routed())
+	for _, st := range s.coord.Stats() {
+		fmt.Fprintf(w, "hinet_shard_epoch{shard=\"%d\"} %d\n", st.ID, st.Epoch)
+		fmt.Fprintf(w, "hinet_shard_nnz{shard=\"%d\"} %d\n", st.ID, st.NNZ)
+		fmt.Fprintf(w, "hinet_shard_rows{shard=\"%d\"} %d\n", st.ID, st.Rows)
+		fmt.Fprintf(w, "hinet_shard_inflight{shard=\"%d\"} %d\n", st.ID, st.Inflight)
+		fmt.Fprintf(w, "hinet_shard_queries_total{shard=\"%d\"} %d\n", st.ID, st.Queries)
+	}
+}
+
+// clusterWrite runs the coordinator half of a write before the store
+// half, both under writeMu: the coordinator epoch therefore always
+// leads (or equals) the store epoch, so a snapshot's epoch is always
+// servable by the shards — current, or the retained previous
+// generation. Unsharded, it reduces to just the store call.
+func (s *Server) clusterWrite(coordFn func() error, storeFn func() error) error {
+	s.writeMu.Lock()
+	defer s.writeMu.Unlock()
+	if s.coord != nil {
+		if err := coordFn(); err != nil {
+			return err
+		}
+	}
+	return storeFn()
+}

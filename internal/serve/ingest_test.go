@@ -259,7 +259,7 @@ func TestConcurrentIngestRebuildReads(t *testing.T) {
 				snap := srv.store.Current()
 				observe(snap.Epoch)
 				x := (g*13 + i) % authors
-				pairs, epoch, _, err := srv.topK(context.Background(), snap, snap.PathSim, x, 5)
+				pairs, epoch, _, err := srv.topK(context.Background(), snap, snap.PathSim, snap.PathSim.Path.String(), x, 5)
 				if err != nil {
 					errs <- err
 					return
@@ -286,7 +286,7 @@ func TestConcurrentIngestRebuildReads(t *testing.T) {
 
 	// Quiesced: the live snapshot answers for itself.
 	snap := srv.Snapshot()
-	pairs, _, _, err := srv.topK(context.Background(), snap, snap.PathSim, 0, 5)
+	pairs, _, _, err := srv.topK(context.Background(), snap, snap.PathSim, snap.PathSim.Path.String(), 0, 5)
 	if err != nil {
 		t.Fatal(err)
 	}

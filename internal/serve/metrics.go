@@ -157,6 +157,9 @@ func (s *Server) writeMetrics(w io.Writer) {
 	hits, misses := sparse.SpgemmPoolStats()
 	fmt.Fprintf(w, "hinet_spgemm_scratch_hits_total %d\n", hits)
 	fmt.Fprintf(w, "hinet_spgemm_scratch_misses_total %d\n", misses)
+
+	// Sharded tier series (emitted only when the server is sharded).
+	s.writeClusterMetrics(w)
 }
 
 // EndpointMetrics is a point-in-time copy of one endpoint's counters,

@@ -1,0 +1,205 @@
+// HTTP-layer parity for the sharded serving tier: a sharded server and
+// a single-process server booted from the same seed must answer every
+// query surface with byte-identical JSON — same ids, same tie order,
+// same float bits, same error strings — before and after an identical
+// ingest. (The coordinator-level bitwise suite lives in
+// internal/cluster; this pins the handler plumbing on top of it.)
+
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http/httptest"
+	"net/url"
+	"strings"
+	"testing"
+
+	"hinet/internal/dblp"
+	"hinet/internal/ingest"
+)
+
+// do runs one request (with optional body) and returns status + body.
+func do(t *testing.T, s *Server, method, path, body string) (int, string) {
+	t.Helper()
+	req := httptest.NewRequest(method, path, strings.NewReader(body))
+	rec := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, req)
+	return rec.Code, rec.Body.String()
+}
+
+func TestShardedServeParity(t *testing.T) {
+	single := newTestServer(t, Options{Seed: 4})
+	sharded := newTestServer(t, Options{Seed: 4, Shards: 3, ShardPolicy: "least-loaded"})
+	if sharded.Coordinator() == nil || sharded.Coordinator().Shards() != 3 {
+		t.Fatal("sharded server did not boot a 3-shard coordinator")
+	}
+
+	name := url.QueryEscape(single.Snapshot().Corpus.Net.Name(dblp.TypeAuthor, 5))
+	surfaces := []string{
+		"/v1/pathsim/topk?id=0&k=5",
+		"/v1/pathsim/topk?id=7&k=25",
+		"/v1/pathsim/topk?id=7&k=25", // repeat: cache hit on both sides
+		"/v1/pathsim/topk?path=A-P-A&id=3&k=10",
+		"/v1/pathsim/topk?path=A-P-V-P-A&id=3&k=10", // spelled-out default path
+		"/v1/pathsim/topk?name=" + name + "&k=5",
+		"/v1/pathsim/topk?id=99999&k=5",        // 400: id out of range
+		"/v1/pathsim/topk?id=0&k=5&path=A-P",   // 400: asymmetric path
+		"/v1/pathsim/topk?id=0&k=5&path=A-X-A", // 400: unknown type
+		"/v1/rank?metric=pagerank&top=12",
+		"/v1/rank?metric=authority&top=12",
+		"/v1/rank?metric=hub&top=12",
+		"/v1/rank?metric=hub&top=99999", // k past the vector length
+		"/v1/rank?metric=bogus",         // 400: unknown metric
+		"/v1/clusters?algo=rankclus&top=4",
+		"/v1/clusters?algo=netclus&top=4",
+		"/v1/clusters?algo=bogus", // 400: unknown algo
+	}
+	compare := func(stage string) {
+		t.Helper()
+		for _, p := range surfaces {
+			c1, b1 := do(t, single, "GET", p, "")
+			c2, b2 := do(t, sharded, "GET", p, "")
+			if c1 != c2 || b1 != b2 {
+				t.Fatalf("%s: %s diverged\nsingle  (%d): %s\nsharded (%d): %s", stage, p, c1, b1, c2, b2)
+			}
+		}
+	}
+	compare("epoch1")
+
+	// Identical ingest into both; the new generation must stay in
+	// lockstep (the coordinator fans out before the store publishes).
+	net := single.Snapshot().Corpus.Net
+	deltas := []ingest.Delta{
+		{Op: ingest.OpAddNode, Type: string(dblp.TypeAuthor), Name: "parity-author"},
+		{Op: ingest.OpAddNode, Type: string(dblp.TypePaper), Name: "parity-paper"},
+		{Op: ingest.OpAddEdge, SrcType: string(dblp.TypePaper), Src: "parity-paper",
+			DstType: string(dblp.TypeAuthor), Dst: "parity-author"},
+		{Op: ingest.OpAddEdge, SrcType: string(dblp.TypePaper), Src: "parity-paper",
+			DstType: string(dblp.TypeAuthor), Dst: net.Name(dblp.TypeAuthor, 2)},
+		{Op: ingest.OpAddEdge, SrcType: string(dblp.TypePaper), Src: "parity-paper",
+			DstType: string(dblp.TypeVenue), Dst: net.Name(dblp.TypeVenue, 1)},
+	}
+	body, err := json.Marshal(map[string]any{"deltas": deltas})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c1, b1 := do(t, single, "POST", "/v1/ingest", string(body))
+	c2, b2 := do(t, sharded, "POST", "/v1/ingest", string(body))
+	if c1 != 200 || c2 != 200 {
+		t.Fatalf("ingest: single %d %s / sharded %d %s", c1, b1, c2, b2)
+	}
+	// The write responses carry wall-clock build_seconds, so they are
+	// compared structurally (epoch + applied summary), not byte-wise.
+	var ir1, ir2 struct {
+		Epoch   int64          `json:"epoch"`
+		Applied ingest.Summary `json:"applied"`
+	}
+	if err := json.Unmarshal([]byte(b1), &ir1); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal([]byte(b2), &ir2); err != nil {
+		t.Fatal(err)
+	}
+	if ir1.Epoch != 2 || ir1.Epoch != ir2.Epoch || ir1.Applied != ir2.Applied {
+		t.Fatalf("ingest responses diverged:\n%s\n%s", b1, b2)
+	}
+	if ep := sharded.Coordinator().Epoch(); ep != 2 {
+		t.Fatalf("coordinator epoch %d after ingest, want 2", ep)
+	}
+	// A rejected batch is rejected identically and moves no epoch.
+	bad := `{"deltas":[{"op":"add_edge","src_type":"paper","src":"no-such-paper","dst_type":"author","dst":"nobody"}]}`
+	c1, b1 = do(t, single, "POST", "/v1/ingest", bad)
+	c2, b2 = do(t, sharded, "POST", "/v1/ingest", bad)
+	if c1 != 400 || c1 != c2 || b1 != b2 {
+		t.Fatalf("bad ingest: single %d %s / sharded %d %s", c1, b1, c2, b2)
+	}
+	if ep := sharded.Coordinator().Epoch(); ep != 2 {
+		t.Fatalf("rejected batch moved coordinator epoch to %d", ep)
+	}
+	compare("epoch2")
+
+	// The skew surface: present and populated sharded, 404 single, and
+	// the /v1/stats cluster entry keeps the same shape in both modes.
+	code, shardsBody := do(t, sharded, "GET", "/v1/cluster/shards", "")
+	if code != 200 {
+		t.Fatalf("/v1/cluster/shards = %d", code)
+	}
+	var sb struct {
+		Shards []struct {
+			ID    int   `json:"id"`
+			Epoch int64 `json:"epoch"`
+			NNZ   int   `json:"nnz"`
+			Rows  int   `json:"rows"`
+		} `json:"shards"`
+		Epoch     int64   `json:"epoch"`
+		Partition []int   `json:"partition"`
+		Skew      float64 `json:"skew"`
+		Policy    string  `json:"policy"`
+	}
+	if err := json.Unmarshal([]byte(shardsBody), &sb); err != nil {
+		t.Fatal(err)
+	}
+	if len(sb.Shards) != 3 || sb.Epoch != 2 || sb.Policy != "least-loaded" || sb.Skew <= 0 {
+		t.Fatalf("shard stats payload: %s", shardsBody)
+	}
+	totalNNZ := 0
+	for _, sh := range sb.Shards {
+		if sh.Epoch != 2 {
+			t.Fatalf("shard %d at epoch %d, want 2", sh.ID, sh.Epoch)
+		}
+		totalNNZ += sh.NNZ
+	}
+	if want := sharded.Snapshot().PathSim.NNZ(); totalNNZ != want {
+		t.Fatalf("per-shard nnz sums to %d, index has %d", totalNNZ, want)
+	}
+	if code, _ := do(t, single, "GET", "/v1/cluster/shards", ""); code != 404 {
+		t.Fatalf("unsharded /v1/cluster/shards = %d, want 404", code)
+	}
+	for _, s := range []*Server{single, sharded} {
+		var st struct {
+			Cluster map[string]any `json:"cluster"`
+		}
+		_, body := do(t, s, "GET", "/v1/stats", "")
+		if err := json.Unmarshal([]byte(body), &st); err != nil {
+			t.Fatal(err)
+		}
+		for _, key := range []string{"shards", "epoch", "policy", "skew", "scatters", "routed"} {
+			if _, ok := st.Cluster[key]; !ok {
+				t.Fatalf("stats cluster entry missing %q: %v", key, st.Cluster)
+			}
+		}
+	}
+
+	// Metrics: the sharded process exposes the hinet_shard_* series.
+	req := httptest.NewRequest("GET", "/metrics", nil)
+	rec := httptest.NewRecorder()
+	sharded.Handler().ServeHTTP(rec, req)
+	for _, series := range []string{"hinet_cluster_shards 3", "hinet_shard_nnz{shard=\"0\"}", "hinet_shard_nnz{shard=\"2\"}", "hinet_cluster_epoch 2"} {
+		if !bytes.Contains(rec.Body.Bytes(), []byte(series)) {
+			t.Fatalf("/metrics missing %q", series)
+		}
+	}
+	rec = httptest.NewRecorder()
+	single.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if bytes.Contains(rec.Body.Bytes(), []byte("hinet_shard_")) {
+		t.Fatal("unsharded /metrics exposes shard series")
+	}
+
+	// Rebuild through the sharded write path: both sides reseed and the
+	// parity surfaces stay in lockstep at epoch 3.
+	c1, b1 = do(t, single, "POST", "/v1/rebuild?seed=11", "")
+	c2, b2 = do(t, sharded, "POST", "/v1/rebuild?seed=11", "")
+	var rr1, rr2 struct {
+		Epoch int64 `json:"epoch"`
+		Seed  int64 `json:"seed"`
+	}
+	if json.Unmarshal([]byte(b1), &rr1) != nil || json.Unmarshal([]byte(b2), &rr2) != nil ||
+		c1 != 200 || c1 != c2 || rr1 != rr2 || rr1.Epoch != 3 || rr1.Seed != 11 {
+		t.Fatalf("rebuild: single %d %s / sharded %d %s", c1, b1, c2, b2)
+	}
+	if ep := sharded.Coordinator().Epoch(); ep != 3 {
+		t.Fatalf("coordinator epoch %d after rebuild, want 3", ep)
+	}
+	compare("epoch3")
+}

@@ -27,8 +27,9 @@
 // response.
 //
 // Endpoints: /healthz, /metrics, /v1/stats, /v1/rank, /v1/clusters,
-// /v1/pathsim/topk, POST /v1/rebuild, POST /v1/ingest, and
-// /v1/debug/slowlog (plus /debug/pprof/* when Options.Pprof is set).
+// /v1/pathsim/topk, /v1/cluster/shards, POST /v1/rebuild, POST
+// /v1/ingest, and /v1/debug/slowlog (plus /debug/pprof/* when
+// Options.Pprof is set).
 // See docs/ARCHITECTURE.md ("Serving layer") and the README quickstart.
 package serve
 
@@ -49,6 +50,7 @@ import (
 	"time"
 
 	"hinet/internal/chaos"
+	"hinet/internal/cluster"
 	"hinet/internal/dblp"
 	"hinet/internal/eval"
 	"hinet/internal/hin"
@@ -63,6 +65,14 @@ type Options struct {
 	Addr   string      // listen address (default ":8080")
 	Seed   int64       // seed of the startup snapshot (default 1)
 	Models ModelConfig // snapshot contents (corpus size, cluster count)
+
+	// Sharded serving tier (internal/cluster): Shards > 1 partitions the
+	// PathSim candidate space over that many in-process shards behind a
+	// scatter-gather coordinator; answers are bitwise-identical to the
+	// single-process path. ShardPolicy picks the single-shard routing
+	// policy ("", "round-robin", "least-loaded", "key-affinity").
+	Shards      int
+	ShardPolicy string
 
 	CacheCapacity int           // result cache entries; 0 = 4096, < 0 disables
 	CacheShards   int           // cache shards (default 16)
@@ -151,6 +161,9 @@ type Server struct {
 	hs    *http.Server
 	ln    net.Listener
 
+	coord   *cluster.Coordinator // scatter-gather tier (nil when Shards <= 1)
+	writeMu sync.Mutex           // orders coordinator-first write fan-out against the store
+
 	shutOnce sync.Once
 	shutErr  error
 }
@@ -188,6 +201,26 @@ func New(opts Options) *Server {
 	s.adm = newAdmission(opts.AdmissionFloor, opts.MaxConcurrent,
 		opts.SLOTargetP99, opts.ControlInterval, opts.BrownoutEnter, opts.BrownoutExit)
 	s.store.Rebuild(opts.Seed)
+	if opts.Shards > 1 {
+		// The sharded tier boots from the same seed and spec, so every
+		// shard is a replica of the store's generation; the partition
+		// balances per-shard candidate work by row nnz of the prebuilt
+		// index.
+		policy, err := cluster.NewPolicy(opts.ShardPolicy)
+		if err != nil {
+			panic("serve: " + err.Error())
+		}
+		snap := s.store.Current()
+		part := cluster.PartitionByNNZ(string(pathAPVPA[0]), snap.PathSim.Dim(),
+			opts.Shards, snap.PathSim.M.RowNNZ)
+		coord, err := cluster.NewLocalCluster(opts.Shards, part,
+			cluster.ModelSpec{Corpus: opts.Models.Corpus, K: opts.Models.K, Restarts: opts.Models.Restarts},
+			policy, opts.Seed)
+		if err != nil {
+			panic("serve: sharded boot: " + err.Error())
+		}
+		s.coord = coord
+	}
 	s.batch = newBatcher(opts.MaxBatch, opts.BatchWindow, opts.Chaos)
 	if opts.ControlInterval > 0 {
 		go s.controlLoop()
@@ -197,6 +230,7 @@ func New(opts Options) *Server {
 	s.met = newMetrics(
 		"/healthz", "/metrics", "/v1/stats", "/v1/rank", "/v1/clusters",
 		"/v1/pathsim/topk", "/v1/rebuild", "/v1/ingest", "/v1/debug/slowlog",
+		"/v1/cluster/shards",
 	)
 	// Every endpoint's trace family and stage plan is declared here, at
 	// boot, so the /metrics and /v1/stats series sets are fixed for the
@@ -205,6 +239,7 @@ func New(opts Options) *Server {
 		s.obs.Family(e)
 	}
 	s.obs.Family("/v1/stats").Declare("collect", "serialize")
+	s.obs.Family("/v1/cluster/shards").Declare("collect", "serialize")
 	s.obs.Family("/v1/rank").Declare("params", "rank", "render", "serialize")
 	s.obs.Family("/v1/clusters").Declare("params", "cluster", "score", "serialize")
 	s.obs.Family("/v1/pathsim/topk").Declare(
@@ -221,6 +256,7 @@ func New(opts Options) *Server {
 	s.route("/v1/rebuild", classWrite, s.handleRebuild)
 	s.route("/v1/ingest", classWrite, s.handleIngest)
 	s.route("/v1/debug/slowlog", classCheap, s.handleSlowlog)
+	s.route("/v1/cluster/shards", classCheap, s.handleClusterShards)
 	if opts.Pprof {
 		s.mux.HandleFunc("/debug/pprof/", pprof.Index)
 		s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -540,19 +576,19 @@ type scoredObject struct {
 }
 
 // topK is the shared cache→batcher query path, also driven directly by
-// the serving benchmarks. The query runs against ix (an index resolved
-// from snap, possibly for a client-supplied meta-path); the cache key
-// carries the snapshot epoch and the path, so neither a rebuild nor a
-// different path can ever serve a stale or foreign answer. It returns
-// the answer, the epoch it came from, and whether it was a cache hit.
+// the serving benchmarks. The query runs against kern (a single-process
+// index resolved from snap, or the scatter-gather coordinator pinned to
+// snap's epoch); the cache key carries the snapshot epoch and the path,
+// so neither a rebuild nor a different path can ever serve a stale or
+// foreign answer. It returns the answer, the epoch it came from, and
+// whether it was a cache hit.
 //
 // A trace carried by ctx gets child spans under the caller's open span:
 // "cache" (noted hit/miss), then on a miss "batch" covering queue wait
 // plus compute, with a "kernel" child pinned to the BatchTopK wall time
 // measured by the dispatcher.
-func (s *Server) topK(ctx context.Context, snap *Snapshot, ix *pathsim.Index, x, k int) ([]pathsim.Pair, int64, bool, error) {
+func (s *Server) topK(ctx context.Context, snap *Snapshot, kern topKKernel, pathKey string, x, k int) ([]pathsim.Pair, int64, bool, error) {
 	tr := obs.FromContext(ctx)
-	pathKey := ix.Path.String()
 	key := topKKey(snap.Epoch, pathKey, x, k)
 	sp := tr.Start("cache")
 	if v, ok := s.cache.Get(key); ok {
@@ -562,7 +598,7 @@ func (s *Server) topK(ctx context.Context, snap *Snapshot, ix *pathsim.Index, x,
 	}
 	tr.Note("miss")
 	sp = tr.Next(sp, "batch")
-	resp, err := s.batch.TopK(ctx, topKReq{x: x, k: k, ix: ix, pathKey: pathKey, epoch: snap.Epoch})
+	resp, err := s.batch.TopK(ctx, topKReq{x: x, k: k, kern: kern, pathKey: pathKey, epoch: snap.Epoch})
 	if err != nil {
 		tr.End(sp)
 		return nil, 0, false, err
@@ -578,13 +614,15 @@ func (s *Server) topK(ctx context.Context, snap *Snapshot, ix *pathsim.Index, x,
 }
 
 // TopK is the exported form of the cached, batched query path, against
-// the current snapshot's prebuilt APVPA index.
+// the current snapshot's prebuilt APVPA index (scatter-gathered across
+// the shards when the server is sharded).
 func (s *Server) TopK(ctx context.Context, x, k int) ([]pathsim.Pair, bool, error) {
 	snap := s.store.Current()
 	if snap == nil {
 		return nil, false, fmt.Errorf("no snapshot available")
 	}
-	pairs, _, hit, err := s.topK(ctx, snap, snap.PathSim, x, k)
+	kern, pathKey := s.defaultKernel(snap)
+	pairs, _, hit, err := s.topK(ctx, snap, kern, pathKey, x, k)
 	return pairs, hit, err
 }
 
@@ -700,6 +738,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			"largest": uint64(s.batch.largest.Load()),
 		},
 		"latency":            s.latencyStats(),
+		"cluster":            s.clusterStats(snap),
 		"workers":            sparse.Parallelism(0),
 		"max_concurrent":     cap(s.adm.sem),
 		"admission_rejected": s.rejAd.Load(),
@@ -741,28 +780,57 @@ func (s *Server) handleRank(w http.ResponseWriter, r *http.Request) {
 		metric = "pagerank"
 	}
 	sp = tr.Next(sp, "rank")
-	var scores []float64
-	var ids []int
+	var pairs []pathsim.Pair
 	var iters int
 	var converged bool
-	switch metric {
-	case "pagerank":
-		scores, iters, converged = snap.PageRank.Scores, snap.PageRank.Iterations, snap.PageRank.Converged
-		ids = snap.PageRank.TopK(top)
-	case "authority":
-		scores, iters, converged = snap.HITS.Authority, snap.HITS.Iterations, snap.HITS.Converged
-		ids = snap.HITS.TopAuthorities(top)
-	case "hub":
-		scores, iters, converged = snap.HITS.Hub, snap.HITS.Iterations, snap.HITS.Converged
-		ids = snap.HITS.TopHubs(top)
-	default:
-		httpError(w, http.StatusBadRequest, "unknown metric %q (want pagerank|authority|hub)", metric)
-		return
+	if s.coord != nil {
+		// Sharded: each shard contributes the top of its owned id range
+		// of the (replica) score vector; the merge reproduces the
+		// single-process stats.TopK order exactly. The metric is
+		// validated here so a bad one never scatters (and the 400 bytes
+		// match the single-process switch below).
+		switch metric {
+		case "pagerank", "authority", "hub":
+		default:
+			httpError(w, http.StatusBadRequest, "unknown metric %q (want pagerank|authority|hub)", metric)
+			return
+		}
+		ctx := r.Context()
+		if tr != nil {
+			ctx = obs.WithTrace(ctx, tr)
+		}
+		var err error
+		pairs, iters, converged, err = s.coord.RankAt(ctx, snap.Epoch, metric, top)
+		if err != nil {
+			httpError(w, http.StatusServiceUnavailable, "%v", err)
+			return
+		}
+	} else {
+		var scores []float64
+		var ids []int
+		switch metric {
+		case "pagerank":
+			scores, iters, converged = snap.PageRank.Scores, snap.PageRank.Iterations, snap.PageRank.Converged
+			ids = snap.PageRank.TopK(top)
+		case "authority":
+			scores, iters, converged = snap.HITS.Authority, snap.HITS.Iterations, snap.HITS.Converged
+			ids = snap.HITS.TopAuthorities(top)
+		case "hub":
+			scores, iters, converged = snap.HITS.Hub, snap.HITS.Iterations, snap.HITS.Converged
+			ids = snap.HITS.TopHubs(top)
+		default:
+			httpError(w, http.StatusBadRequest, "unknown metric %q (want pagerank|authority|hub)", metric)
+			return
+		}
+		pairs = make([]pathsim.Pair, 0, len(ids))
+		for _, id := range ids {
+			pairs = append(pairs, pathsim.Pair{ID: id, Score: scores[id]})
+		}
 	}
 	sp = tr.Next(sp, "render")
-	rows := make([]scoredObject, 0, len(ids))
-	for _, id := range ids {
-		rows = append(rows, scoredObject{ID: id, Name: snap.Corpus.Net.Name(dblp.TypeAuthor, id), Score: scores[id]})
+	rows := make([]scoredObject, 0, len(pairs))
+	for _, p := range pairs {
+		rows = append(rows, scoredObject{ID: p.ID, Name: snap.Corpus.Net.Name(dblp.TypeAuthor, p.ID), Score: p.Score})
 	}
 	payload := map[string]any{
 		"metric":     metric,
@@ -795,9 +863,32 @@ func (s *Server) handleClusters(w http.ResponseWriter, r *http.Request) {
 		algo = "rankclus"
 	}
 	c := snap.Corpus
+	// Cluster models are whole-model reads, so the sharded tier routes
+	// them to one replica by policy instead of scattering; the fetched
+	// models are bit-identical to the snapshot's own (deterministic
+	// recipe), so the rendering below is shared.
+	rcm, ncm := snap.RankClus, snap.NetClus
+	if s.coord != nil {
+		switch algo {
+		case "rankclus", "netclus":
+		default:
+			httpError(w, http.StatusBadRequest, "unknown algo %q (want rankclus|netclus)", algo)
+			return
+		}
+		ctx := r.Context()
+		if tr != nil {
+			ctx = obs.WithTrace(ctx, tr)
+		}
+		var err error
+		rcm, ncm, err = s.coord.ClustersAt(ctx, snap.Epoch, algo)
+		if err != nil {
+			httpError(w, http.StatusServiceUnavailable, "%v", err)
+			return
+		}
+	}
 	switch algo {
 	case "rankclus":
-		m := snap.RankClus
+		m := rcm
 		sp = tr.Next(sp, "cluster")
 		clusters := make([]map[string]any, m.K)
 		for k := 0; k < m.K; k++ {
@@ -823,7 +914,7 @@ func (s *Server) handleClusters(w http.ResponseWriter, r *http.Request) {
 		tr.Next(sp, "serialize")
 		writeJSON(w, http.StatusOK, debugTrace(q, tr, payload))
 	case "netclus":
-		m := snap.NetClus
+		m := ncm
 		sp = tr.Next(sp, "cluster")
 		// Attribute-type order matches Corpus.Star: author, venue, term.
 		attrs := []struct {
@@ -900,28 +991,61 @@ func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
 	// index so repeat queries pay one lookup (the resolve span's note
 	// says which way it went: prebuilt, cached, or built).
 	sp = tr.Next(sp, "resolve")
-	var ix *pathsim.Index
+	var kern topKKernel
+	var pathKey string
+	var endpoint hin.Type
+	var dim int
 	if degraded {
-		var ok bool
-		if ix, ok = snap.PathIndexCached(q.Get("path")); !ok {
+		// Brownout resolution never builds: already-materialized indexes
+		// only, even on a sharded server (the cache-only query path below
+		// never reaches a kernel anyway).
+		ix, ok := snap.PathIndexCached(q.Get("path"))
+		if !ok {
 			tr.Note("degraded-shed")
 			s.adm.shedFor(classQuery)
 			s.shed(w, classQuery)
 			return
 		}
-	} else if ix, err = snap.PathIndex(ctx, q.Get("path")); err != nil {
-		if ctx.Err() != nil {
-			tr.Note("deadline")
-			httpError(w, http.StatusGatewayTimeout, "deadline exceeded while resolving path: %v", ctx.Err())
+		kern, pathKey, endpoint, dim = ix, ix.Path.String(), ix.Path[0], ix.Dim()
+	} else if s.coord != nil {
+		// Sharded: the handler runs the same client-side validation the
+		// single-process resolve applies (identical error bytes), and the
+		// shards materialize their range indexes lazily at query time —
+		// a schema error surfaces from the scatter as a ClientError and
+		// maps to the same 400 below.
+		if spec := q.Get("path"); spec == "" {
+			tr.Note("prebuilt")
+			kern, pathKey = s.defaultKernel(snap)
+			endpoint, dim = pathAPVPA[0], snap.PathSim.Dim()
+		} else {
+			path, perr := snap.Corpus.Net.ParseMetaPath(spec)
+			if perr == nil {
+				perr = pathsim.ValidatePath(path)
+			}
+			if perr != nil {
+				httpError(w, http.StatusBadRequest, "invalid path: %v", perr)
+				return
+			}
+			pathKey, endpoint = path.String(), path[0]
+			dim = snap.Corpus.Net.Count(endpoint)
+			kern = clusterKernel{coord: s.coord, path: pathKey, dim: dim, epoch: snap.Epoch}
+		}
+	} else {
+		ix, ierr := snap.PathIndex(ctx, q.Get("path"))
+		if ierr != nil {
+			if ctx.Err() != nil {
+				tr.Note("deadline")
+				httpError(w, http.StatusGatewayTimeout, "deadline exceeded while resolving path: %v", ctx.Err())
+				return
+			}
+			httpError(w, http.StatusBadRequest, "invalid path: %v", ierr)
 			return
 		}
-		httpError(w, http.StatusBadRequest, "invalid path: %v", err)
-		return
+		kern, pathKey, endpoint, dim = ix, ix.Path.String(), ix.Path[0], ix.Dim()
 	}
 	// The queried objects live at the path's endpoint type (author for
 	// the default APVPA). name= (author= kept as an alias) looks an
 	// object up by name within that type.
-	endpoint := ix.Path[0]
 	x := -1
 	name := q.Get("name")
 	if name == "" {
@@ -939,8 +1063,8 @@ func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	if x < 0 || x >= ix.Dim() {
-		httpError(w, http.StatusBadRequest, "need id in [0,%d) or name=<%s name>", ix.Dim(), endpoint)
+	if x < 0 || x >= dim {
+		httpError(w, http.StatusBadRequest, "need id in [0,%d) or name=<%s name>", dim, endpoint)
 		return
 	}
 	sp = tr.Next(sp, "query")
@@ -951,7 +1075,7 @@ func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
 		// Cache-only: a hit serves (annotated), a miss sheds — the
 		// brownout's whole point is that no query reaches the kernels.
 		sp2 := tr.Start("cache")
-		v, ok := s.cache.Get(topKKey(snap.Epoch, ix.Path.String(), x, k))
+		v, ok := s.cache.Get(topKKey(snap.Epoch, pathKey, x, k))
 		if !ok {
 			tr.Note("miss")
 			tr.End(sp2)
@@ -962,7 +1086,15 @@ func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
 		tr.Note("hit")
 		tr.End(sp2)
 		pairs, epoch, hit = v.([]pathsim.Pair), snap.Epoch, true
-	} else if pairs, epoch, hit, err = s.topK(ctx, snap, ix, x, k); err != nil {
+	} else if pairs, epoch, hit, err = s.topK(ctx, snap, kern, pathKey, x, k); err != nil {
+		var ce *cluster.ClientError
+		if errors.As(err, &ce) {
+			// A shard rejected the query's meta-path (schema-less hop the
+			// client asked for): the client's error, same bytes as the
+			// single-process resolve would have produced.
+			httpError(w, http.StatusBadRequest, "invalid path: %v", ce.Err)
+			return
+		}
 		if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
 			// Partial-work accounting: the trace's open spans show the
 			// stage the deadline landed in; the note marks it for the
@@ -985,7 +1117,7 @@ func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
 	}
 	payload := map[string]any{
 		"query":   map[string]any{"id": x, "name": snap.Corpus.Net.Name(endpoint, x)},
-		"path":    ix.Path.String(),
+		"path":    pathKey,
 		"k":       k,
 		"epoch":   epoch,
 		"source":  source,
@@ -1034,7 +1166,22 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	}
 	sp = tr.Next(sp, "apply")
 	start := time.Now()
-	snap, sum, err := s.store.Ingest(req.Deltas, req.RefreshModels)
+	// Sharded: the fan-out runs before the store under writeMu (shard 0
+	// is the validation gate, and a shard rejection is byte-identical to
+	// the store's), so the coordinator epoch always leads the store's
+	// and every published snapshot epoch is servable by the shards.
+	var snap *Snapshot
+	var sum ingest.Summary
+	err := s.clusterWrite(
+		func() error {
+			_, _, err := s.coord.Ingest(req.Deltas, req.RefreshModels)
+			return err
+		},
+		func() error {
+			var err error
+			snap, sum, err = s.store.Ingest(req.Deltas, req.RefreshModels)
+			return err
+		})
 	if err != nil {
 		s.ing.rejected.Add(1)
 		code := http.StatusBadRequest
@@ -1075,7 +1222,19 @@ func (s *Server) handleRebuild(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	sp = tr.Next(sp, "rebuild")
-	snap := s.store.Rebuild(int64(seed))
+	var snap *Snapshot
+	if werr := s.clusterWrite(
+		func() error {
+			_, err := s.coord.Rebuild(int64(seed))
+			return err
+		},
+		func() error {
+			snap = s.store.Rebuild(int64(seed))
+			return nil
+		}); werr != nil {
+		httpError(w, http.StatusInternalServerError, "%v", werr)
+		return
+	}
 	payload := map[string]any{
 		"epoch":         snap.Epoch,
 		"seed":          snap.Seed,

@@ -17,24 +17,26 @@ import (
 	"sync/atomic"
 	"time"
 
+	"hinet/internal/cluster"
 	"hinet/internal/core"
 	"hinet/internal/dblp"
-	"hinet/internal/hin"
 	"hinet/internal/ingest"
 	"hinet/internal/metapath"
 	"hinet/internal/netclus"
 	"hinet/internal/obs"
 	"hinet/internal/pathsim"
 	"hinet/internal/rank"
-	"hinet/internal/stats"
 )
 
 // Meta paths materialized at snapshot build time: APVPA (shared-venue
 // peers, the PathSim index) and APA (co-authorship, the square graph
-// PageRank and HITS run on).
+// PageRank and HITS run on). These alias internal/cluster's: the model
+// recipe itself lives there (cluster.BuildModels / cluster.IngestModels),
+// which is what makes cluster shards exact replicas of this store's
+// generations.
 var (
-	pathAPVPA = hin.MetaPath{dblp.TypeAuthor, dblp.TypePaper, dblp.TypeVenue, dblp.TypePaper, dblp.TypeAuthor}
-	pathAPA   = hin.MetaPath{dblp.TypeAuthor, dblp.TypePaper, dblp.TypeAuthor}
+	pathAPVPA = cluster.PathAPVPA
+	pathAPA   = cluster.PathAPA
 )
 
 // Snapshot is one immutable generation of serving artifacts. Nothing
@@ -160,37 +162,52 @@ func NewStore(cfg ModelConfig) *Store { return &Store{cfg: cfg} }
 // Current returns the live snapshot, or nil before the first Rebuild.
 func (s *Store) Current() *Snapshot { return s.cur.Load() }
 
+// spec translates the store's model configuration into the shared
+// build-recipe spec (internal/cluster).
+func (s *Store) spec() cluster.ModelSpec {
+	return cluster.ModelSpec{Corpus: s.cfg.Corpus, K: s.cfg.K, Restarts: s.cfg.Restarts}
+}
+
+// models views a snapshot as the shared recipe's artifact set, so
+// Ingest can hand it to cluster.IngestModels as the previous generation.
+func (snap *Snapshot) models() *cluster.Models {
+	return &cluster.Models{
+		Seed:     snap.Seed,
+		Corpus:   snap.Corpus,
+		PageRank: snap.PageRank,
+		HITS:     snap.HITS,
+		RankClus: snap.RankClus,
+		NetClus:  snap.NetClus,
+		PathSim:  snap.PathSim,
+	}
+}
+
+// fromModels wraps a recipe artifact set in a Snapshot (epoch and
+// timings are the caller's).
+func fromModels(m *cluster.Models, builtAt time.Time) *Snapshot {
+	return &Snapshot{
+		Seed:     m.Seed,
+		BuiltAt:  builtAt,
+		Corpus:   m.Corpus,
+		PageRank: m.PageRank,
+		HITS:     m.HITS,
+		RankClus: m.RankClus,
+		NetClus:  m.NetClus,
+		PathSim:  m.PathSim,
+	}
+}
+
 // Rebuild materializes a fresh snapshot from seed and atomically swaps
 // it in as the live generation. Concurrent queries keep reading the old
 // snapshot until the swap; concurrent Rebuild calls run one at a time.
+// The artifacts come from cluster.BuildModels — the same deterministic
+// recipe every shard of a sharded tier runs.
 func (s *Store) Rebuild(seed int64) *Snapshot {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 
 	start := time.Now()
-	c := dblp.Generate(stats.NewRNG(seed), s.cfg.Corpus)
-	k := s.cfg.K
-	if k == 0 {
-		k = c.Areas()
-	}
-	restarts := s.cfg.Restarts
-	if restarts == 0 {
-		restarts = 1
-	}
-
-	coauthor := c.Net.CommutingMatrix(pathAPA)
-	snap := &Snapshot{
-		Seed:     seed,
-		BuiltAt:  start,
-		Corpus:   c,
-		PageRank: rank.PageRank(coauthor, rank.Options{}),
-		HITS:     rank.HITS(coauthor, rank.Options{}),
-		RankClus: core.Run(stats.NewRNG(seed+1), c.VenueAuthorBipartite(),
-			core.Options{K: k, Method: core.AuthorityRanking, Restarts: restarts}),
-		NetClus: netclus.Run(stats.NewRNG(seed+2), c.Star(),
-			netclus.Options{K: k, Restarts: restarts}),
-		PathSim: pathsim.NewIndex(c.Net, pathAPVPA),
-	}
+	snap := fromModels(cluster.BuildModels(seed, s.spec()), start)
 	snap.BuildTime = time.Since(start)
 	snap.Epoch = s.epoch.Add(1)
 	// Register the prebuilt index under its path key so
@@ -225,54 +242,15 @@ func (s *Store) Ingest(deltas []ingest.Delta, refreshModels bool) (*Snapshot, in
 		return nil, ingest.Summary{}, errNoSnapshot
 	}
 	start := time.Now()
-	net := cur.Corpus.Net.Clone()
-	sum, err := ingest.Apply(net, deltas, ingest.Options{})
+	m, sum, err := cluster.IngestModels(cur.models(), deltas, refreshModels, s.spec())
 	if err != nil {
 		return nil, sum, err
 	}
-	corpus := cur.Corpus.WithNetwork(net)
-
-	coauthor := net.CommutingMatrix(pathAPA)
-	snap := &Snapshot{
-		Seed:     cur.Seed,
-		BuiltAt:  start,
-		Corpus:   corpus,
-		PageRank: rank.PageRank(coauthor, rank.Options{Start: padScores(cur.PageRank.Scores, coauthor.Rows())}),
-		HITS:     rank.HITS(coauthor, rank.Options{}),
-		RankClus: cur.RankClus,
-		NetClus:  cur.NetClus,
-		PathSim:  pathsim.NewIndex(net, pathAPVPA),
-	}
-	if refreshModels {
-		k := s.cfg.K
-		if k == 0 {
-			k = corpus.Areas()
-		}
-		restarts := s.cfg.Restarts
-		if restarts == 0 {
-			restarts = 1
-		}
-		snap.RankClus = core.Run(stats.NewRNG(cur.Seed+1), corpus.VenueAuthorBipartite(),
-			core.Options{K: k, Method: core.AuthorityRanking, Restarts: restarts})
-		snap.NetClus = netclus.Run(stats.NewRNG(cur.Seed+2), corpus.Star(),
-			netclus.Options{K: k, Restarts: restarts})
-	}
+	snap := fromModels(m, start)
 	snap.BuildTime = time.Since(start)
 	snap.Epoch = s.epoch.Add(1)
 	snap.paths.Store(pathAPVPA.String(), snap.PathSim)
 	snap.pathCount.Add(1)
 	s.cur.Store(snap)
 	return snap, sum, nil
-}
-
-// padScores returns scores extended with zeros to length n (ids are
-// append-only, so a previous epoch's vector is a prefix of the new
-// object space). Same-length vectors pass through unchanged.
-func padScores(scores []float64, n int) []float64 {
-	if len(scores) >= n {
-		return scores
-	}
-	out := make([]float64, n)
-	copy(out, scores)
-	return out
 }

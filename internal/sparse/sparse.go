@@ -908,6 +908,94 @@ func (m *Matrix) gram(done <-chan struct{}) (*Matrix, bool) {
 	return out, false
 }
 
+// RowSlice returns the sub-matrix of rows [lo, hi) as a zero-copy view:
+// the column and value arrays alias the receiver's storage (matrices
+// are immutable by convention, so aliasing is safe) and only the row
+// pointer is rebased — O(hi−lo) regardless of nnz. This is the
+// horizontal-partitioning primitive of the sharded serving tier: a
+// shard's slice of a half-path product feeds the same kernels as the
+// full matrix and, because the kernels accumulate per output entry in
+// ascending-k order, products of a slice are bitwise identical to the
+// matching rows of the full product.
+func (m *Matrix) RowSlice(lo, hi int) *Matrix {
+	if lo < 0 || hi < lo || hi > m.rows {
+		panic(fmt.Sprintf("sparse: RowSlice [%d,%d) out of %d rows", lo, hi, m.rows))
+	}
+	base, end := m.rowPtr[lo], m.rowPtr[hi]
+	rp := make([]int, hi-lo+1)
+	for r := lo; r <= hi; r++ {
+		rp[r-lo] = m.rowPtr[r] - base
+	}
+	return &Matrix{
+		rows:   hi - lo,
+		cols:   m.cols,
+		rowPtr: rp,
+		colIdx: m.colIdx[base:end:end],
+		vals:   m.vals[base:end:end],
+		unit:   m.unit || allOnes(m.vals[base:end]),
+	}
+}
+
+// ColSlice returns the sub-matrix of columns [lo, hi), rebased to start
+// at column zero. Each output row preserves the source row's ascending
+// column order and its exact float64 values, so scanning a sliced row
+// visits precisely the source entries with lo ≤ col < hi — the property
+// the sharded PathSim tier relies on for bitwise-identical partial
+// top-k answers. O(rows·log nnz/row + output nnz).
+func (m *Matrix) ColSlice(lo, hi int) *Matrix {
+	if lo < 0 || hi < lo || hi > m.cols {
+		panic(fmt.Sprintf("sparse: ColSlice [%d,%d) out of %d cols", lo, hi, m.cols))
+	}
+	out := &Matrix{rows: m.rows, cols: hi - lo, rowPtr: make([]int, m.rows+1)}
+	starts := make([]int, m.rows)
+	for r := 0; r < m.rows; r++ {
+		rlo, rhi := m.rowPtr[r], m.rowPtr[r+1]
+		a, _ := slices.BinarySearch(m.colIdx[rlo:rhi], int32(lo))
+		b, _ := slices.BinarySearch(m.colIdx[rlo:rhi], int32(hi))
+		starts[r] = rlo + a
+		out.rowPtr[r+1] = out.rowPtr[r] + (b - a)
+	}
+	total := out.rowPtr[m.rows]
+	out.colIdx = make([]int32, total)
+	out.vals = make([]float64, total)
+	for r := 0; r < m.rows; r++ {
+		n := out.rowPtr[r+1] - out.rowPtr[r]
+		for i := 0; i < n; i++ {
+			out.colIdx[out.rowPtr[r]+i] = m.colIdx[starts[r]+i] - int32(lo)
+		}
+		copy(out.vals[out.rowPtr[r]:out.rowPtr[r+1]], m.vals[starts[r]:starts[r]+n])
+	}
+	out.unit = m.unit || allOnes(out.vals)
+	return out
+}
+
+// GramDiagonal returns the diagonal of M·Mᵀ — per-row sums of squared
+// values — without materializing the product. Each row's sum runs over
+// the stored entries in ascending-column order, exactly the
+// accumulation sequence the fused Gram kernel uses for its (i, i)
+// entries, so the result is bitwise identical to Gram().Diagonal().
+// The sharded tier uses this to hand every shard the full PathSim
+// denominator vector at O(nnz) cost.
+func (m *Matrix) GramDiagonal() []float64 {
+	d := make([]float64, m.rows)
+	for r := 0; r < m.rows; r++ {
+		s := 0.0
+		if m.unit {
+			// The Gram kernel's pattern-only loop adds 1.0 per entry.
+			for i := m.rowPtr[r]; i < m.rowPtr[r+1]; i++ {
+				s += 1.0
+			}
+		} else {
+			for i := m.rowPtr[r]; i < m.rowPtr[r+1]; i++ {
+				v := m.vals[i]
+				s += v * v
+			}
+		}
+		d[r] = s
+	}
+	return d
+}
+
 // Dense materializes the matrix as row-major [][]float64 (test helper;
 // avoid on large matrices).
 func (m *Matrix) Dense() [][]float64 {
