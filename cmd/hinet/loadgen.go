@@ -20,6 +20,7 @@ import (
 	"strings"
 	"time"
 
+	"hinet/internal/cluster"
 	"hinet/internal/dblp"
 	"hinet/internal/loadgen"
 	"hinet/internal/serve"
@@ -60,6 +61,13 @@ type loadgenFlags struct {
 }
 
 func runLoadgen(f loadgenFlags) {
+	// Same pre-flight as runServe: serve.New panics on an unknown
+	// routing policy, so a bad -shard-policy must die as a CLI error
+	// before the in-process server boots.
+	if _, err := cluster.NewPolicy(f.shardPolicy); err != nil {
+		fmt.Fprintf(os.Stderr, "hinet loadgen: %v\n", err)
+		os.Exit(2)
+	}
 	fail := func(err error) {
 		fmt.Fprintf(os.Stderr, "hinet loadgen: %v\n", err)
 		os.Exit(1)

@@ -32,12 +32,14 @@ import (
 const maxRangeIndexes = 64
 
 // generation is one published shard state. Immutable after publish
-// except the ranges memo (concurrent-safe, append-only).
+// except the ranges memo (concurrent-safe, append-only) and prev,
+// which the next write trims to nil after it has been published —
+// atomic, because lock-free readers follow it in genAt.
 type generation struct {
 	epoch  int64
 	models *Models
-	def    *pathsim.RangeIndex // default-path slice, built eagerly at publish
-	prev   *generation         // immediately previous generation (nil beyond that)
+	def    *pathsim.RangeIndex        // default-path slice, built eagerly at publish
+	prev   atomic.Pointer[generation] // immediately previous generation (nil beyond that)
 
 	ranges     sync.Map // path string → *pathsim.RangeIndex
 	rangeCount atomic.Int32
@@ -101,9 +103,10 @@ func (sh *LocalShard) newGeneration(m *Models, epoch int64, prev *generation) (*
 		return nil, fmt.Errorf("cluster: shard %d default index: %w", sh.id, err)
 	}
 	if prev != nil {
-		prev.prev = nil // retain exactly one predecessor
+		prev.prev.Store(nil) // retain exactly one predecessor
 	}
-	g := &generation{epoch: epoch, models: m, def: def, prev: prev}
+	g := &generation{epoch: epoch, models: m, def: def}
+	g.prev.Store(prev)
 	g.ranges.Store(PathAPVPA.String(), def)
 	g.rangeCount.Store(1)
 	return g, nil
@@ -203,8 +206,8 @@ func (sh *LocalShard) genAt(epoch int64) (*generation, error) {
 	if g.epoch == epoch {
 		return g, nil
 	}
-	if g.prev != nil && g.prev.epoch == epoch {
-		return g.prev, nil
+	if p := g.prev.Load(); p != nil && p.epoch == epoch {
+		return p, nil
 	}
 	return nil, &EpochError{Shard: sh.id, Want: epoch, Have: g.epoch}
 }

@@ -31,6 +31,69 @@ func raceSpec() ModelSpec {
 	}}
 }
 
+// TestPreviousEpochReadRace pins the genAt/newGeneration interleaving:
+// lock-free readers querying the retained previous generation follow
+// generation.prev at the same time the next write trims the chain
+// (prev.prev → nil). Run under -race; before prev became an atomic
+// pointer the detector flagged this as a data race.
+func TestPreviousEpochReadRace(t *testing.T) {
+	const shards = 2
+	spec := raceSpec()
+	seed := int64(11)
+	ref := BuildModels(seed, spec)
+	part := PartitionByNNZ(string(dblp.TypeAuthor), ref.PathSim.Dim(), shards, ref.PathSim.M.RowNNZ)
+	c, err := NewLocalCluster(shards, part, spec, nil, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx := context.Background()
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	dim := ref.PathSim.Dim()
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(200 + r)))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				sh := c.Shard(rng.Intn(shards))
+				// Deliberately one epoch behind the shard: the read that
+				// must traverse the prev link during a write's fan-out.
+				ep := max(sh.Epoch()-1, 1)
+				_, err := sh.TopK(ctx, ep, "", rng.Intn(dim), 5)
+				if err != nil {
+					var ee *EpochError
+					if !errors.As(err, &ee) {
+						t.Errorf("previous-epoch reader: unexpected error: %v", err)
+						return
+					}
+				}
+			}
+		}(r)
+	}
+
+	refCur := ref
+	for w := 0; w < 6; w++ {
+		deltas := newTestDeltas(refCur, fmt.Sprintf("prev-%d", w))
+		next, _, err := IngestModels(refCur, deltas, false, spec)
+		if err != nil {
+			t.Fatalf("reference ingest %d: %v", w, err)
+		}
+		refCur = next
+		if _, _, err := c.Ingest(deltas, false); err != nil {
+			t.Fatalf("cluster ingest %d: %v", w, err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
 func TestClusterRace(t *testing.T) {
 	const shards = 3
 	const writes = 5

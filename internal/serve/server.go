@@ -799,9 +799,23 @@ func (s *Server) handleRank(w http.ResponseWriter, r *http.Request) {
 		if tr != nil {
 			ctx = obs.WithTrace(ctx, tr)
 		}
-		var err error
-		pairs, iters, converged, err = s.coord.RankAt(ctx, snap.Epoch, metric, top)
-		if err != nil {
+		// Shards retain one previous generation, so two writes landing
+		// between the snapshot load above and the scatter can evict
+		// snap.Epoch; mirror Coordinator.TopK and retry once from a
+		// freshly loaded snapshot before giving up.
+		for attempt := 0; ; attempt++ {
+			var err error
+			pairs, iters, converged, err = s.coord.RankAt(ctx, snap.Epoch, metric, top)
+			if err == nil {
+				break
+			}
+			var ee *cluster.EpochError
+			if attempt == 0 && errors.As(err, &ee) {
+				if fresh := s.store.Current(); fresh != nil && fresh.Epoch != snap.Epoch {
+					snap = fresh
+					continue
+				}
+			}
 			httpError(w, http.StatusServiceUnavailable, "%v", err)
 			return
 		}
@@ -879,9 +893,23 @@ func (s *Server) handleClusters(w http.ResponseWriter, r *http.Request) {
 		if tr != nil {
 			ctx = obs.WithTrace(ctx, tr)
 		}
-		var err error
-		rcm, ncm, err = s.coord.ClustersAt(ctx, snap.Epoch, algo)
-		if err != nil {
+		// Same eviction window as /v1/rank: two writes between the
+		// snapshot load and the routed read can evict snap.Epoch from
+		// the shards' retained generations, so retry once from a fresh
+		// snapshot before 503ing.
+		for attempt := 0; ; attempt++ {
+			var err error
+			rcm, ncm, err = s.coord.ClustersAt(ctx, snap.Epoch, algo)
+			if err == nil {
+				break
+			}
+			var ee *cluster.EpochError
+			if attempt == 0 && errors.As(err, &ee) {
+				if fresh := s.store.Current(); fresh != nil && fresh.Epoch != snap.Epoch {
+					snap, c = fresh, fresh.Corpus
+					continue
+				}
+			}
 			httpError(w, http.StatusServiceUnavailable, "%v", err)
 			return
 		}
